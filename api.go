@@ -1,0 +1,320 @@
+package expensive
+
+import (
+	"expensive/internal/crypto/sig"
+	"expensive/internal/experiments"
+	"expensive/internal/lowerbound"
+	"expensive/internal/msg"
+	"expensive/internal/omission"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/dolevstrong"
+	"expensive/internal/protocols/eig"
+	"expensive/internal/protocols/external"
+	"expensive/internal/protocols/floodset"
+	"expensive/internal/protocols/gradecast"
+	"expensive/internal/protocols/ic"
+	"expensive/internal/protocols/phaseking"
+	"expensive/internal/protocols/reduction"
+	"expensive/internal/protocols/weak"
+	"expensive/internal/sim"
+	"expensive/internal/smr"
+	"expensive/internal/solve"
+	"expensive/internal/transport"
+	"expensive/internal/transport/memnet"
+	"expensive/internal/transport/tcpnet"
+	"expensive/internal/validity"
+	"expensive/internal/viz"
+)
+
+// Core vocabulary. These aliases re-export the internal model types so
+// that downstream users can name every value the API returns.
+type (
+	// Value is a protocol value (proposal or decision).
+	Value = msg.Value
+	// Message is a round-stamped message between two processes.
+	Message = msg.Message
+	// ProcessID identifies a process in Π = {0..n-1}.
+	ProcessID = proc.ID
+	// ProcessSet is a set of process identities.
+	ProcessSet = proc.Set
+	// Machine is a deterministic per-process protocol state machine.
+	Machine = sim.Machine
+	// Factory builds the honest machine of one process.
+	Factory = sim.Factory
+	// Outgoing is a message a machine emits for the next round.
+	Outgoing = sim.Outgoing
+	// RunConfig parameterizes a simulated run.
+	RunConfig = sim.Config
+	// FaultPlan is the static adversary of a simulated run.
+	FaultPlan = sim.FaultPlan
+	// Execution is a fully recorded run (the Appendix A.1.6 object).
+	Execution = sim.Execution
+	// Scheme is a signature scheme (authenticated algorithms, §5.1).
+	Scheme = sig.Scheme
+	// Problem is a Byzantine agreement problem given by its validity
+	// property over finite domains (§4.1).
+	Problem = validity.Problem
+	// InputConfig assigns proposals to correct processes.
+	InputConfig = validity.InputConfig
+	// Solvability is the Theorem 4 verdict for a problem.
+	Solvability = validity.Solvability
+	// Derived is a protocol synthesized from a validity property.
+	Derived = solve.Derived
+	// FalsifyReport is the outcome of the Theorem 2 falsifier.
+	FalsifyReport = lowerbound.Report
+	// Violation is a machine-checkable counterexample execution.
+	Violation = lowerbound.Violation
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = experiments.Table
+	// NodeResult is the outcome of one live (transport) node.
+	NodeResult = transport.NodeResult
+)
+
+// Binary values.
+const (
+	Zero = msg.Zero
+	One  = msg.One
+)
+
+// Bit converts 0/1 to the corresponding binary Value.
+func Bit(b int) Value { return msg.Bit(b) }
+
+// NewIdealScheme returns the idealized HMAC-backed signature oracle
+// (deterministic, fast — the paper's idealized authenticated setting).
+func NewIdealScheme(seed string) Scheme { return sig.NewIdeal(seed) }
+
+// NewEd25519Scheme returns a real Ed25519 scheme with deterministic
+// per-process keys for ids 0..n-1 plus extraIDs.
+func NewEd25519Scheme(seed string, n int, extraIDs ...ProcessID) Scheme {
+	return sig.NewEd25519(seed, n, extraIDs...)
+}
+
+// RunProtocol executes a protocol under a fault plan in the synchronous
+// simulator and returns the recorded execution.
+func RunProtocol(cfg RunConfig, factory Factory, plan FaultPlan) (*Execution, error) {
+	return sim.Run(cfg, factory, plan)
+}
+
+// NoFaults is the fully-correct fault plan.
+func NoFaults() FaultPlan { return sim.NoFaults{} }
+
+// ValidateExecution checks the five Appendix A.1.6 execution guarantees.
+func ValidateExecution(e *Execution) error { return omission.Validate(e) }
+
+// Protocol constructors — the matching upper bounds.
+
+// NewDolevStrongBroadcast returns authenticated Byzantine broadcast with
+// designated sender (t < n, t+1 rounds) and its decision-round bound.
+func NewDolevStrongBroadcast(n, t int, sender ProcessID, scheme Scheme, defaultValue Value) (Factory, int) {
+	cfg := dolevstrong.Config{N: n, T: t, Sender: sender, Scheme: scheme, Tag: "bb", Default: defaultValue}
+	return dolevstrong.New(cfg), dolevstrong.RoundBound(t)
+}
+
+// NewInteractiveConsistency returns authenticated interactive consistency
+// (n parallel Dolev-Strong instances, t < n). Decisions are encoded
+// vectors; decode with DecodeVector.
+func NewInteractiveConsistency(n, t int, scheme Scheme, defaultValue Value) (Factory, int) {
+	return ic.New(ic.Config{N: n, T: t, Scheme: scheme, Default: defaultValue}), ic.RoundBound(t)
+}
+
+// NewEIGConsistency returns unauthenticated interactive consistency by
+// exponential information gathering (n > 3t).
+func NewEIGConsistency(n, t int, defaultValue Value) (Factory, int) {
+	return eig.New(eig.Config{N: n, T: t, Default: defaultValue}), eig.RoundBound(t)
+}
+
+// NewPhaseKing returns binary strong consensus (unauthenticated, n > 4t,
+// polynomial messages).
+func NewPhaseKing(n, t int) (Factory, int) {
+	return phaseking.New(phaseking.Config{N: n, T: t}), phaseking.RoundBound(t)
+}
+
+// NewWeakConsensusIC returns authenticated weak consensus (any t < n).
+func NewWeakConsensusIC(n, t int, scheme Scheme) (Factory, int) { return weak.ViaIC(n, t, scheme) }
+
+// NewWeakConsensusEIG returns unauthenticated weak consensus (n > 3t).
+func NewWeakConsensusEIG(n, t int) (Factory, int) { return weak.ViaEIG(n, t) }
+
+// NewWeakConsensusPhaseKing returns unauthenticated polynomial weak
+// consensus (n > 4t).
+func NewWeakConsensusPhaseKing(n, t int) (Factory, int) { return weak.ViaPhaseKing(n, t) }
+
+// NewGradecast returns Feldman–Micali graded broadcast (n > 3t, 3 rounds).
+// Decisions encode (grade, value) pairs; parse with ParseGradecast.
+func NewGradecast(n, t int, sender ProcessID) (Factory, int) {
+	return gradecast.New(gradecast.Config{N: n, T: t, Sender: sender}), gradecast.RoundBound()
+}
+
+// ParseGradecast splits a gradecast decision into grade and value.
+func ParseGradecast(out Value) (grade int, v Value, err error) { return gradecast.Parse(out) }
+
+// NewFloodSet returns the crash-model FloodSet consensus (min of values,
+// t+1 rounds). It is NOT omission- or Byzantine-tolerant: see experiment
+// E10 for the attack that splits it.
+func NewFloodSet(n, t int) (Factory, int) {
+	return floodset.New(floodset.Config{N: n, T: t}), floodset.RoundBound(t)
+}
+
+// NewFloodSetEarlyStopping returns the early-deciding FloodSet variant:
+// decides within f+2 rounds under f <= t actual crashes (experiment E12).
+func NewFloodSetEarlyStopping(n, t int) (Factory, int) {
+	return floodset.NewEarlyStopping(floodset.Config{N: n, T: t}), floodset.RoundBound(t)
+}
+
+// DecodeVector parses an interactive-consistency decision.
+func DecodeVector(v Value) ([]Value, error) { return msg.DecodeVector(v) }
+
+// External Validity (blockchain-style) agreement, §4.3.
+
+// TxAuthority issues and validates client-signed transactions.
+type TxAuthority = external.Authority
+
+// NewTxAuthority wraps a scheme holding the client keys.
+func NewTxAuthority(scheme Scheme) *TxAuthority { return external.NewAuthority(scheme) }
+
+// ClientID returns the i-th client identity (outside Π) for key setup.
+func ClientID(i int) ProcessID { return external.ClientBase + ProcessID(i) }
+
+// NewExternalAgreement returns agreement with External Validity: the
+// decision always satisfies authority.Valid.
+func NewExternalAgreement(n, t int, scheme Scheme, authority *TxAuthority, fallback Value) (Factory, int) {
+	cfg := external.Config{N: n, T: t, Scheme: scheme, Authority: authority, Fallback: fallback}
+	return external.New(cfg), external.RoundBound(t)
+}
+
+// The lower bound (Theorem 2) as a tool.
+
+// FalsifyWeakConsensus runs the §3 construction against a weak consensus
+// protocol with the given decision-round bound. The report either carries
+// a Violation — a valid ≤t-fault execution in which weak consensus
+// demonstrably fails — or certifies that the probe executions exceeded the
+// t²/32 message budget.
+func FalsifyWeakConsensus(name string, factory Factory, roundBound, n, t int) (*FalsifyReport, error) {
+	return lowerbound.Falsify(name, factory, roundBound, n, t, lowerbound.Options{})
+}
+
+// CheckViolation independently re-validates a falsifier certificate:
+// execution guarantees, fault budget, machine conformance, and the
+// violation itself.
+func CheckViolation(v *Violation, factory Factory, roundBound int) error {
+	return lowerbound.CheckViolation(v, factory, roundBound)
+}
+
+// Solvability (Theorem 4) as a tool.
+
+// WeakProblem, StrongProblem, BroadcastProblem, InteractiveProblem and
+// CorrectSourceProblem build the standard validity properties at (n, t).
+func WeakProblem(n, t int) Problem   { return validity.Weak(n, t) }
+func StrongProblem(n, t int) Problem { return validity.Strong(n, t) }
+func BroadcastProblem(n, t int, sender ProcessID) Problem {
+	return validity.Broadcast(n, t, sender)
+}
+func InteractiveProblem(n, t int) Problem   { return validity.Interactive(n, t) }
+func CorrectSourceProblem(n, t int) Problem { return validity.CorrectSource(n, t) }
+
+// CheckSolvability evaluates the general solvability theorem for p.
+func CheckSolvability(p Problem) Solvability { return p.Solve() }
+
+// SolveAuthenticated derives an authenticated protocol for p (any t < n)
+// via Algorithm 2, failing iff the containment condition fails.
+func SolveAuthenticated(p Problem, scheme Scheme) (*Derived, error) {
+	return solve.Authenticated(p, scheme)
+}
+
+// SolveUnauthenticated derives a signature-free protocol for p (n > 3t).
+func SolveUnauthenticated(p Problem) (*Derived, error) { return solve.Unauthenticated(p) }
+
+// CheckDerived runs a derived protocol on an input configuration and
+// verifies Termination, Agreement and the problem's validity property.
+func CheckDerived(p Problem, d *Derived, c InputConfig, byzantine map[ProcessID]Machine) error {
+	return solve.Check(p, d, c, byzantine)
+}
+
+// NewInputConfig builds an input configuration over Π = {0..n-1}; absent
+// processes are the faulty ones.
+func NewInputConfig(n int, assign map[ProcessID]Value) (InputConfig, error) {
+	return validity.NewConfig(n, assign)
+}
+
+// Algorithm 1: weak consensus from any agreement protocol.
+
+// Alg1Spec fixes the reduction's two fully-correct configurations and v'_0.
+type Alg1Spec = reduction.Alg1Spec
+
+// DeriveWeakFromAgreement computes v'_0 (by running P's fully-correct
+// execution on c0) and returns the zero-message Algorithm 1 wrapper.
+func DeriveWeakFromAgreement(inner Factory, n, t, horizon int, c0, c1 []Value) (Factory, Alg1Spec, error) {
+	spec, err := reduction.DeriveAlg1(inner, n, t, horizon, c0, c1)
+	if err != nil {
+		return nil, Alg1Spec{}, err
+	}
+	return reduction.WeakFromAgreement(inner, spec), spec, nil
+}
+
+// Experiments.
+
+// RunExperiment executes one of the paper experiments E1–E9 with its
+// recorded default parameters.
+func RunExperiment(id string) (*ExperimentTable, error) { return experiments.Run(id) }
+
+// ExperimentIDs lists the available experiments.
+func ExperimentIDs() []string { return experiments.AllIDs() }
+
+// Live transports.
+
+// Mesh is a live message mesh usable with RunCluster.
+type Mesh interface {
+	Endpoints() []transport.Endpoint
+}
+
+// NewMemMesh returns an in-process goroutine mesh; drop may be nil or a
+// transport-level omission filter (from, to, round) -> drop payload.
+func NewMemMesh(n int, drop func(from, to ProcessID, round int) bool) Mesh {
+	var filter memnet.DropFilter
+	if drop != nil {
+		filter = memnet.DropFilter(drop)
+	}
+	return memnet.New(n, filter)
+}
+
+// NewTCPMesh returns a TCP loopback mesh of n nodes. Close it via any
+// endpoint when done.
+func NewTCPMesh(n int) (Mesh, error) { return tcpnet.New(n) }
+
+// RunCluster drives one machine per process over the mesh for the given
+// number of rounds and returns per-node results.
+func RunCluster(m Mesh, n int, factory Factory, proposals []Value, rounds int) ([]NodeResult, error) {
+	c := transport.Cluster{N: n, Endpoints: m.Endpoints(), Factory: factory, Proposals: proposals, Rounds: rounds}
+	return c.Run()
+}
+
+// ClusterDecision folds node results into the unique decision of a group.
+func ClusterDecision(results []NodeResult, group ProcessSet) (Value, error) {
+	return transport.CommonDecision(results, group)
+}
+
+// Universe returns the full process set {0..n-1}.
+func Universe(n int) ProcessSet { return proc.Universe(n) }
+
+// NewProcessSet builds a process set from ids.
+func NewProcessSet(ids ...ProcessID) ProcessSet { return proc.NewSet(ids...) }
+
+// State machine replication (the paper's motivating application).
+
+// ReplicatedLog is a deterministic log driven by repeated agreement.
+type ReplicatedLog = smr.Log
+
+// LogEntry is one committed slot of a replicated log.
+type LogEntry = smr.Entry
+
+// NewReplicatedLog builds a replicated log whose slots each run one
+// instance of the given agreement protocol.
+func NewReplicatedLog(n, t int, protocol func(slot int) (Factory, int), noOp Value) (*ReplicatedLog, error) {
+	return smr.New(smr.Config{N: n, T: t, Protocol: protocol, NoOp: noOp})
+}
+
+// RenderExecution draws an execution as a per-process, per-round text
+// timeline in the visual language of the paper's Figures 1-2.
+func RenderExecution(e *Execution, maxRounds int, groups map[string]ProcessSet) string {
+	return viz.Timeline(e, viz.Options{MaxRounds: maxRounds, Groups: groups})
+}

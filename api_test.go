@@ -1,0 +1,325 @@
+package expensive_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"expensive"
+)
+
+func TestFacadeWeakConsensusLifecycle(t *testing.T) {
+	n, tf := 5, 1
+	factory, rounds := expensive.NewWeakConsensusPhaseKing(n, tf)
+	proposals := []expensive.Value{expensive.One, expensive.One, expensive.One, expensive.One, expensive.One}
+	cfg := expensive.RunConfig{N: n, T: tf, Proposals: proposals, MaxRounds: rounds + 1}
+	exec, err := expensive.RunProtocol(cfg, factory, expensive.NoFaults())
+	if err != nil {
+		t.Fatalf("RunProtocol: %v", err)
+	}
+	if err := expensive.ValidateExecution(exec); err != nil {
+		t.Errorf("ValidateExecution: %v", err)
+	}
+	d, err := exec.CommonDecision(expensive.Universe(n))
+	if err != nil || d != expensive.One {
+		t.Errorf("decision %q err %v", d, err)
+	}
+}
+
+func TestFacadeBroadcastAndIC(t *testing.T) {
+	n, tf := 4, 1
+	scheme := expensive.NewIdealScheme("api-test")
+	bb, rounds := expensive.NewDolevStrongBroadcast(n, tf, 2, scheme, "⊥")
+	cfg := expensive.RunConfig{
+		N: n, T: tf,
+		Proposals: []expensive.Value{"a", "b", "proposal-c", "d"},
+		MaxRounds: rounds + 1,
+	}
+	exec, err := expensive.RunProtocol(cfg, bb, expensive.NoFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := exec.CommonDecision(expensive.Universe(n))
+	if err != nil || d != "proposal-c" {
+		t.Errorf("broadcast decision %q err %v", d, err)
+	}
+
+	icf, icRounds := expensive.NewInteractiveConsistency(n, tf, scheme, "⊥")
+	cfg.MaxRounds = icRounds + 1
+	exec, err = expensive.RunProtocol(cfg, icf, expensive.NoFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := exec.CommonDecision(expensive.Universe(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := expensive.DecodeVector(dv)
+	if err != nil || len(vec) != n || vec[2] != "proposal-c" {
+		t.Errorf("IC vector %v err %v", vec, err)
+	}
+}
+
+func TestFacadeFalsifier(t *testing.T) {
+	n, tf := 40, 16
+	factory := silentFactory()
+	rep, err := expensive.FalsifyWeakConsensus("silent", factory, 1, n, tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Broken() {
+		t.Fatal("silent protocol not falsified")
+	}
+	if err := expensive.CheckViolation(rep.Violation, factory, 1); err != nil {
+		t.Fatalf("CheckViolation: %v", err)
+	}
+}
+
+func silentFactory() expensive.Factory {
+	return func(id expensive.ProcessID, proposal expensive.Value) expensive.Machine {
+		return &silentM{v: proposal}
+	}
+}
+
+type silentM struct {
+	v       expensive.Value
+	decided bool
+}
+
+func (m *silentM) Init() []expensive.Outgoing { return nil }
+func (m *silentM) Step(round int, _ []expensive.Message) []expensive.Outgoing {
+	if round == 1 {
+		m.decided = true
+	}
+	return nil
+}
+func (m *silentM) Decision() (expensive.Value, bool) {
+	if !m.decided {
+		return "", false
+	}
+	return m.v, true
+}
+func (m *silentM) Quiescent() bool { return true }
+
+func TestFacadeSolvability(t *testing.T) {
+	p := expensive.StrongProblem(4, 2)
+	verdict := expensive.CheckSolvability(p)
+	if verdict.Authenticated {
+		t.Error("strong consensus at n=2t should be unsolvable")
+	}
+	if _, err := expensive.SolveAuthenticated(p, expensive.NewIdealScheme("api")); err == nil {
+		t.Error("expected derivation refusal")
+	}
+
+	q := expensive.WeakProblem(4, 1)
+	d, err := expensive.SolveUnauthenticated(q)
+	if err != nil {
+		t.Fatalf("SolveUnauthenticated: %v", err)
+	}
+	c, err := expensive.NewInputConfig(4, map[expensive.ProcessID]expensive.Value{
+		0: expensive.Zero, 1: expensive.Zero, 2: expensive.Zero, 3: expensive.Zero,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := expensive.CheckDerived(q, d, c, nil); err != nil {
+		t.Errorf("CheckDerived: %v", err)
+	}
+}
+
+func TestFacadeAlgorithm1(t *testing.T) {
+	n, tf := 5, 1
+	inner, rounds := expensive.NewPhaseKing(n, tf)
+	c0 := []expensive.Value{expensive.Zero, expensive.Zero, expensive.Zero, expensive.Zero, expensive.Zero}
+	c1 := []expensive.Value{expensive.One, expensive.One, expensive.One, expensive.One, expensive.One}
+	wrapped, spec, err := expensive.DeriveWeakFromAgreement(inner, n, tf, rounds+2, c0, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.V0 != expensive.Zero {
+		t.Errorf("V0 = %q", spec.V0)
+	}
+	cfg := expensive.RunConfig{N: n, T: tf, Proposals: c1, MaxRounds: rounds + 2}
+	exec, err := expensive.RunProtocol(cfg, wrapped, expensive.NoFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := exec.CommonDecision(expensive.Universe(n))
+	if err != nil || d != expensive.One {
+		t.Errorf("decision %q err %v", d, err)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := expensive.ExperimentIDs()
+	if len(ids) != 12 {
+		t.Fatalf("ExperimentIDs = %v", ids)
+	}
+	tab, err := expensive.RunExperiment("E7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.Render(), "Theorem 5") {
+		t.Error("E7 render missing title")
+	}
+	if _, err := expensive.RunExperiment("nope"); err == nil {
+		t.Error("expected unknown-experiment error")
+	}
+}
+
+func TestFacadeTransports(t *testing.T) {
+	n, tf := 4, 1
+	factory, rounds := expensive.NewWeakConsensusEIG(n, tf)
+	proposals := []expensive.Value{expensive.Zero, expensive.Zero, expensive.Zero, expensive.Zero}
+
+	mem := expensive.NewMemMesh(n, nil)
+	results, err := expensive.RunCluster(mem, n, factory, proposals, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := expensive.ClusterDecision(results, expensive.Universe(n))
+	if err != nil || d != expensive.Zero {
+		t.Errorf("mem decision %q err %v", d, err)
+	}
+
+	tcp, err := expensive.NewTCPMesh(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err = expensive.RunCluster(tcp, n, factory, proposals, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := expensive.ClusterDecision(results, expensive.Universe(n)); err != nil || d != expensive.Zero {
+		t.Errorf("tcp decision %q err %v", d, err)
+	}
+}
+
+func TestFacadeExternal(t *testing.T) {
+	n, tf := 4, 1
+	scheme := expensive.NewEd25519Scheme("api-ext", n, expensive.ClientID(0))
+	auth := expensive.NewTxAuthority(scheme)
+	tx, err := auth.NewTx(expensive.ClientID(0), "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auth.Valid(tx) {
+		t.Fatal("authority rejects its own tx")
+	}
+	factory, rounds := expensive.NewExternalAgreement(n, tf, scheme, auth, tx)
+	proposals := []expensive.Value{tx, tx, tx, tx}
+	cfg := expensive.RunConfig{N: n, T: tf, Proposals: proposals, MaxRounds: rounds + 1}
+	exec, err := expensive.RunProtocol(cfg, factory, expensive.NoFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := exec.CommonDecision(expensive.Universe(n))
+	if err != nil || d != tx {
+		t.Errorf("decision %q err %v", d, err)
+	}
+}
+
+func TestFacadeGradecastAndFloodSet(t *testing.T) {
+	n, tf := 7, 2
+	gc, rounds := expensive.NewGradecast(n, tf, 3)
+	proposals := make([]expensive.Value, n)
+	for i := range proposals {
+		proposals[i] = "payload"
+	}
+	cfg := expensive.RunConfig{N: n, T: tf, Proposals: proposals, MaxRounds: rounds + 1}
+	exec, err := expensive.RunProtocol(cfg, gc, expensive.NoFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := exec.CommonDecision(expensive.Universe(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grade, v, err := expensive.ParseGradecast(d)
+	if err != nil || grade != 2 || v != "payload" {
+		t.Errorf("gradecast output (%d, %q, %v)", grade, v, err)
+	}
+
+	fs, fsRounds := expensive.NewFloodSet(4, 1)
+	cfg = expensive.RunConfig{N: 4, T: 1, Proposals: []expensive.Value{"c", "a", "b", "d"}, MaxRounds: fsRounds + 1}
+	exec, err = expensive.RunProtocol(cfg, fs, expensive.NoFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := exec.CommonDecision(expensive.Universe(4)); err != nil || d != "a" {
+		t.Errorf("floodset decision %q err %v", d, err)
+	}
+
+	es, esRounds := expensive.NewFloodSetEarlyStopping(4, 1)
+	cfg.MaxRounds = esRounds + 1
+	exec, err = expensive.RunProtocol(cfg, es, expensive.NoFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := exec.CommonDecision(expensive.Universe(4)); err != nil || d != "a" {
+		t.Errorf("early floodset decision %q err %v", d, err)
+	}
+}
+
+func TestFacadeReplicatedLog(t *testing.T) {
+	n, tf := 5, 1
+	protocol := func(slot int) (expensive.Factory, int) {
+		return expensive.NewPhaseKing(n, tf)
+	}
+	log, err := expensive.NewReplicatedLog(n, tf, protocol, expensive.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary commands only for phase-king; submit a 1 at every replica so
+	// the slot decides 1 regardless of king behavior.
+	for i := 0; i < n; i++ {
+		if err := log.Submit(expensive.ProcessID(i), expensive.One); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entry, err := log.CommitSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Command != expensive.One {
+		t.Errorf("committed %q", entry.Command)
+	}
+	if entry.Messages == 0 {
+		t.Error("slot committed without messages")
+	}
+	if len(log.Entries()) != 1 {
+		t.Errorf("log height %d", len(log.Entries()))
+	}
+}
+
+func TestFacadeRenderExecution(t *testing.T) {
+	factory, rounds := expensive.NewPhaseKing(5, 1)
+	proposals := []expensive.Value{"0", "1", "0", "1", "0"}
+	cfg := expensive.RunConfig{N: 5, T: 1, Proposals: proposals, MaxRounds: rounds + 1}
+	exec, err := expensive.RunProtocol(cfg, factory, expensive.NoFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := expensive.RenderExecution(exec, 4, map[string]expensive.ProcessSet{
+		"kings": expensive.NewProcessSet(0, 1),
+	})
+	if !strings.Contains(out, "p0") || !strings.Contains(out, "kings") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestErrorsAreDiagnosable(t *testing.T) {
+	// Unsolvable errors can be matched through the facade.
+	_, err := expensive.SolveUnauthenticated(expensive.WeakProblem(4, 2))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var target error
+	_ = target
+	if !strings.Contains(err.Error(), "unsolvable") {
+		t.Errorf("error %q lacks context", err)
+	}
+	if errors.Unwrap(err) == nil && !strings.Contains(err.Error(), "Theorem 4") {
+		t.Errorf("error %q should carry the theorem context", err)
+	}
+}

@@ -1,0 +1,214 @@
+package expensive_test
+
+import (
+	"fmt"
+	"testing"
+
+	"expensive"
+	"expensive/internal/crypto/sig"
+	"expensive/internal/experiments"
+	"expensive/internal/lowerbound"
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/cheap"
+	"expensive/internal/protocols/dolevstrong"
+	"expensive/internal/protocols/eig"
+	"expensive/internal/protocols/ic"
+	"expensive/internal/protocols/phaseking"
+	"expensive/internal/sim"
+	"expensive/internal/validity"
+)
+
+// Experiment benchmarks: one per paper artifact (see DESIGN.md §4 and
+// EXPERIMENTS.md). Each regenerates the corresponding table.
+
+func benchExperiment(b *testing.B, run func() (*experiments.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty experiment table")
+		}
+	}
+}
+
+func BenchmarkE1Falsifier(b *testing.B) {
+	// The full sweep is heavy; the benchmark uses the cheap-protocol slice
+	// at the recorded parameters and one sound protocol.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := lowerbound.Falsify("leader", cheap.Leader(40), cheap.LeaderRounds, 40, 16, lowerbound.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Broken() {
+			b.Fatal("leader not falsified")
+		}
+	}
+}
+
+func BenchmarkE2Isolation(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E2(20, 8, 3) })
+}
+
+func BenchmarkE3Merge(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E3(40, 16) })
+}
+
+func BenchmarkE4Swap(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E4(24, 8) })
+}
+
+func BenchmarkE5Reduction(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E5(6, 1) })
+}
+
+func BenchmarkE6Solvability(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E6([][2]int{{4, 1}}) })
+}
+
+func BenchmarkE7StrongCC(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E7(3) })
+}
+
+func BenchmarkE8External(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E8(40, 16) })
+}
+
+func BenchmarkE9Protocols(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E9([]int{4, 8, 16}) })
+}
+
+func BenchmarkE10FailureModels(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E10(8, 2) })
+}
+
+func BenchmarkE11Ablations(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E11() })
+}
+
+func BenchmarkE12GoodCase(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E12(10, 4) })
+}
+
+// Protocol scaling benchmarks: fault-free runs with message-complexity
+// metrics, the series behind E9's table.
+
+func uniformProposals(n int, v msg.Value) []msg.Value {
+	out := make([]msg.Value, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func benchProtocol(b *testing.B, factory sim.Factory, n, t, rounds int) {
+	b.Helper()
+	cfg := sim.Config{N: n, T: t, Proposals: uniformProposals(n, msg.Zero), MaxRounds: rounds + 2}
+	b.ReportAllocs()
+	var msgs int
+	for i := 0; i < b.N; i++ {
+		e, err := sim.Run(cfg, factory, sim.NoFaults{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.CommonDecision(proc.Universe(n)); err != nil {
+			b.Fatal(err)
+		}
+		msgs = e.CorrectMessages()
+	}
+	b.ReportMetric(float64(msgs), "msgs")
+	b.ReportMetric(float64(msgs)/float64(n*n), "msgs/n²")
+}
+
+func BenchmarkDolevStrongBB(b *testing.B) {
+	scheme := sig.NewIdeal("bench-ds")
+	for _, n := range []int{8, 16, 32} {
+		t := n / 2
+		b.Run(fmt.Sprintf("n=%d_t=%d", n, t), func(b *testing.B) {
+			f := dolevstrong.New(dolevstrong.Config{N: n, T: t, Sender: 0, Scheme: scheme, Tag: "bb", Default: "⊥"})
+			benchProtocol(b, f, n, t, dolevstrong.RoundBound(t))
+		})
+	}
+}
+
+func BenchmarkInteractiveConsistency(b *testing.B) {
+	scheme := sig.NewIdeal("bench-ic")
+	for _, n := range []int{4, 8, 16} {
+		t := (n - 1) / 3
+		b.Run(fmt.Sprintf("n=%d_t=%d", n, t), func(b *testing.B) {
+			f := ic.New(ic.Config{N: n, T: t, Scheme: scheme, Default: msg.One})
+			benchProtocol(b, f, n, t, ic.RoundBound(t))
+		})
+	}
+}
+
+func BenchmarkEIG(b *testing.B) {
+	for _, nt := range [][2]int{{4, 1}, {7, 2}} {
+		n, t := nt[0], nt[1]
+		b.Run(fmt.Sprintf("n=%d_t=%d", n, t), func(b *testing.B) {
+			f := eig.New(eig.Config{N: n, T: t, Default: msg.One})
+			benchProtocol(b, f, n, t, eig.RoundBound(t))
+		})
+	}
+}
+
+func BenchmarkPhaseKing(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		t := (n - 1) / 4
+		b.Run(fmt.Sprintf("n=%d_t=%d", n, t), func(b *testing.B) {
+			f := phaseking.New(phaseking.Config{N: n, T: t})
+			benchProtocol(b, f, n, t, phaseking.RoundBound(t))
+		})
+	}
+}
+
+func BenchmarkCheckCC(b *testing.B) {
+	problems := []validity.Problem{
+		validity.Weak(5, 2),
+		validity.Strong(5, 2),
+		validity.Broadcast(5, 2, 0),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, p := range problems {
+			res := p.CheckCC()
+			if !res.Holds {
+				b.Fatalf("%s: CC should hold", p.Name)
+			}
+		}
+	}
+}
+
+func BenchmarkEngineRound(b *testing.B) {
+	// Raw engine throughput: phase-king at n=64 (quadratic fan-out).
+	n := 64
+	t := (n - 1) / 4
+	f := phaseking.New(phaseking.Config{N: n, T: t})
+	benchProtocol(b, f, n, t, phaseking.RoundBound(t))
+}
+
+func BenchmarkMemClusterRound(b *testing.B) {
+	// Live goroutine mesh vs. the simulator: same protocol, real channels.
+	n, t := 16, 3
+	factory, rounds := expensive.NewWeakConsensusPhaseKing(n, t)
+	proposals := make([]expensive.Value, n)
+	for i := range proposals {
+		proposals[i] = expensive.Bit(i % 2)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mesh := expensive.NewMemMesh(n, nil)
+		results, err := expensive.RunCluster(mesh, n, factory, proposals, rounds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := expensive.ClusterDecision(results, expensive.Universe(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

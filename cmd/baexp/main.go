@@ -1,0 +1,283 @@
+// Command baexp is the experiment and exploration CLI of the library.
+//
+//	baexp exp E1 [E2 ...]   run paper experiments (default: all)
+//	baexp falsify ...       run the Theorem 2 falsifier on one protocol
+//	baexp solve ...         evaluate Theorem 4 for a standard problem
+//	baexp run ...           run a protocol live over memnet or TCP
+//
+// Run `baexp <subcommand> -h` for flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"expensive/internal/crypto/sig"
+	"expensive/internal/experiments"
+	"expensive/internal/lowerbound"
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/phaseking"
+	"expensive/internal/protocols/weak"
+	"expensive/internal/sim"
+	"expensive/internal/solve"
+	"expensive/internal/transport"
+	"expensive/internal/transport/memnet"
+	"expensive/internal/transport/tcpnet"
+	"expensive/internal/validity"
+	"expensive/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "baexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "exp", "experiments":
+		return runExperiments(args[1:])
+	case "falsify":
+		return runFalsify(args[1:])
+	case "solve":
+		return runSolve(args[1:])
+	case "run":
+		return runLive(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Println(`baexp — "All Byzantine Agreement Problems are Expensive" (PODC 2024), executable
+
+subcommands:
+  exp [IDs...]   run paper experiments E1..E12 (default: all)
+  falsify        run the Theorem 2 falsifier against a weak consensus protocol
+  solve          evaluate the Theorem 4 solvability verdict for a problem
+  run            run a protocol live over an in-memory or TCP mesh`)
+}
+
+func runExperiments(args []string) error {
+	ids := args
+	if len(ids) == 0 {
+		ids = experiments.AllIDs()
+	}
+	for _, id := range ids {
+		tab, err := experiments.Run(strings.ToUpper(id))
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	}
+	return nil
+}
+
+func runFalsify(args []string) error {
+	fs := flag.NewFlagSet("falsify", flag.ContinueOnError)
+	protoName := fs.String("proto", "leader", "protocol: silent|leader|star|gossip-k3|phase-king|weak-via-ic")
+	n := fs.Int("n", 40, "system size")
+	t := fs.Int("t", 16, "fault budget (>= 8)")
+	verbose := fs.Bool("v", false, "print the construction narrative")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var candidate *lowerbound.Candidate
+	for _, c := range experiments.Candidates() {
+		if c.Name == *protoName {
+			cc := c
+			candidate = &cc
+			break
+		}
+	}
+	if candidate == nil {
+		return fmt.Errorf("unknown protocol %q", *protoName)
+	}
+	factory, err := candidate.New(*n, *t)
+	if err != nil {
+		return err
+	}
+	rounds := candidate.Rounds(*n, *t)
+	rep, err := lowerbound.Falsify(candidate.Name, factory, rounds, *n, *t, lowerbound.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol %s (%s), n=%d t=%d, threshold t²/32 = %d\n",
+		candidate.Name, candidate.Complexity, *n, *t, rep.Threshold)
+	fmt.Printf("probe executions: %d, max messages by correct processes: %d\n",
+		rep.Executions, rep.MaxCorrectMessages)
+	if *verbose {
+		for _, l := range rep.Log {
+			fmt.Println("  " + l)
+		}
+	}
+	if rep.Broken() {
+		fmt.Println("VERDICT:", rep.Violation)
+		if err := lowerbound.CheckViolation(rep.Violation, factory, rounds); err != nil {
+			return fmt.Errorf("certificate failed independent recheck: %w", err)
+		}
+		fmt.Println("certificate independently re-validated: execution guarantees, fault budget, machine conformance all hold")
+		if *verbose {
+			part, perr := proc.NewPartition(*n, *t)
+			groups := map[string]proc.Set{}
+			if perr == nil {
+				groups = map[string]proc.Set{"A": part.A, "B": part.B, "C": part.C}
+			}
+			fmt.Println("\ncounterexample execution timeline:")
+			fmt.Print(viz.Timeline(rep.Violation.Exec, viz.Options{MaxRounds: 12, Groups: groups}))
+		}
+	} else {
+		fmt.Println("VERDICT: no violation — the protocol paid the quadratic price (Theorem 2 satisfied)")
+	}
+	return nil
+}
+
+func problemByName(name string, n, t int) (validity.Problem, error) {
+	switch name {
+	case "weak":
+		return validity.Weak(n, t), nil
+	case "strong":
+		return validity.Strong(n, t), nil
+	case "broadcast":
+		return validity.Broadcast(n, t, 0), nil
+	case "correct-source":
+		return validity.CorrectSource(n, t), nil
+	case "interactive":
+		return validity.Interactive(n, t), nil
+	case "constant":
+		return validity.Constant(n, t, msg.One), nil
+	default:
+		return validity.Problem{}, fmt.Errorf("unknown problem %q", name)
+	}
+}
+
+func runSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	name := fs.String("problem", "strong", "weak|strong|broadcast|correct-source|interactive|constant")
+	n := fs.Int("n", 5, "system size (<= 8 for exact checking)")
+	t := fs.Int("t", 2, "fault budget")
+	auth := fs.Bool("auth", true, "authenticated setting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := problemByName(*name, *n, *t)
+	if err != nil {
+		return err
+	}
+	verdict := p.Solve()
+	fmt.Printf("problem %s, n=%d t=%d\n", p.Name, *n, *t)
+	fmt.Printf("  trivial: %v\n  containment condition: %v\n  authenticated-solvable: %v\n  unauthenticated-solvable: %v\n",
+		verdict.Trivial, verdict.CC, verdict.Authenticated, verdict.Unauthenticated)
+	if verdict.CCWitness != nil {
+		fmt.Printf("  CC witness: %v\n", verdict.CCWitness)
+	}
+	var d *solve.Derived
+	if *auth {
+		d, err = solve.Authenticated(p, sig.NewIdeal("baexp"))
+	} else {
+		d, err = solve.Unauthenticated(p)
+	}
+	if err != nil {
+		fmt.Printf("  derivation: refused (%v)\n", err)
+		return nil
+	}
+	fmt.Printf("  derivation: %s, decides in %d rounds\n", d.Mode, d.Rounds)
+	checked := 0
+	for _, c := range p.FullConfigs() {
+		if err := solve.Check(p, d, c, nil); err != nil {
+			return fmt.Errorf("derived protocol failed on %v: %w", c, err)
+		}
+		checked++
+	}
+	fmt.Printf("  checked on %d fully-correct input configurations: all decisions admissible\n", checked)
+	return nil
+}
+
+func runLive(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	protoName := fs.String("proto", "phase-king", "protocol: phase-king|weak-ic|weak-eig")
+	n := fs.Int("n", 5, "system size")
+	t := fs.Int("t", 1, "fault budget")
+	over := fs.String("transport", "mem", "mem|tcp")
+	propose := fs.String("propose", "", "comma-separated 0/1 proposals (default: alternating)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var factory sim.Factory
+	var rounds int
+	switch *protoName {
+	case "phase-king":
+		if err := (phaseking.Config{N: *n, T: *t}).Validate(); err != nil {
+			return err
+		}
+		factory, rounds = weak.ViaPhaseKing(*n, *t)
+	case "weak-ic":
+		factory, rounds = weak.ViaIC(*n, *t, sig.NewIdeal("baexp-live"))
+	case "weak-eig":
+		factory, rounds = weak.ViaEIG(*n, *t)
+	default:
+		return fmt.Errorf("unknown protocol %q", *protoName)
+	}
+
+	proposals := make([]msg.Value, *n)
+	if *propose == "" {
+		for i := range proposals {
+			proposals[i] = msg.Bit(i % 2)
+		}
+	} else {
+		parts := strings.Split(*propose, ",")
+		if len(parts) != *n {
+			return fmt.Errorf("need %d proposals, got %d", *n, len(parts))
+		}
+		for i, p := range parts {
+			proposals[i] = msg.Value(strings.TrimSpace(p))
+		}
+	}
+
+	var eps []transport.Endpoint
+	switch *over {
+	case "mem":
+		eps = memnet.New(*n, nil).Endpoints()
+	case "tcp":
+		mesh, err := tcpnet.New(*n)
+		if err != nil {
+			return err
+		}
+		defer mesh.Close()
+		eps = mesh.Endpoints()
+	default:
+		return fmt.Errorf("unknown transport %q", *over)
+	}
+
+	cluster := transport.Cluster{N: *n, Endpoints: eps, Factory: factory, Proposals: proposals, Rounds: rounds}
+	results, err := cluster.Run()
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, r := range results {
+		fmt.Printf("  %s proposed %s decided %s (sent %d protocol messages)\n",
+			r.ID, proposals[r.ID], r.Decision, r.Sent)
+		total += r.Sent
+	}
+	d, err := transport.CommonDecision(results, proc.Universe(*n))
+	if err != nil {
+		return fmt.Errorf("agreement check: %w", err)
+	}
+	fmt.Printf("decision: %s over %s in %d rounds, %d messages total (t²/32 floor = %d)\n",
+		d, *over, rounds, total, (*t)*(*t)/32)
+	return nil
+}

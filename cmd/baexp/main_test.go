@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSubcommands(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"usage", nil},
+		{"help", []string{"help"}},
+		{"experiment E7", []string{"exp", "E7"}},
+		{"experiment lowercase", []string{"exp", "e4"}},
+		{"falsify leader", []string{"falsify", "-proto", "leader", "-n", "24", "-t", "8"}},
+		{"falsify verbose", []string{"falsify", "-proto", "silent", "-n", "24", "-t", "8", "-v"}},
+		{"solve strong frontier", []string{"solve", "-problem", "strong", "-n", "5", "-t", "2"}},
+		{"solve unsolvable", []string{"solve", "-problem", "strong", "-n", "4", "-t", "2"}},
+		{"solve unauth", []string{"solve", "-problem", "weak", "-n", "4", "-t", "1", "-auth=false"}},
+		{"run mem", []string{"run", "-proto", "phase-king", "-n", "5", "-t", "1"}},
+		{"run tcp", []string{"run", "-proto", "weak-eig", "-n", "4", "-t", "1", "-transport", "tcp"}},
+		{"run explicit proposals", []string{"run", "-proto", "phase-king", "-n", "5", "-t", "1", "-propose", "0,0,0,0,0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown subcommand", []string{"bogus"}, "unknown subcommand"},
+		{"unknown experiment", []string{"exp", "E99"}, "unknown experiment"},
+		{"unknown protocol", []string{"falsify", "-proto", "nope"}, "unknown protocol"},
+		{"unknown problem", []string{"solve", "-problem", "nope"}, "unknown problem"},
+		{"phase-king resilience", []string{"run", "-proto", "phase-king", "-n", "4", "-t", "1"}, "n > 4t"},
+		{"proposal count", []string{"run", "-proto", "phase-king", "-n", "5", "-t", "1", "-propose", "0,1"}, "proposals"},
+		{"unknown transport", []string{"run", "-transport", "carrier-pigeon"}, "transport"},
+		{"falsify t too small", []string{"falsify", "-proto", "leader", "-n", "10", "-t", "2"}, "t"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v): expected error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,33 @@
+// Package expensive is an executable reproduction of "All Byzantine
+// Agreement Problems are Expensive" (Civit, Gilbert, Guerraoui, Komatovic,
+// Paramonov, Vidigueira; PODC 2024, arXiv:2311.08060).
+//
+// The paper proves that every non-trivial Byzantine agreement problem
+// requires Ω(t²) exchanged messages in the worst case, even in synchrony
+// and even against mere omission faults, and characterizes exactly which
+// agreement problems are solvable at all (the containment condition).
+// This library turns each of those results into running code:
+//
+//   - A deterministic synchronous simulator recording the full Appendix-A
+//     trace model (fragments, behaviors, executions) with Byzantine and
+//     omission adversaries. See RunProtocol.
+//   - The lower-bound machinery of §3 — isolation, swap_omission, merge —
+//     packaged as a falsifier: hand it any weak consensus protocol and it
+//     either constructs a machine-checked counterexample execution or
+//     certifies that the protocol paid the quadratic price. See
+//     FalsifyWeakConsensus.
+//   - The validity-property formalism of §4/§5 with exact finite-domain
+//     checkers for triviality and the containment condition, and automatic
+//     protocol derivation (Algorithm 2 over interactive consistency) for
+//     every solvable problem. See SolveAuthenticated and SolveUnauthenticated.
+//   - The classical matching protocols: Dolev-Strong broadcast,
+//     authenticated and EIG interactive consistency, Phase-King, plus the
+//     zero-message reductions of Algorithms 1 and 2. See the New*
+//     constructors.
+//   - Live deployment substrates: an in-memory goroutine mesh and a TCP
+//     loopback mesh running the same machines over real channels. See
+//     NewMemMesh and NewTCPMesh.
+//
+// The experiments E1–E9 (RunExperiment) regenerate every table and figure
+// of the paper's argument; EXPERIMENTS.md records the outputs.
+package expensive

@@ -1,0 +1,77 @@
+// Blockchain: the §4.3 scenario. Clients sign transactions; validators run
+// agreement with External Validity — every decided block must carry a
+// correct client signature — and commit a three-block chain, tolerating a
+// Byzantine validator that proposes a forged transaction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"expensive"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		n = 4
+		t = 1
+	)
+
+	// One Ed25519 keyspace for validators and clients (real signatures).
+	scheme := expensive.NewEd25519Scheme("blockchain-demo", n,
+		expensive.ClientID(0), expensive.ClientID(1), expensive.ClientID(2))
+	authority := expensive.NewTxAuthority(scheme)
+
+	genesis, err := authority.NewTx(expensive.ClientID(0), "genesis")
+	if err != nil {
+		return err
+	}
+	factory, rounds := expensive.NewExternalAgreement(n, t, scheme, authority, genesis)
+
+	// Three slots: clients submit transactions, validators agree per slot.
+	slots := []struct {
+		client  int
+		payload string
+	}{
+		{client: 1, payload: "alice-pays-bob-5"},
+		{client: 2, payload: "bob-pays-carol-3"},
+		{client: 1, payload: "alice-pays-dave-1"},
+	}
+
+	var chain []expensive.Value
+	for slot, s := range slots {
+		tx, err := authority.NewTx(expensive.ClientID(s.client), s.payload)
+		if err != nil {
+			return err
+		}
+		// All validators received the client's transaction from the mempool;
+		// the Byzantine validator 3 proposes a *forged* transaction instead.
+		proposals := []expensive.Value{tx, tx, tx, "tx|1001|steal-everything|forgedsig"}
+
+		cfg := expensive.RunConfig{N: n, T: t, Proposals: proposals, MaxRounds: rounds + 1}
+		exec, err := expensive.RunProtocol(cfg, factory, expensive.NoFaults())
+		if err != nil {
+			return fmt.Errorf("slot %d: %w", slot, err)
+		}
+		decision, err := exec.CommonDecision(expensive.Universe(n))
+		if err != nil {
+			return fmt.Errorf("slot %d agreement: %w", slot, err)
+		}
+		if !authority.Valid(decision) {
+			return fmt.Errorf("slot %d: committed invalid block %q", slot, decision)
+		}
+		chain = append(chain, decision)
+		fmt.Printf("slot %d committed: %.60s... (%d messages)\n", slot, decision, exec.CorrectMessages())
+	}
+
+	fmt.Printf("\nchain height %d — every block client-signed (External Validity held)\n", len(chain))
+	fmt.Println("the forged proposal was never committed: validators verified signatures inside Γ")
+	fmt.Printf("per Corollary 1, this agreement problem also obeys the Ω(t²) message bound\n")
+	return nil
+}

@@ -1,0 +1,53 @@
+// Quickstart: run binary weak consensus among five processes over an
+// in-memory mesh (one goroutine per process), then show the Theorem 2
+// price tag: the message count sits above the t²/32 floor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"expensive"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		n = 5
+		t = 1
+	)
+
+	// Phase-King: unauthenticated strong consensus (n > 4t) — and binary
+	// strong validity implies weak validity, so this is weak consensus too.
+	factory, rounds := expensive.NewWeakConsensusPhaseKing(n, t)
+
+	proposals := []expensive.Value{
+		expensive.One, expensive.Zero, expensive.One, expensive.One, expensive.Zero,
+	}
+
+	mesh := expensive.NewMemMesh(n, nil)
+	results, err := expensive.RunCluster(mesh, n, factory, proposals, rounds)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+
+	total := 0
+	for _, r := range results {
+		fmt.Printf("process %s proposed %s, decided %s (sent %d messages)\n",
+			r.ID, proposals[r.ID], r.Decision, r.Sent)
+		total += r.Sent
+	}
+
+	decision, err := expensive.ClusterDecision(results, expensive.Universe(n))
+	if err != nil {
+		return fmt.Errorf("agreement: %w", err)
+	}
+	fmt.Printf("\nunanimous decision: %s after %d rounds, %d messages total\n", decision, rounds, total)
+	fmt.Printf("Theorem 2 floor for t=%d: t²/32 = %d messages — agreement is never free\n", t, t*t/32)
+	return nil
+}

@@ -1,0 +1,187 @@
+// Package sig provides the authentication substrate of §5.1: digital
+// signatures that let a process sign messages "in a way that prevents the
+// signature from being forged by any other process" (the idealized model
+// of [Canetti 04] the paper builds on).
+//
+// Two interchangeable schemes are provided:
+//
+//   - Ideal: an idealized signature oracle backed by per-process HMAC-SHA256
+//     keys derived from a master seed. It models the paper's idealized
+//     authenticated setting exactly and is extremely fast, which matters for
+//     the benchmark sweeps.
+//   - Ed25519: real public-key signatures from crypto/ed25519 with
+//     deterministic key generation, demonstrating that every authenticated
+//     protocol in this library runs unchanged on a production scheme.
+//
+// Unforgeability inside the simulator is enforced by Restrict: protocol
+// code and Byzantine adversaries receive a Signer restricted to the
+// identities they legitimately control, so a faulty process can never
+// produce a valid signature for a correct one.
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"expensive/internal/proc"
+)
+
+// Signature is a detached signature over a byte string, hex-encoded so it
+// can travel inside canonical JSON payloads.
+type Signature string
+
+// Scheme can sign on behalf of process identities and verify signatures.
+type Scheme interface {
+	// Sign produces id's signature over data. It returns an error when this
+	// scheme instance is not allowed to sign for id (see Restrict).
+	Sign(id proc.ID, data []byte) (Signature, error)
+	// Verify reports whether sig is id's valid signature over data.
+	Verify(id proc.ID, data []byte, sig Signature) bool
+	// Name identifies the scheme for diagnostics.
+	Name() string
+}
+
+// Ideal is the idealized HMAC-backed signature oracle. Each process id has
+// an independent secret key derived from the master seed; a signature is
+// valid iff it was produced with that key over exactly that data.
+type Ideal struct {
+	seed []byte
+}
+
+var _ Scheme = (*Ideal)(nil)
+
+// NewIdeal creates an idealized scheme from a master seed. Two schemes with
+// the same seed accept each other's signatures, which is how all processes
+// of one system share a PKI.
+func NewIdeal(seed string) *Ideal {
+	sum := sha256.Sum256([]byte("ideal-master|" + seed))
+	return &Ideal{seed: sum[:]}
+}
+
+func (s *Ideal) key(id proc.ID) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(int64(id)))
+	mac := hmac.New(sha256.New, s.seed)
+	mac.Write([]byte("key|"))
+	mac.Write(buf[:])
+	return mac.Sum(nil)
+}
+
+// Sign implements Scheme.
+func (s *Ideal) Sign(id proc.ID, data []byte) (Signature, error) {
+	mac := hmac.New(sha256.New, s.key(id))
+	mac.Write(data)
+	return Signature(hex.EncodeToString(mac.Sum(nil))), nil
+}
+
+// Verify implements Scheme.
+func (s *Ideal) Verify(id proc.ID, data []byte, sig Signature) bool {
+	want, err := s.Sign(id, data)
+	if err != nil {
+		return false
+	}
+	return hmac.Equal([]byte(want), []byte(sig))
+}
+
+// Name implements Scheme.
+func (s *Ideal) Name() string { return "ideal-hmac" }
+
+// Ed25519 is a real public-key scheme with deterministic per-id keypairs.
+type Ed25519 struct {
+	seed string
+	pub  map[proc.ID]ed25519.PublicKey
+	priv map[proc.ID]ed25519.PrivateKey
+}
+
+var _ Scheme = (*Ed25519)(nil)
+
+// NewEd25519 creates a deterministic Ed25519 scheme covering ids 0..n-1
+// plus extraIDs (e.g. blockchain client identities outside Π).
+func NewEd25519(seed string, n int, extraIDs ...proc.ID) *Ed25519 {
+	s := &Ed25519{
+		seed: seed,
+		pub:  make(map[proc.ID]ed25519.PublicKey, n+len(extraIDs)),
+		priv: make(map[proc.ID]ed25519.PrivateKey, n+len(extraIDs)),
+	}
+	for id := proc.ID(0); id < proc.ID(n); id++ {
+		s.addKey(id)
+	}
+	for _, id := range extraIDs {
+		s.addKey(id)
+	}
+	return s
+}
+
+func (s *Ed25519) addKey(id proc.ID) {
+	material := sha256.Sum256([]byte(fmt.Sprintf("ed25519|%s|%d", s.seed, id)))
+	priv := ed25519.NewKeyFromSeed(material[:])
+	s.priv[id] = priv
+	pubAny := priv.Public()
+	pub, ok := pubAny.(ed25519.PublicKey)
+	if !ok {
+		// ed25519.PrivateKey.Public always returns ed25519.PublicKey.
+		panic("sig: unexpected public key type")
+	}
+	s.pub[id] = pub
+}
+
+// Sign implements Scheme.
+func (s *Ed25519) Sign(id proc.ID, data []byte) (Signature, error) {
+	priv, ok := s.priv[id]
+	if !ok {
+		return "", fmt.Errorf("sign: no key for %s", id)
+	}
+	return Signature(hex.EncodeToString(ed25519.Sign(priv, data))), nil
+}
+
+// Verify implements Scheme.
+func (s *Ed25519) Verify(id proc.ID, data []byte, sig Signature) bool {
+	pub, ok := s.pub[id]
+	if !ok {
+		return false
+	}
+	raw, err := hex.DecodeString(string(sig))
+	if err != nil {
+		return false
+	}
+	return ed25519.Verify(pub, data, raw)
+}
+
+// Name implements Scheme.
+func (s *Ed25519) Name() string { return "ed25519" }
+
+// Restricted wraps a Scheme and only allows signing for an explicit set of
+// identities. Verification is unrestricted. This is how the simulator
+// enforces unforgeability: each process (and the Byzantine adversary) gets
+// a Restricted scheme over exactly the identities it controls.
+type Restricted struct {
+	inner   Scheme
+	allowed proc.Set
+}
+
+var _ Scheme = (*Restricted)(nil)
+
+// Restrict returns a scheme that signs only for ids in allowed.
+func Restrict(inner Scheme, allowed proc.Set) *Restricted {
+	return &Restricted{inner: inner, allowed: allowed}
+}
+
+// Sign implements Scheme, refusing identities outside the allowed set.
+func (r *Restricted) Sign(id proc.ID, data []byte) (Signature, error) {
+	if !r.allowed.Contains(id) {
+		return "", fmt.Errorf("sign: %s not controlled by this signer (allowed %v)", id, r.allowed)
+	}
+	return r.inner.Sign(id, data)
+}
+
+// Verify implements Scheme.
+func (r *Restricted) Verify(id proc.ID, data []byte, sig Signature) bool {
+	return r.inner.Verify(id, data, sig)
+}
+
+// Name implements Scheme.
+func (r *Restricted) Name() string { return r.inner.Name() + "-restricted" }

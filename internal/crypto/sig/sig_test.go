@@ -1,0 +1,142 @@
+package sig
+
+import (
+	"testing"
+	"testing/quick"
+
+	"expensive/internal/proc"
+)
+
+func schemes(t *testing.T) map[string]Scheme {
+	t.Helper()
+	return map[string]Scheme{
+		"ideal":   NewIdeal("test-seed"),
+		"ed25519": NewEd25519("test-seed", 8),
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	for name, s := range schemes(t) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("the-message")
+			g, err := s.Sign(3, data)
+			if err != nil {
+				t.Fatalf("Sign: %v", err)
+			}
+			if !s.Verify(3, data, g) {
+				t.Error("valid signature rejected")
+			}
+			if s.Verify(4, data, g) {
+				t.Error("signature accepted for wrong signer")
+			}
+			if s.Verify(3, []byte("tampered"), g) {
+				t.Error("signature accepted for tampered message")
+			}
+			if s.Verify(3, data, g+"00") {
+				t.Error("tampered signature accepted")
+			}
+			if s.Verify(3, data, "zz-not-hex") {
+				t.Error("garbage signature accepted")
+			}
+		})
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a, b := NewIdeal("seed-x"), NewIdeal("seed-x")
+	data := []byte("m")
+	ga, _ := a.Sign(1, data)
+	if !b.Verify(1, data, ga) {
+		t.Error("same-seed ideal schemes do not share a PKI")
+	}
+	c := NewIdeal("seed-y")
+	if c.Verify(1, data, ga) {
+		t.Error("different-seed ideal scheme accepted foreign signature")
+	}
+
+	e1, e2 := NewEd25519("seed-x", 4), NewEd25519("seed-x", 4)
+	ge, _ := e1.Sign(2, data)
+	if !e2.Verify(2, data, ge) {
+		t.Error("same-seed ed25519 schemes do not share a PKI")
+	}
+}
+
+func TestEd25519ExtraIDs(t *testing.T) {
+	s := NewEd25519("seed", 3, 1000, 1001)
+	data := []byte("client-tx")
+	g, err := s.Sign(1000, data)
+	if err != nil {
+		t.Fatalf("Sign client: %v", err)
+	}
+	if !s.Verify(1000, data, g) {
+		t.Error("client signature rejected")
+	}
+	if _, err := s.Sign(55, data); err == nil {
+		t.Error("expected error signing for unknown id")
+	}
+	if s.Verify(55, data, g) {
+		t.Error("verify for unknown id succeeded")
+	}
+}
+
+func TestRestricted(t *testing.T) {
+	inner := NewIdeal("seed")
+	r := Restrict(inner, proc.NewSet(1, 2))
+	data := []byte("m")
+	if _, err := r.Sign(1, data); err != nil {
+		t.Errorf("allowed id refused: %v", err)
+	}
+	if _, err := r.Sign(3, data); err == nil {
+		t.Error("restricted signer signed for foreign id — forgery possible")
+	}
+	// Verification is unrestricted.
+	g, _ := inner.Sign(3, data)
+	if !r.Verify(3, data, g) {
+		t.Error("restricted scheme rejects valid foreign signature")
+	}
+	if r.Name() == "" || inner.Name() == "" {
+		t.Error("names empty")
+	}
+}
+
+func TestUnforgeabilityProperty(t *testing.T) {
+	s := NewIdeal("prop-seed")
+	f := func(data []byte, wrongSigner uint8) bool {
+		signer := proc.ID(wrongSigner % 8)
+		other := proc.ID((int(signer) + 1) % 8)
+		g, err := s.Sign(signer, data)
+		if err != nil {
+			return false
+		}
+		// A signature never verifies for a different identity or message.
+		if s.Verify(other, data, g) {
+			return false
+		}
+		return s.Verify(signer, data, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIdealSign(b *testing.B) {
+	s := NewIdeal("bench")
+	data := []byte("benchmark-message")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sign(1, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEd25519Sign(b *testing.B) {
+	s := NewEd25519("bench", 4)
+	data := []byte("benchmark-message")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sign(1, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"expensive/internal/experiments"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range experiments.AllIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && (id == "E1" || id == "E6" || id == "E8") {
+				t.Skip("slow experiment skipped in -short mode")
+			}
+			tab, err := experiments.Run(id)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			out := tab.Render()
+			if !strings.Contains(out, id) {
+				t.Errorf("%s: render missing id:\n%s", id, out)
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := experiments.Run("E99"); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}

@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crypto/sha256"
+	"encoding/hex"
+
+	"expensive/internal/crypto/sig"
+	"expensive/internal/lowerbound"
+	"expensive/internal/msg"
+	"expensive/internal/omission"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/cheap"
+	"expensive/internal/protocols/weak"
+	"expensive/internal/sim"
+)
+
+// Candidates returns the weak consensus protocol catalogue the
+// lower-bound experiments sweep: the sub-quadratic strawmen (which must be
+// falsified) and the sound quadratic constructions (which must exceed the
+// budget). Sound entries may require larger n for their resilience bound.
+func Candidates() []lowerbound.Candidate {
+	return []lowerbound.Candidate{
+		{
+			Name: "silent", Sound: false, Complexity: "0 msgs",
+			Rounds: func(int, int) int { return cheap.SilentRounds },
+			New:    func(n, t int) (sim.Factory, error) { return cheap.Silent(), nil },
+		},
+		{
+			Name: "leader", Sound: false, Complexity: "n-1 msgs",
+			Rounds: func(int, int) int { return cheap.LeaderRounds },
+			New:    func(n, t int) (sim.Factory, error) { return cheap.Leader(n), nil },
+		},
+		{
+			Name: "star", Sound: false, Complexity: "2(n-1) msgs",
+			Rounds: func(int, int) int { return cheap.StarRounds },
+			New:    func(n, t int) (sim.Factory, error) { return cheap.Star(n), nil },
+		},
+		{
+			Name: "gossip-k3", Sound: false, Complexity: "3n msgs",
+			Rounds: func(int, int) int { return cheap.GossipRounds },
+			New:    func(n, t int) (sim.Factory, error) { return cheap.Gossip(n, 3), nil },
+		},
+		{
+			Name: "phase-king", Sound: true, Complexity: "Θ(n²·t) msgs, n > 4t",
+			Rounds: func(n, t int) int { f, _ := weakRounds(n, t, "pk"); return f },
+			New: func(n, t int) (sim.Factory, error) {
+				if n <= 4*t {
+					return nil, fmt.Errorf("phase-king needs n > 4t")
+				}
+				f, _ := weak.ViaPhaseKing(n, t)
+				return f, nil
+			},
+		},
+		{
+			Name: "weak-via-ic", Sound: true, Complexity: "Θ(n³) msgs (n×Dolev-Strong), any t < n",
+			Rounds: func(n, t int) int { f, _ := weakRounds(n, t, "ic"); return f },
+			New: func(n, t int) (sim.Factory, error) {
+				f, _ := weak.ViaIC(n, t, sig.NewIdeal("e1-ic"))
+				return f, nil
+			},
+		},
+	}
+}
+
+func weakRounds(n, t int, kind string) (int, error) {
+	switch kind {
+	case "pk":
+		_, r := weak.ViaPhaseKing(n, t)
+		return r, nil
+	default:
+		_, r := weak.ViaIC(n, t, sig.NewIdeal("e1-ic"))
+		return r, nil
+	}
+}
+
+// E1Params fixes the (n, t) grid of the falsifier sweep. Cheap protocols
+// run at (cheapN, cheapT); sound ones at their resilience-compatible size.
+type E1Params struct {
+	CheapN, CheapT int
+	SoundN, SoundT int
+}
+
+// DefaultE1 is the configuration used by the recorded experiment.
+func DefaultE1() E1Params {
+	return E1Params{CheapN: 40, CheapT: 16, SoundN: 70, SoundT: 16}
+}
+
+// E1 runs the Theorem 2 falsifier across the protocol catalogue.
+func E1(p E1Params) (*Table, error) {
+	tab := &Table{
+		ID:    "E1",
+		Title: "Theorem 2 / Lemma 1 — the Ω(t²) falsifier vs. weak consensus protocols",
+		Header: []string{
+			"protocol", "claimed complexity", "n", "t", "t²/32",
+			"max msgs observed", "verdict", "certificate",
+		},
+	}
+	for _, c := range Candidates() {
+		n, t := p.CheapN, p.CheapT
+		if c.Sound {
+			n, t = p.SoundN, p.SoundT
+		}
+		factory, err := c.New(n, t)
+		if err != nil {
+			tab.Rows = append(tab.Rows, []string{c.Name, c.Complexity, itoa(n), itoa(t), "-", "-", "skipped: " + err.Error(), "-"})
+			continue
+		}
+		rounds := c.Rounds(n, t)
+		rep, err := lowerbound.Falsify(c.Name, factory, rounds, n, t, lowerbound.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("E1 %s: %w", c.Name, err)
+		}
+		verdict, cert := "budget respected (sound)", "-"
+		if rep.Broken() {
+			verdict = rep.Violation.Kind + " violated"
+			if err := lowerbound.CheckViolation(rep.Violation, factory, rounds); err != nil {
+				return nil, fmt.Errorf("E1 %s: certificate failed recheck: %w", c.Name, err)
+			}
+			cert = "machine-checked"
+		}
+		if c.Sound == rep.Broken() {
+			return nil, fmt.Errorf("E1 %s: soundness expectation violated (sound=%v broken=%v)",
+				c.Name, c.Sound, rep.Broken())
+		}
+		tab.Rows = append(tab.Rows, []string{
+			c.Name, c.Complexity, itoa(n), itoa(t), itoa(rep.Threshold),
+			itoa(rep.MaxCorrectMessages), verdict, cert,
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		"every sub-quadratic protocol is falsified with a concrete, independently re-validated execution",
+		"every sound protocol's probe executions exceed the t²/32 budget, as Theorem 2 requires",
+	)
+	return tab, nil
+}
+
+// E2 demonstrates Figure 1: behavior divergence after isolating a group at
+// round R. The protocol is a chained echo — every round each process
+// broadcasts a digest of everything it received in the previous round — so
+// any change in a process's view propagates into its future sends. The
+// table reports, per round, how many processes send exactly the same
+// messages as in the fault-free execution E0: the isolated group diverges
+// at round R+1 (Figure 1's red band) and the rest at round R+2 (blue).
+func E2(n, t, isolateAt int) (*Table, error) {
+	factory := chainedEchoFactory(n)
+	part, err := proc.NewPartition(n, t)
+	if err != nil {
+		return nil, err
+	}
+	horizon := isolateAt + 5
+	uniform := make([]msg.Value, n)
+	for i := range uniform {
+		uniform[i] = msg.Zero
+	}
+	e0, err := sim.Run(sim.Config{N: n, T: t, Proposals: uniform, MaxRounds: horizon, DisableEarlyStop: true}, factory, sim.NoFaults{})
+	if err != nil {
+		return nil, err
+	}
+	eIso, err := omission.RunIsolated(n, t, factory, msg.Zero, part.B, isolateAt, horizon)
+	if err != nil {
+		return nil, err
+	}
+	tab := &Table{
+		ID:     "E2",
+		Title:  fmt.Sprintf("Figure 1 — isolation anatomy: E0 vs E_B(%d), chained echo n=%d t=%d", isolateAt, n, t),
+		Header: []string{"round", "senders matching E0", "inside B diverged", "outside B diverged"},
+	}
+	for r := 1; r <= eIso.Rounds; r++ {
+		same, inB, outB := 0, 0, 0
+		for id := proc.ID(0); id < proc.ID(n); id++ {
+			s0 := e0.Behavior(id).Frag(r)
+			s1 := eIso.Behavior(id).Frag(r)
+			sent0 := append(append([]msg.Message{}, s0.Sent...), s0.SendOmitted...)
+			sent1 := append(append([]msg.Message{}, s1.Sent...), s1.SendOmitted...)
+			if msg.SameSet(sent0, sent1) {
+				same++
+			} else if part.B.Contains(id) {
+				inB++
+			} else {
+				outB++
+			}
+		}
+		tab.Rows = append(tab.Rows, []string{itoa(r), itoa(same), itoa(inB), itoa(outB)})
+	}
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("all sends identical through round %d; group B (receive-isolated) diverges from round %d; the rest from round %d by propagation — exactly Figure 1's green/red/blue bands",
+			isolateAt, isolateAt+1, isolateAt+2),
+	)
+	// The note above is a claim; verify it before publishing the table:
+	// nobody may diverge during the identical prefix, and processes outside
+	// B may not diverge before the propagation round.
+	for r := 1; r <= eIso.Rounds; r++ {
+		for id := proc.ID(0); id < proc.ID(n); id++ {
+			s0, s1 := e0.Behavior(id).Frag(r), eIso.Behavior(id).Frag(r)
+			same := msg.SameSet(
+				append(append([]msg.Message{}, s0.Sent...), s0.SendOmitted...),
+				append(append([]msg.Message{}, s1.Sent...), s1.SendOmitted...),
+			)
+			if r <= isolateAt && !same {
+				return nil, fmt.Errorf("E2: %s diverged at round %d, before isolation", id, r)
+			}
+			if !part.B.Contains(id) && r == isolateAt+1 && !same {
+				return nil, fmt.Errorf("E2: %s (outside B) diverged one round too early", id)
+			}
+		}
+	}
+	return tab, nil
+}
+
+// chainedEchoFactory builds the Figure 1 demonstration machine: each round
+// it broadcasts a digest chaining everything it has received so far, so a
+// single dropped message changes all of its future sends.
+func chainedEchoFactory(n int) sim.Factory {
+	return func(id proc.ID, proposal msg.Value) sim.Machine {
+		return &chainedEcho{n: n, id: id, digest: string(proposal)}
+	}
+}
+
+type chainedEcho struct {
+	n      int
+	id     proc.ID
+	digest string
+}
+
+var _ sim.Machine = (*chainedEcho)(nil)
+
+func (m *chainedEcho) broadcast() []sim.Outgoing {
+	out := make([]sim.Outgoing, 0, m.n-1)
+	for p := proc.ID(0); p < proc.ID(m.n); p++ {
+		if p != m.id {
+			out = append(out, sim.Outgoing{To: p, Payload: m.digest})
+		}
+	}
+	return out
+}
+
+func (m *chainedEcho) Init() []sim.Outgoing { return m.broadcast() }
+
+func (m *chainedEcho) Step(round int, received []msg.Message) []sim.Outgoing {
+	sum := sha256.New()
+	sum.Write([]byte(m.digest))
+	for _, rm := range received {
+		fmt.Fprintf(sum, "|%d:%s", int(rm.Sender), rm.Payload)
+	}
+	m.digest = hex.EncodeToString(sum.Sum(nil))[:16]
+	return m.broadcast()
+}
+
+// Decision never fires: this machine exists to visualize divergence, not
+// to decide. The experiment runs with a fixed horizon.
+func (m *chainedEcho) Decision() (msg.Value, bool) { return msg.NoDecision, false }
+
+func (m *chainedEcho) Quiescent() bool { return false }
+
+// E3 reproduces Figure 2 / Lemmas 3-5 on a cheap protocol: the decisions
+// of A, B and C in the critical executions and their merge.
+func E3(n, t int) (*Table, error) {
+	factory := cheap.Star(n)
+	rounds := cheap.StarRounds
+	rep, err := lowerbound.Falsify("star", factory, rounds, n, t, lowerbound.Options{})
+	if err != nil {
+		return nil, err
+	}
+	tab := &Table{
+		ID:     "E3",
+		Title:  fmt.Sprintf("Figure 2 / Lemmas 3-5 — the construction narrative (star protocol, n=%d t=%d)", n, t),
+		Header: []string{"step"},
+	}
+	for _, l := range rep.Log {
+		tab.Rows = append(tab.Rows, []string{l})
+	}
+	if rep.Violation != nil {
+		tab.Rows = append(tab.Rows, []string{"=> " + rep.Violation.String()})
+	}
+	return tab, nil
+}
+
+// E4 demonstrates Algorithm 4 (swap_omission) and Lemma 15's guarantees on
+// the leader protocol.
+func E4(n, t int) (*Table, error) {
+	factory := cheap.Leader(n)
+	group := proc.Range(proc.ID(n-2), proc.ID(n))
+	e, err := omission.RunIsolated(n, t, factory, msg.Zero, group, 1, 3)
+	if err != nil {
+		return nil, err
+	}
+	victim := group.Min()
+	mxp := len(omission.MessagesFromTo(e, e.Correct(), victim))
+	swapped, err := omission.SwapOmission(e, victim)
+	if err != nil {
+		return nil, err
+	}
+	checks := []struct {
+		name string
+		err  error
+	}{
+		{"result satisfies Appendix A guarantees", omission.Validate(swapped)},
+		{"indistinguishable to the victim", omission.Indistinguishable(e, swapped, victim)},
+		{"trace conforms to honest machines", sim.Conforms(swapped, factory, proc.Set{})},
+	}
+	tab := &Table{
+		ID:     "E4",
+		Title:  fmt.Sprintf("Lemma 2 / Algorithm 4 — swap_omission on the leader protocol (n=%d t=%d)", n, t),
+		Header: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"isolated group", group.String()},
+			{"victim p", victim.String()},
+			{"|M_{X→p}| (receive-omitted from correct)", itoa(mxp)},
+			{"t/2 cutoff", itoa(t / 2)},
+			{"faulty before swap", e.Faulty.String()},
+			{"faulty after swap", swapped.Faulty.String()},
+			{"victim correct after swap", yesNo(!swapped.Faulty.Contains(victim))},
+		},
+	}
+	for _, c := range checks {
+		tab.Rows = append(tab.Rows, []string{c.name, yesNo(c.err == nil)})
+		if c.err != nil {
+			return nil, fmt.Errorf("E4: %s: %w", c.name, c.err)
+		}
+	}
+	d1, _ := swapped.Decision(victim)
+	d2, _ := swapped.Decision(1)
+	tab.Rows = append(tab.Rows, []string{"decisions (victim vs correct p1)", fmt.Sprintf("%s vs %s", d1, d2)})
+	tab.Notes = append(tab.Notes, "the swapped execution is valid, has ≤ t faults, and two correct processes disagree — Lemma 2's contradiction")
+	return tab, nil
+}

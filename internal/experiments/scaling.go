@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"expensive/internal/crypto/sig"
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/dolevstrong"
+	"expensive/internal/protocols/eig"
+	"expensive/internal/protocols/ic"
+	"expensive/internal/protocols/phaseking"
+	"expensive/internal/sim"
+)
+
+// E9 measures the message and round scaling of the matching (upper-bound)
+// protocols against the t²/32 floor: the quadratic envelope the paper's
+// lower bound says is unavoidable.
+func E9(sizes []int) (*Table, error) {
+	scheme := sig.NewIdeal("e9")
+	tab := &Table{
+		ID:    "E9",
+		Title: "Upper bounds — message/round scaling of the matching protocols vs. the t²/32 floor",
+		Header: []string{
+			"protocol", "n", "t", "rounds used", "round bound",
+			"msgs (correct)", "t²/32", "msgs/n²",
+		},
+	}
+	for _, n := range sizes {
+		t := (n - 1) / 3
+		if t < 1 {
+			t = 1
+		}
+
+		// Dolev-Strong Byzantine broadcast, t < n.
+		tBB := n / 2
+		bb := dolevstrong.New(dolevstrong.Config{N: n, T: tBB, Sender: 0, Scheme: scheme, Tag: "bb", Default: "⊥"})
+		if err := addScalingRow(tab, "dolev-strong BB", bb, n, tBB, dolevstrong.RoundBound(tBB)); err != nil {
+			return nil, err
+		}
+
+		// Authenticated IC (n parallel broadcasts).
+		icf := ic.New(ic.Config{N: n, T: t, Scheme: scheme, Default: msg.One})
+		if err := addScalingRow(tab, "interactive consistency (auth)", icf, n, t, ic.RoundBound(t)); err != nil {
+			return nil, err
+		}
+
+		// Phase-King strong consensus, n > 4t.
+		tPK := (n - 1) / 4
+		if tPK >= 1 {
+			pk := phaseking.New(phaseking.Config{N: n, T: tPK})
+			if err := addScalingRow(tab, "phase-king", pk, n, tPK, phaseking.RoundBound(tPK)); err != nil {
+				return nil, err
+			}
+		}
+
+		// EIG only at small n (message size is exponential in t).
+		if n <= 8 {
+			ef := eig.New(eig.Config{N: n, T: t, Default: msg.One})
+			if err := addScalingRow(tab, "interactive consistency (EIG)", ef, n, t, eig.RoundBound(t)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	tab.Notes = append(tab.Notes,
+		"msgs/n² exposes the quadratic envelope: roughly constant per protocol family as n grows",
+		"the t²/32 column is the Theorem 2 floor every entry must (and does) clear",
+	)
+	return tab, nil
+}
+
+func addScalingRow(tab *Table, name string, factory sim.Factory, n, t, bound int) error {
+	proposals := make([]msg.Value, n)
+	for i := range proposals {
+		proposals[i] = msg.Zero
+	}
+	cfg := sim.Config{N: n, T: t, Proposals: proposals, MaxRounds: bound + 2}
+	e, err := sim.Run(cfg, factory, sim.NoFaults{})
+	if err != nil {
+		return fmt.Errorf("E9 %s n=%d: %w", name, n, err)
+	}
+	if _, err := e.CommonDecision(proc.Universe(n)); err != nil {
+		return fmt.Errorf("E9 %s n=%d: %w", name, n, err)
+	}
+	msgs := e.CorrectMessages()
+	floor := t * t / 32
+	tab.Rows = append(tab.Rows, []string{
+		name, itoa(n), itoa(t), itoa(e.Rounds), itoa(bound),
+		itoa(msgs), itoa(floor), fmt.Sprintf("%.2f", float64(msgs)/float64(n*n)),
+	})
+	if msgs < floor {
+		return fmt.Errorf("E9 %s n=%d: %d messages below the t²/32 floor %d — contradicts Theorem 2",
+			name, n, msgs, floor)
+	}
+	return nil
+}
+
+// AllIDs lists the experiment identifiers in order.
+func AllIDs() []string {
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+}
+
+// Run executes one experiment by ID with its default parameters.
+func Run(id string) (*Table, error) {
+	switch id {
+	case "E1":
+		return E1(DefaultE1())
+	case "E2":
+		return E2(20, 8, 3)
+	case "E10":
+		return E10(8, 2)
+	case "E11":
+		return E11()
+	case "E12":
+		return E12(10, 4)
+	case "E3":
+		return E3(40, 16)
+	case "E4":
+		return E4(24, 8)
+	case "E5":
+		return E5(6, 1)
+	case "E6":
+		return E6([][2]int{{4, 1}, {4, 2}, {5, 2}})
+	case "E7":
+		return E7(3)
+	case "E8":
+		return E8(40, 16)
+	case "E9":
+		return E9([]int{4, 8, 16, 24})
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (have %v)", id, AllIDs())
+	}
+}

@@ -1,0 +1,167 @@
+// Package msg defines the message and value vocabulary shared by every
+// layer of the library: the simulation engine, the omission-failure model,
+// the protocol implementations, and the transports.
+//
+// Following Appendix A.1.1 of the paper, a message is uniquely identified
+// by its sender, receiver and round: the computational model guarantees
+// that no process sends two messages to the same peer in one round, so a
+// Message value doubles as a unique message identity. Payloads are
+// deterministic strings (protocols encode structured payloads as
+// canonical JSON), which makes messages comparable and hashable for the
+// indistinguishability machinery.
+package msg
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"expensive/internal/proc"
+)
+
+// Value is a protocol value: a proposal from V_I or a decision from V_O.
+// Values are opaque deterministic strings; structured values (e.g. the
+// I_n vectors decided by interactive consistency) use canonical encodings
+// provided by this package.
+type Value string
+
+// Common binary values used by weak/strong consensus.
+const (
+	Zero Value = "0"
+	One  Value = "1"
+)
+
+// Bit converts 0/1 to the corresponding binary Value.
+func Bit(b int) Value {
+	if b == 0 {
+		return Zero
+	}
+	return One
+}
+
+// FlipBit returns the other binary value. It panics on non-binary input,
+// which is a programming error in the caller.
+func FlipBit(v Value) Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	panic(fmt.Sprintf("msg: FlipBit on non-binary value %q", v))
+}
+
+// IsBit reports whether v ∈ {0, 1}.
+func IsBit(v Value) bool { return v == Zero || v == One }
+
+// NoDecision is the sentinel used in traces for "has not decided".
+// It is not a legal protocol value.
+const NoDecision Value = "\x00<undecided>"
+
+// Message is a round-stamped message between two processes. All fields are
+// comparable, so Message values can be used as map keys.
+type Message struct {
+	Sender   proc.ID
+	Receiver proc.ID
+	Round    int
+	Payload  string
+}
+
+// String renders the message for diagnostics.
+func (m Message) String() string {
+	p := m.Payload
+	if len(p) > 32 {
+		p = p[:29] + "..."
+	}
+	return fmt.Sprintf("[r%d %s->%s %q]", m.Round, m.Sender, m.Receiver, p)
+}
+
+// Key is the identity of a message within an execution (sender, receiver,
+// round). Per the computational model there is at most one message per key.
+type Key struct {
+	Sender   proc.ID
+	Receiver proc.ID
+	Round    int
+}
+
+// Key returns the identity of m.
+func (m Message) Key() Key {
+	return Key{Sender: m.Sender, Receiver: m.Receiver, Round: m.Round}
+}
+
+// Sort orders messages deterministically (round, sender, receiver) in
+// place and returns the slice.
+func Sort(ms []Message) []Message {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		if a.Sender != b.Sender {
+			return a.Sender < b.Sender
+		}
+		return a.Receiver < b.Receiver
+	})
+	return ms
+}
+
+// SetOf builds a set keyed by message identity.
+func SetOf(ms []Message) map[Key]Message {
+	out := make(map[Key]Message, len(ms))
+	for _, m := range ms {
+		out[m.Key()] = m
+	}
+	return out
+}
+
+// SameSet reports whether two message slices contain exactly the same
+// messages (identity and payload), regardless of order.
+func SameSet(a, b []Message) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sa := SetOf(a)
+	for _, m := range b {
+		got, ok := sa[m.Key()]
+		if !ok || got != m {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode canonically serializes any JSON-marshalable payload struct.
+// encoding/json is deterministic for structs (field order) and maps
+// (sorted keys), which is what makes simulated executions replayable.
+func Encode(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Payload types are defined by this library and always marshalable;
+		// reaching this is a programming error.
+		panic(fmt.Sprintf("msg: encode payload: %v", err))
+	}
+	return string(b)
+}
+
+// Decode parses a payload produced by Encode into out.
+func Decode(payload string, out any) error {
+	if err := json.Unmarshal([]byte(payload), out); err != nil {
+		return fmt.Errorf("decode payload %q: %w", payload, err)
+	}
+	return nil
+}
+
+// EncodeVector canonically encodes a vector of n values (the I_n elements
+// decided by interactive consistency).
+func EncodeVector(vec []Value) Value {
+	return Value(Encode(vec))
+}
+
+// DecodeVector parses a vector encoded by EncodeVector.
+func DecodeVector(v Value) ([]Value, error) {
+	var out []Value
+	if err := Decode(string(v), &out); err != nil {
+		return nil, fmt.Errorf("vector: %w", err)
+	}
+	return out, nil
+}

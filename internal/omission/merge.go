@@ -1,0 +1,241 @@
+package omission
+
+import (
+	"fmt"
+
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/sim"
+)
+
+// Mergeable implements Definition 2, generalized over the proposal bit:
+// the executions E_B(k1) (uniform proposal propB) and E_C(k2) (uniform
+// proposal propC) are mergeable iff both groups are isolated from round 1,
+// or the isolation rounds are at most one apart and the proposals agree.
+func Mergeable(k1, k2 int, propB, propC msg.Value) bool {
+	if k1 == 1 && k2 == 1 {
+		return true
+	}
+	d := k1 - k2
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1 && propB == propC
+}
+
+// MergeSpec names the ingredients of the merge procedure (Algorithm 5).
+type MergeSpec struct {
+	Part proc.Partition
+	// EB is the execution in which group B is isolated from round KB.
+	EB *sim.Execution
+	KB int
+	// EC is the execution in which group C is isolated from round KC.
+	EC *sim.Execution
+	KC int
+}
+
+// UniformProposal returns the proposal shared by every process of e, or an
+// error if proposals are not uniform. The Table 1 executions are all
+// uniform-proposal by construction.
+func UniformProposal(e *sim.Execution) (msg.Value, error) {
+	p := e.Behavior(0).Proposal
+	for _, b := range e.Behaviors {
+		if b.Proposal != p {
+			return msg.NoDecision, fmt.Errorf("proposals not uniform: %s proposes %q, %s proposes %q",
+				b.ID, b.Proposal, e.Behavior(0).ID, p)
+		}
+	}
+	return p, nil
+}
+
+// Merge implements Algorithm 5: it constructs the merged execution in
+// which group A runs live machines, group B replays its behavior from
+// spec.EB and group C replays its behavior from spec.EC. Per Lemma 16, the
+// result is a valid execution, indistinguishable from the sources to every
+// process of B and C, with B (resp. C) isolated from KB (resp. KC). All
+// three properties are checked before returning; a failure means the
+// mergeability precondition did not hold and is reported as an error.
+func Merge(spec MergeSpec, factory sim.Factory, horizon int) (*sim.Execution, error) {
+	part := spec.Part
+	if err := part.Validate(); err != nil {
+		return nil, fmt.Errorf("merge: %w", err)
+	}
+	if !spec.EB.Faulty.Equal(part.B) {
+		return nil, fmt.Errorf("merge: EB faulty set %v != B %v", spec.EB.Faulty, part.B)
+	}
+	if !spec.EC.Faulty.Equal(part.C) {
+		return nil, fmt.Errorf("merge: EC faulty set %v != C %v", spec.EC.Faulty, part.C)
+	}
+	propB, err := UniformProposal(spec.EB)
+	if err != nil {
+		return nil, fmt.Errorf("merge: EB: %w", err)
+	}
+	propC, err := UniformProposal(spec.EC)
+	if err != nil {
+		return nil, fmt.Errorf("merge: EC: %w", err)
+	}
+	if !Mergeable(spec.KB, spec.KC, propB, propC) {
+		return nil, fmt.Errorf("merge: executions not mergeable (kB=%d kC=%d propB=%q propC=%q)",
+			spec.KB, spec.KC, propB, propC)
+	}
+	n := spec.EB.N
+	if horizon < spec.EB.Rounds || horizon < spec.EC.Rounds {
+		return nil, fmt.Errorf("merge: horizon %d shorter than sources (%d, %d)",
+			horizon, spec.EB.Rounds, spec.EC.Rounds)
+	}
+
+	// Initial states: A and B take EB's proposals, C takes EC's (lines 4-7).
+	behaviors := make([]*sim.Behavior, n)
+	proposalOf := func(id proc.ID) msg.Value {
+		if part.C.Contains(id) {
+			return spec.EC.Behavior(id).Proposal
+		}
+		return spec.EB.Behavior(id).Proposal
+	}
+	for i := 0; i < n; i++ {
+		behaviors[i] = &sim.Behavior{ID: proc.ID(i), Proposal: proposalOf(proc.ID(i))}
+	}
+
+	// Live machines for group A only.
+	machines := make(map[proc.ID]sim.Machine, part.A.Len())
+	pending := make(map[proc.ID][]sim.Outgoing, part.A.Len())
+	for _, id := range part.A.Members() {
+		m := factory(id, proposalOf(id))
+		machines[id] = m
+		pending[id] = m.Init()
+	}
+
+	// sourceFrag returns the recorded fragment of a replayed process. Past
+	// the source's recorded (quiescent) end the process is silent but stays
+	// decided, so its final decision is carried forward.
+	sourceFrag := func(id proc.ID, r int) sim.Fragment {
+		b := spec.EB.Behavior(id)
+		if part.C.Contains(id) {
+			b = spec.EC.Behavior(id)
+		}
+		if r <= len(b.Fragments) {
+			return b.Frag(r)
+		}
+		f := sim.Fragment{Round: r}
+		if v, ok := b.FinalDecision(); ok {
+			f.Decided, f.Decision = true, v
+		}
+		return f
+	}
+
+	for r := 1; r <= horizon; r++ {
+		frags := make([]sim.Fragment, n)
+		inboxes := make([][]msg.Message, n)
+		for i := range frags {
+			frags[i] = sim.Fragment{Round: r}
+		}
+
+		route := func(m msg.Message) {
+			inboxes[m.Receiver] = append(inboxes[m.Receiver], m)
+		}
+
+		// Send phase: A live, B/C replayed (line 19 vs. recorded behaviors).
+		for _, id := range part.A.Members() {
+			seen := make(map[proc.ID]bool, len(pending[id]))
+			for _, out := range pending[id] {
+				if out.To == id || out.To < 0 || int(out.To) >= n || seen[out.To] {
+					return nil, fmt.Errorf("merge: round %d: live %s emitted invalid message set", r, id)
+				}
+				seen[out.To] = true
+				m := msg.Message{Sender: id, Receiver: out.To, Round: r, Payload: out.Payload}
+				frags[id].Sent = append(frags[id].Sent, m)
+				route(m)
+			}
+		}
+		for _, id := range append(part.B.Members(), part.C.Members()...) {
+			sf := sourceFrag(id, r)
+			if len(sf.SendOmitted) > 0 {
+				return nil, fmt.Errorf("merge: replayed %s send-omits in source execution (round %d)", id, r)
+			}
+			for _, m := range sf.Sent {
+				frags[id].Sent = append(frags[id].Sent, m)
+				route(m)
+			}
+		}
+
+		// Receive phase.
+		for j := 0; j < n; j++ {
+			id := proc.ID(j)
+			msg.Sort(inboxes[j])
+			switch {
+			case part.A.Contains(id):
+				frags[j].Received = inboxes[j]
+			default:
+				// Replayed process: it receives exactly what it received in
+				// its source execution; everything else addressed to it is
+				// receive-omitted (line 18). The containment assertion is the
+				// construction-validity argument of Lemma 16.
+				recorded := sourceFrag(id, r).Received
+				have := msg.SetOf(inboxes[j])
+				for _, m := range recorded {
+					got, ok := have[m.Key()]
+					if !ok || got != m {
+						return nil, fmt.Errorf("merge: round %d: %s received %v in its source execution "+
+							"but that message is not sent in the merged execution (mergeability violated)",
+							r, id, m)
+					}
+				}
+				recordedSet := msg.SetOf(recorded)
+				for _, m := range inboxes[j] {
+					if _, ok := recordedSet[m.Key()]; ok {
+						frags[j].Received = append(frags[j].Received, m)
+					} else {
+						frags[j].ReceiveOmitted = append(frags[j].ReceiveOmitted, m)
+					}
+				}
+			}
+		}
+
+		// Compute phase: step A live, copy decisions for B/C from sources.
+		for _, id := range part.A.Members() {
+			received := append([]msg.Message{}, frags[id].Received...)
+			msg.Sort(received)
+			pending[id] = machines[id].Step(r, received)
+			if v, ok := machines[id].Decision(); ok {
+				frags[id].Decided, frags[id].Decision = true, v
+			}
+		}
+		for _, id := range append(part.B.Members(), part.C.Members()...) {
+			sf := sourceFrag(id, r)
+			frags[id].Decided, frags[id].Decision = sf.Decided, sf.Decision
+		}
+		for i := 0; i < n; i++ {
+			behaviors[i].Fragments = append(behaviors[i].Fragments, frags[i])
+		}
+	}
+
+	out := &sim.Execution{
+		N:         n,
+		T:         spec.EB.T,
+		Faulty:    part.B.Union(part.C),
+		Behaviors: behaviors,
+		Rounds:    horizon,
+	}
+
+	// Lemma 16's three conclusions, checked.
+	if err := Validate(out); err != nil {
+		return nil, fmt.Errorf("merge: result is not a valid execution: %w", err)
+	}
+	if err := CheckIsolated(out, part.B, spec.KB); err != nil {
+		return nil, fmt.Errorf("merge: %w", err)
+	}
+	if err := CheckIsolated(out, part.C, spec.KC); err != nil {
+		return nil, fmt.Errorf("merge: %w", err)
+	}
+	for _, id := range part.B.Members() {
+		if err := Indistinguishable(out, spec.EB, id); err != nil {
+			return nil, fmt.Errorf("merge: B not indistinguishable from source: %w", err)
+		}
+	}
+	for _, id := range part.C.Members() {
+		if err := Indistinguishable(out, spec.EC, id); err != nil {
+			return nil, fmt.Errorf("merge: C not indistinguishable from source: %w", err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package cheap_test
+
+import (
+	"testing"
+
+	"expensive/internal/msg"
+	"expensive/internal/omission"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/cheap"
+	"expensive/internal/sim"
+)
+
+func uniform(n int, v msg.Value) []msg.Value {
+	out := make([]msg.Value, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func runCheap(t *testing.T, factory sim.Factory, n int, proposals []msg.Value) *sim.Execution {
+	t.Helper()
+	cfg := sim.Config{N: n, T: n / 4, Proposals: proposals, MaxRounds: 4}
+	e, err := sim.Run(cfg, factory, sim.NoFaults{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return e
+}
+
+// All cheap protocols must satisfy Weak Validity in fault-free unanimous
+// executions and stay within their advertised message budget — the two
+// properties that make them plausible-looking candidates.
+func TestWeakValidityAndBudget(t *testing.T) {
+	const n = 12
+	cases := []struct {
+		name    string
+		factory sim.Factory
+		budget  int
+	}{
+		{"silent", cheap.Silent(), 0},
+		{"leader", cheap.Leader(n), n - 1},
+		{"star", cheap.Star(n), 2 * (n - 1)},
+		{"gossip-k3", cheap.Gossip(n, 3), 3 * n},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, b := range []msg.Value{msg.Zero, msg.One} {
+				e := runCheap(t, tc.factory, n, uniform(n, b))
+				d, err := e.CommonDecision(proc.Universe(n))
+				if err != nil {
+					t.Fatalf("unanimous %s: %v", b, err)
+				}
+				if d != b {
+					t.Errorf("unanimous %s: decided %q (Weak Validity)", b, d)
+				}
+				if got := e.CorrectMessages(); got > tc.budget {
+					t.Errorf("sent %d messages, budget %d", got, tc.budget)
+				}
+				if err := omission.Validate(e); err != nil {
+					t.Errorf("trace invalid: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestLeaderSplitsUnderOmission(t *testing.T) {
+	// The direct attack the falsifier generalizes: the leader send-omits
+	// toward p1 only, splitting the decision.
+	const n = 6
+	plan := sim.OmissionPlan{
+		F:      proc.NewSet(0),
+		SendFn: func(m msg.Message) bool { return m.Receiver == 1 },
+	}
+	cfg := sim.Config{N: n, T: 1, Proposals: uniform(n, msg.Zero), MaxRounds: 3}
+	e, err := sim.Run(cfg, cheap.Leader(n), plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if d, _ := e.Decision(1); d != msg.One {
+		t.Errorf("victim decided %q, want default 1", d)
+	}
+	if d, _ := e.Decision(2); d != msg.Zero {
+		t.Errorf("bystander decided %q, want 0", d)
+	}
+}
+
+func TestGossipClamping(t *testing.T) {
+	// k out of range is clamped, keeping the factory total.
+	for _, k := range []int{-1, 0, 99} {
+		factory := cheap.Gossip(6, k)
+		e := runCheap(t, factory, 6, uniform(6, msg.Zero))
+		if _, err := e.CommonDecision(proc.Universe(6)); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestNonBinaryProposalsClamped(t *testing.T) {
+	proposals := uniform(6, msg.Zero)
+	proposals[3] = "garbage"
+	e := runCheap(t, cheap.Star(6), 6, proposals)
+	// Proposal clamped to 0, so the unanimity check still passes.
+	d, err := e.CommonDecision(proc.Universe(6))
+	if err != nil {
+		t.Fatalf("CommonDecision: %v", err)
+	}
+	if d != msg.Zero {
+		t.Errorf("decided %q", d)
+	}
+}

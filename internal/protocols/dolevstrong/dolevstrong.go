@@ -1,0 +1,265 @@
+// Package dolevstrong implements the authenticated Byzantine broadcast
+// protocol of Dolev and Strong [52]: a designated sender broadcasts a
+// value; after t+1 rounds every correct process decides the sender's value
+// if the sender is correct (Sender Validity), and all correct processes
+// decide the same value regardless (Agreement). The protocol tolerates any
+// t < n corruptions — the maximum possible — and is the substrate for the
+// authenticated interactive consistency used by the general solvability
+// construction (Algorithm 2 / Lemma 9).
+//
+// Mechanics: a value is "accepted in round r" when it carries a chain of r
+// signatures from r distinct processes beginning with the sender. Each
+// correct process forwards a newly accepted value once, appending its own
+// signature, and tracks at most two accepted values (two are enough to
+// prove sender equivocation). After round t+1 a process decides the unique
+// accepted value, or the default if it accepted zero or two values.
+//
+// Message complexity: each correct process forwards at most two values,
+// each to n-1 peers, so correct processes send at most 2n(n-1)+n messages —
+// the classical O(n²) upper bound that brackets the paper's Ω(t²) lower
+// bound from above.
+package dolevstrong
+
+import (
+	"fmt"
+	"sort"
+
+	"expensive/internal/crypto/sig"
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/sim"
+)
+
+// Config parameterizes one broadcast instance.
+type Config struct {
+	N      int
+	T      int
+	Sender proc.ID
+	Scheme sig.Scheme
+	// Tag domain-separates signatures across instances (e.g. "bb", "ic/3").
+	Tag string
+	// Default is decided when the sender provably equivocated or stayed
+	// silent.
+	Default msg.Value
+	// UnsafeNoRelay disables the forwarding of newly accepted values. This
+	// is an ablation hook for tests and experiments: without relaying, an
+	// equivocating sender splits the correct processes and Agreement fails.
+	// Never enable outside experiments.
+	UnsafeNoRelay bool
+}
+
+// RoundBound returns the number of rounds after which every correct
+// process has decided: t+1.
+func RoundBound(t int) int { return t + 1 }
+
+// Link is one signature in a relay chain.
+type Link struct {
+	S int           // signer
+	G sig.Signature // signature over SignedData(tag, value)
+}
+
+// Item is a value together with its signature chain.
+type Item struct {
+	V msg.Value
+	C []Link
+}
+
+// Payload is the wire format: the items a process relays this round.
+type Payload struct {
+	Items []Item
+}
+
+// SignedData is the byte string each chain signature covers.
+func SignedData(tag string, v msg.Value) []byte {
+	return []byte(tag + "\x00" + string(v))
+}
+
+// New returns the honest-machine factory for one broadcast instance.
+func New(cfg Config) sim.Factory {
+	return func(id proc.ID, proposal msg.Value) sim.Machine {
+		return &machine{cfg: cfg, id: id, proposal: proposal}
+	}
+}
+
+type machine struct {
+	cfg      cfg2
+	id       proc.ID
+	proposal msg.Value
+
+	extracted []msg.Value
+	decided   bool
+	decision  msg.Value
+	done      bool
+}
+
+// cfg2 aliases Config so the struct literal in New stays short.
+type cfg2 = Config
+
+var _ sim.Machine = (*machine)(nil)
+
+func (m *machine) broadcast(items []Item) []sim.Outgoing {
+	if len(items) == 0 {
+		return nil
+	}
+	payload := msg.Encode(Payload{Items: items})
+	out := make([]sim.Outgoing, 0, m.cfg.N-1)
+	for p := proc.ID(0); p < proc.ID(m.cfg.N); p++ {
+		if p != m.id {
+			out = append(out, sim.Outgoing{To: p, Payload: payload})
+		}
+	}
+	return out
+}
+
+// Init implements sim.Machine: the sender signs and broadcasts its
+// proposal in round 1.
+func (m *machine) Init() []sim.Outgoing {
+	if m.id != m.cfg.Sender {
+		return nil
+	}
+	m.extracted = append(m.extracted, m.proposal)
+	s, err := m.cfg.Scheme.Sign(m.id, SignedData(m.cfg.Tag, m.proposal))
+	if err != nil {
+		// An honest machine can always sign for itself; failing to means the
+		// harness wired a wrong scheme. Stay silent; the run will surface it.
+		return nil
+	}
+	return m.broadcast([]Item{{V: m.proposal, C: []Link{{S: int(m.id), G: s}}}})
+}
+
+// validChain checks that item carries round-many valid, distinct
+// signatures beginning with the sender.
+func (m *machine) validChain(it Item, round int) bool {
+	if len(it.C) != round {
+		return false
+	}
+	if proc.ID(it.C[0].S) != m.cfg.Sender {
+		return false
+	}
+	seen := make(map[int]bool, len(it.C))
+	data := SignedData(m.cfg.Tag, it.V)
+	for _, l := range it.C {
+		if l.S < 0 || l.S >= m.cfg.N || seen[l.S] {
+			return false
+		}
+		seen[l.S] = true
+		if !m.cfg.Scheme.Verify(proc.ID(l.S), data, l.G) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) hasExtracted(v msg.Value) bool {
+	for _, x := range m.extracted {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Step implements sim.Machine.
+func (m *machine) Step(round int, received []msg.Message) []sim.Outgoing {
+	if m.done {
+		return nil
+	}
+	var newlyAccepted []msg.Value
+	for _, rm := range received {
+		var p Payload
+		if err := msg.Decode(rm.Payload, &p); err != nil {
+			continue // garbage from a Byzantine peer
+		}
+		for _, it := range p.Items {
+			if len(m.extracted) >= 2 || m.hasExtracted(it.V) {
+				continue
+			}
+			if !m.validChain(it, round) {
+				continue
+			}
+			inChain := false
+			for _, l := range it.C {
+				if proc.ID(l.S) == m.id {
+					inChain = true
+					break
+				}
+			}
+			if inChain {
+				continue
+			}
+			m.extracted = append(m.extracted, it.V)
+			newlyAccepted = append(newlyAccepted, it.V)
+		}
+	}
+
+	if round >= RoundBound(m.cfg.T) {
+		// End of round t+1: decide.
+		if len(m.extracted) == 1 {
+			m.decision = m.extracted[0]
+		} else {
+			m.decision = m.cfg.Default
+		}
+		m.decided, m.done = true, true
+		return nil
+	}
+
+	// Forward newly accepted values in round+1 with our signature appended.
+	if m.cfg.UnsafeNoRelay {
+		return nil
+	}
+	sort.Slice(newlyAccepted, func(i, j int) bool { return newlyAccepted[i] < newlyAccepted[j] })
+	items := make([]Item, 0, len(newlyAccepted))
+	for _, v := range newlyAccepted {
+		s, err := m.cfg.Scheme.Sign(m.id, SignedData(m.cfg.Tag, v))
+		if err != nil {
+			continue
+		}
+		chain := m.chainFor(v, received, round)
+		if chain == nil {
+			continue
+		}
+		items = append(items, Item{V: v, C: append(chain, Link{S: int(m.id), G: s})})
+	}
+	return m.broadcast(items)
+}
+
+// chainFor recovers the valid chain that caused v's acceptance this round.
+func (m *machine) chainFor(v msg.Value, received []msg.Message, round int) []Link {
+	for _, rm := range received {
+		var p Payload
+		if err := msg.Decode(rm.Payload, &p); err != nil {
+			continue
+		}
+		for _, it := range p.Items {
+			if it.V != v || !m.validChain(it, round) {
+				continue
+			}
+			return append([]Link{}, it.C...)
+		}
+	}
+	return nil
+}
+
+// Decision implements sim.Machine.
+func (m *machine) Decision() (msg.Value, bool) {
+	if !m.decided {
+		return msg.NoDecision, false
+	}
+	return m.decision, true
+}
+
+// Quiescent implements sim.Machine.
+func (m *machine) Quiescent() bool { return m.done }
+
+// Validate sanity-checks a config.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 2 || c.T < 0 || c.T >= c.N:
+		return fmt.Errorf("dolevstrong: need 0 <= t < n, n >= 2; got n=%d t=%d", c.N, c.T)
+	case c.Sender < 0 || int(c.Sender) >= c.N:
+		return fmt.Errorf("dolevstrong: sender %v outside Π", c.Sender)
+	case c.Scheme == nil:
+		return fmt.Errorf("dolevstrong: nil signature scheme")
+	}
+	return nil
+}

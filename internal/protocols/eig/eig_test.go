@@ -1,0 +1,144 @@
+package eig_test
+
+import (
+	"testing"
+
+	"expensive/internal/msg"
+	"expensive/internal/omission"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/eig"
+	"expensive/internal/sim"
+)
+
+func runEIG(t *testing.T, n, tf int, proposals []msg.Value, plan sim.FaultPlan) *sim.Execution {
+	t.Helper()
+	cfg := sim.Config{N: n, T: tf, Proposals: proposals, MaxRounds: eig.RoundBound(tf) + 2}
+	e, err := sim.Run(cfg, eig.New(eig.Config{N: n, T: tf, Default: "⊥"}), plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return e
+}
+
+func decodeCommon(t *testing.T, e *sim.Execution, group proc.Set) []msg.Value {
+	t.Helper()
+	d, err := e.CommonDecision(group)
+	if err != nil {
+		t.Fatalf("Agreement violated: %v", err)
+	}
+	vec, err := msg.DecodeVector(d)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return vec
+}
+
+func TestEIGValidityFaultFree(t *testing.T) {
+	proposals := []msg.Value{"a", "b", "c", "d"}
+	e := runEIG(t, 4, 1, proposals, sim.NoFaults{})
+	vec := decodeCommon(t, e, proc.Universe(4))
+	for i, v := range vec {
+		if v != proposals[i] {
+			t.Errorf("vec[%d] = %q, want %q (IC-Validity)", i, v, proposals[i])
+		}
+	}
+	if err := omission.Validate(e); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+}
+
+// twoFace tells even-numbered peers one value and odd-numbered peers
+// another, in every round and for every tree label it relays.
+type twoFace struct {
+	n, t int
+	id   proc.ID
+}
+
+func (m *twoFace) Init() []sim.Outgoing { return m.emit(0) }
+
+func (m *twoFace) emit(round int) []sim.Outgoing {
+	var out []sim.Outgoing
+	for p := 0; p < m.n; p++ {
+		if proc.ID(p) == m.id {
+			continue
+		}
+		v := "L"
+		if p%2 == 0 {
+			v = "R"
+		}
+		// Claim (ε, v) in round 1; relay fabricated level entries later.
+		var pairs []map[string]any
+		if round == 0 {
+			pairs = append(pairs, map[string]any{"L": []int{}, "V": v})
+		} else {
+			for j := 0; j < m.n; j++ {
+				if j == int(m.id) {
+					continue
+				}
+				pairs = append(pairs, map[string]any{"L": []int{j}, "V": v})
+			}
+		}
+		out = append(out, sim.Outgoing{To: proc.ID(p), Payload: msg.Encode(map[string]any{"P": pairs})})
+	}
+	return out
+}
+
+func (m *twoFace) Step(round int, _ []msg.Message) []sim.Outgoing {
+	if round >= m.t+1 {
+		return nil
+	}
+	return m.emit(round)
+}
+
+func (m *twoFace) Decision() (msg.Value, bool) { return msg.NoDecision, false }
+func (m *twoFace) Quiescent() bool             { return false }
+
+func TestEIGAgreementUnderEquivocation(t *testing.T) {
+	// n = 7 > 3t with t = 2: two colluding equivocators.
+	n, tf := 7, 2
+	proposals := []msg.Value{"a", "b", "c", "d", "e", "f", "g"}
+	plan := sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{
+		1: &twoFace{n: n, t: tf, id: 1},
+		4: &twoFace{n: n, t: tf, id: 4},
+	}}
+	e := runEIG(t, n, tf, proposals, plan)
+	correct := proc.NewSet(0, 2, 3, 5, 6)
+	vec := decodeCommon(t, e, correct)
+	// IC-Validity for correct entries.
+	for _, i := range []int{0, 2, 3, 5, 6} {
+		if vec[i] != proposals[i] {
+			t.Errorf("vec[%d] = %q, want %q", i, vec[i], proposals[i])
+		}
+	}
+}
+
+func TestEIGSingleByzantineSmall(t *testing.T) {
+	// The minimal resilient configuration: n = 4, t = 1.
+	n, tf := 4, 1
+	proposals := []msg.Value{"a", "b", "c", "d"}
+	plan := sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{3: &twoFace{n: n, t: tf, id: 3}}}
+	e := runEIG(t, n, tf, proposals, plan)
+	correct := proc.NewSet(0, 1, 2)
+	vec := decodeCommon(t, e, correct)
+	for _, i := range []int{0, 1, 2} {
+		if vec[i] != proposals[i] {
+			t.Errorf("vec[%d] = %q, want %q", i, vec[i], proposals[i])
+		}
+	}
+}
+
+func TestEIGResilienceValidation(t *testing.T) {
+	if err := (eig.Config{N: 3, T: 1}).Validate(); err == nil {
+		t.Error("expected n > 3t validation error")
+	}
+	if err := (eig.Config{N: 4, T: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestEIGDecidesWithinBound(t *testing.T) {
+	e := runEIG(t, 4, 1, []msg.Value{"a", "b", "c", "d"}, sim.NoFaults{})
+	if e.Rounds > eig.RoundBound(1)+1 {
+		t.Errorf("decided after %d rounds, bound %d", e.Rounds, eig.RoundBound(1))
+	}
+}

@@ -1,0 +1,163 @@
+// Package external implements the blockchain-style agreement problem of
+// §4.3: Byzantine agreement with External Validity [29] — the decided
+// value must satisfy a globally verifiable predicate valid(·), here
+// "carries a correct client signature".
+//
+// The sound construction composes interactive consistency with the
+// first-valid selector (Algorithm 2 shape), and — like every known
+// external-validity algorithm the paper cites [28, 45, 79, 101] — it has
+// two fully-correct executions deciding different values, so Corollary 1
+// applies: Algorithm 1 turns it into weak consensus at zero extra
+// messages, and the Ω(t²) bound carries over. CheapLeader is the
+// sub-quadratic strawman the falsifier breaks through that pipeline
+// (experiment E8).
+package external
+
+import (
+	"fmt"
+	"strings"
+
+	"expensive/internal/crypto/sig"
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/ic"
+	"expensive/internal/protocols/reduction"
+	"expensive/internal/sim"
+)
+
+// ClientBase offsets client identities away from process identities in the
+// signature scheme's keyspace.
+const ClientBase proc.ID = 1000
+
+// Authority issues and verifies client-signed transactions. Transactions
+// are the values of the agreement problem: "tx|<client>|<payload>|<sig>".
+type Authority struct {
+	scheme sig.Scheme
+}
+
+// NewAuthority wraps a signature scheme that knows the client keys
+// (processes verify only).
+func NewAuthority(scheme sig.Scheme) *Authority {
+	return &Authority{scheme: scheme}
+}
+
+// NewTx creates a transaction signed by the given client.
+func (a *Authority) NewTx(client proc.ID, payload string) (msg.Value, error) {
+	if strings.ContainsAny(payload, "|") {
+		return "", fmt.Errorf("tx payload must not contain '|'")
+	}
+	s, err := a.scheme.Sign(client, txData(client, payload))
+	if err != nil {
+		return "", fmt.Errorf("sign tx: %w", err)
+	}
+	return msg.Value(fmt.Sprintf("tx|%d|%s|%s", int(client), payload, s)), nil
+}
+
+func txData(client proc.ID, payload string) []byte {
+	return []byte(fmt.Sprintf("tx-data|%d|%s", int(client), payload))
+}
+
+// Valid is the globally verifiable predicate: the transaction parses and
+// its client signature verifies.
+func (a *Authority) Valid(v msg.Value) bool {
+	parts := strings.SplitN(string(v), "|", 4)
+	if len(parts) != 4 || parts[0] != "tx" {
+		return false
+	}
+	var client int
+	if _, err := fmt.Sscanf(parts[1], "%d", &client); err != nil {
+		return false
+	}
+	return a.scheme.Verify(proc.ID(client), txData(proc.ID(client), parts[2]), sig.Signature(parts[3]))
+}
+
+// Config parameterizes the sound external-validity agreement.
+type Config struct {
+	N      int
+	T      int
+	Scheme sig.Scheme
+	// Authority validates transactions.
+	Authority *Authority
+	// Fallback is a well-known valid value decided when no proposal
+	// validates (e.g. a genesis transaction).
+	Fallback msg.Value
+}
+
+// RoundBound returns the decision round: t+1 (one IC pass).
+func RoundBound(t int) int { return ic.RoundBound(t) }
+
+// New returns the sound agreement factory: interactive consistency plus
+// the first-valid selector. If all processes are correct and propose the
+// same valid transaction, that transaction is decided — the property
+// Corollary 1 needs.
+func New(cfg Config) sim.Factory {
+	icf := ic.New(ic.Config{N: cfg.N, T: cfg.T, Scheme: cfg.Scheme, Default: "invalid"})
+	return reduction.FromIC(icf, reduction.GammaFirstValid(cfg.Authority.Valid, cfg.Fallback))
+}
+
+// CheapLeader is the sub-quadratic strawman: the leader broadcasts its
+// proposal; processes decide it if valid, else the fallback. n-1 messages,
+// decides in round 1 — and, per Corollary 1, necessarily broken: the
+// falsifier exhibits the violation after Algorithm 1 lifts it to weak
+// consensus.
+func CheapLeader(n int, a *Authority, fallback msg.Value) sim.Factory {
+	return func(id proc.ID, proposal msg.Value) sim.Machine {
+		return &leaderMachine{n: n, id: id, proposal: proposal, authority: a, fallback: fallback}
+	}
+}
+
+// CheapLeaderRounds is the decision round of CheapLeader.
+const CheapLeaderRounds = 1
+
+type leaderMachine struct {
+	n         int
+	id        proc.ID
+	proposal  msg.Value
+	authority *Authority
+	fallback  msg.Value
+
+	decided  bool
+	decision msg.Value
+}
+
+var _ sim.Machine = (*leaderMachine)(nil)
+
+func (m *leaderMachine) Init() []sim.Outgoing {
+	if m.id != 0 {
+		return nil
+	}
+	out := make([]sim.Outgoing, 0, m.n-1)
+	for p := proc.ID(1); p < proc.ID(m.n); p++ {
+		out = append(out, sim.Outgoing{To: p, Payload: string(m.proposal)})
+	}
+	return out
+}
+
+func (m *leaderMachine) Step(round int, received []msg.Message) []sim.Outgoing {
+	if round != 1 {
+		return nil
+	}
+	m.decided = true
+	m.decision = m.fallback
+	if m.id == 0 {
+		if m.authority.Valid(m.proposal) {
+			m.decision = m.proposal
+		}
+		return nil
+	}
+	for _, rm := range received {
+		if rm.Sender == 0 && m.authority.Valid(msg.Value(rm.Payload)) {
+			m.decision = msg.Value(rm.Payload)
+		}
+	}
+	return nil
+}
+
+func (m *leaderMachine) Decision() (msg.Value, bool) {
+	if !m.decided {
+		return msg.NoDecision, false
+	}
+	return m.decision, true
+}
+
+func (m *leaderMachine) Quiescent() bool { return m.decided }

@@ -1,0 +1,150 @@
+package external_test
+
+import (
+	"testing"
+
+	"expensive/internal/crypto/sig"
+	"expensive/internal/lowerbound"
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/external"
+	"expensive/internal/protocols/reduction"
+	"expensive/internal/sim"
+)
+
+func setup(t *testing.T, n int) (*external.Authority, sig.Scheme, []msg.Value) {
+	t.Helper()
+	scheme := sig.NewIdeal("ext-test")
+	auth := external.NewAuthority(scheme)
+	txs := make([]msg.Value, 3)
+	for i := range txs {
+		tx, err := auth.NewTx(external.ClientBase+proc.ID(i), "pay-alice")
+		if err != nil {
+			t.Fatalf("NewTx: %v", err)
+		}
+		txs[i] = tx
+	}
+	return auth, scheme, txs
+}
+
+func TestAuthorityValidation(t *testing.T) {
+	auth, scheme, txs := setup(t, 4)
+	if !auth.Valid(txs[0]) {
+		t.Error("genuine tx rejected")
+	}
+	if auth.Valid("tx|1000|pay-alice|deadbeef") {
+		t.Error("tampered signature accepted")
+	}
+	if auth.Valid("not-a-tx") {
+		t.Error("garbage accepted")
+	}
+	if auth.Valid("tx|xx|p|s") {
+		t.Error("bad client id accepted")
+	}
+	// A tx signed under a different authority seed is invalid here.
+	other := external.NewAuthority(sig.NewIdeal("other-seed"))
+	if other.Valid(txs[0]) {
+		t.Error("foreign-authority tx accepted")
+	}
+	if _, err := auth.NewTx(external.ClientBase, "bad|payload"); err == nil {
+		t.Error("payload with separator accepted")
+	}
+	_ = scheme
+}
+
+func uniform(n int, v msg.Value) []msg.Value {
+	out := make([]msg.Value, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSoundExternalAgreement(t *testing.T) {
+	n, tf := 4, 1
+	auth, scheme, txs := setup(t, n)
+	fallback := txs[2]
+	factory := external.New(external.Config{N: n, T: tf, Scheme: scheme, Authority: auth, Fallback: fallback})
+
+	// Unanimous valid proposal is decided (the Corollary 1 precondition).
+	cfg := sim.Config{N: n, T: tf, Proposals: uniform(n, txs[0]), MaxRounds: external.RoundBound(tf) + 2}
+	e, err := sim.Run(cfg, factory, sim.NoFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.CommonDecision(proc.Universe(n))
+	if err != nil || d != txs[0] {
+		t.Fatalf("unanimous tx0: decided %q err %v", d, err)
+	}
+
+	// A different unanimous proposal yields a different decision: the two
+	// fully-correct executions Corollary 1 requires.
+	cfg.Proposals = uniform(n, txs[1])
+	e, err = sim.Run(cfg, factory, sim.NoFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := e.CommonDecision(proc.Universe(n))
+	if err != nil || d2 != txs[1] {
+		t.Fatalf("unanimous tx1: decided %q err %v", d2, err)
+	}
+	if d == d2 {
+		t.Fatal("the two fully-correct executions decide the same value")
+	}
+
+	// Mixed valid/invalid proposals: External Validity — the decision
+	// always satisfies the predicate.
+	cfg.Proposals = []msg.Value{"garbage", txs[1], "junk", txs[0]}
+	e, err = sim.Run(cfg, factory, sim.NoFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := e.CommonDecision(proc.Universe(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auth.Valid(d3) {
+		t.Errorf("decided invalid value %q", d3)
+	}
+}
+
+func TestCorollary1CheapExternalFalsified(t *testing.T) {
+	// Corollary 1 end-to-end: the sub-quadratic external-validity protocol
+	// has two fully-correct executions deciding different transactions, so
+	// Algorithm 1 lifts it to weak consensus at zero extra messages — and
+	// the Theorem 2 falsifier breaks that weak consensus, certifying the
+	// violation against the *external* protocol's machines.
+	n, tf := 40, 16
+	scheme := sig.NewIdeal("ext-corollary")
+	auth := external.NewAuthority(scheme)
+	tx0, err := auth.NewTx(external.ClientBase, "block-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx1, err := auth.NewTx(external.ClientBase+1, "block-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := external.CheapLeader(n, auth, tx0)
+
+	spec, err := reduction.DeriveAlg1(inner, n, tf, external.CheapLeaderRounds+1, uniform(n, tx0), uniform(n, tx1))
+	if err != nil {
+		t.Fatalf("DeriveAlg1: %v", err)
+	}
+	if spec.V0 != tx0 {
+		t.Fatalf("V0 = %q", spec.V0)
+	}
+	wrapped := reduction.WeakFromAgreement(inner, spec)
+
+	rep, err := lowerbound.Falsify("cheap-external-via-alg1", wrapped, external.CheapLeaderRounds, n, tf, lowerbound.Options{})
+	if err != nil {
+		t.Fatalf("Falsify: %v", err)
+	}
+	if !rep.Broken() {
+		t.Fatalf("expected the lifted cheap external protocol to be falsified; log:\n%v", rep.Log)
+	}
+	if err := lowerbound.CheckViolation(rep.Violation, wrapped, external.CheapLeaderRounds); err != nil {
+		t.Fatalf("certificate does not verify: %v", err)
+	}
+	t.Logf("corollary 1 violation: %v", rep.Violation)
+}

@@ -1,0 +1,128 @@
+// Package floodset implements the classical FloodSet consensus algorithm
+// for the crash-failure model [82]: every process floods the set of values
+// it has seen for t+1 rounds and decides the minimum. With at most t
+// crashes some round is crash-free, after which all correct processes hold
+// identical sets — Agreement follows.
+//
+// FloodSet is in this library as a *negative control* for the failure-model
+// hierarchy (experiment E10): it is correct under crashes but breaks under
+// general omission faults — a faulty process that withholds its value until
+// the very last round and then reveals it to a single victim splits the
+// decision. The paper's lower bound is proven against omission faults, and
+// this protocol shows the model gap is real, not cosmetic.
+package floodset
+
+import (
+	"sort"
+
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/sim"
+)
+
+// Config parameterizes FloodSet.
+type Config struct {
+	N int
+	T int
+}
+
+// RoundBound returns the decision round: t+1.
+func RoundBound(t int) int { return t + 1 }
+
+// New returns the honest-machine factory.
+func New(cfg Config) sim.Factory {
+	return func(id proc.ID, proposal msg.Value) sim.Machine {
+		return &machine{cfg: cfg, id: id, seen: map[msg.Value]bool{proposal: true}}
+	}
+}
+
+type payload struct {
+	W []msg.Value
+}
+
+type machine struct {
+	cfg  Config
+	id   proc.ID
+	seen map[msg.Value]bool
+
+	decided  bool
+	decision msg.Value
+	done     bool
+}
+
+var _ sim.Machine = (*machine)(nil)
+
+func (m *machine) sorted() []msg.Value {
+	out := make([]msg.Value, 0, len(m.seen))
+	for v := range m.seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (m *machine) broadcast() []sim.Outgoing {
+	body := msg.Encode(payload{W: m.sorted()})
+	out := make([]sim.Outgoing, 0, m.cfg.N-1)
+	for p := proc.ID(0); p < proc.ID(m.cfg.N); p++ {
+		if p != m.id {
+			out = append(out, sim.Outgoing{To: p, Payload: body})
+		}
+	}
+	return out
+}
+
+// Init implements sim.Machine.
+func (m *machine) Init() []sim.Outgoing { return m.broadcast() }
+
+// Step implements sim.Machine.
+func (m *machine) Step(round int, received []msg.Message) []sim.Outgoing {
+	if m.done {
+		return nil
+	}
+	for _, rm := range received {
+		var p payload
+		if err := msg.Decode(rm.Payload, &p); err != nil {
+			continue
+		}
+		for _, v := range p.W {
+			m.seen[v] = true
+		}
+	}
+	if round >= RoundBound(m.cfg.T) {
+		m.decision = m.sorted()[0] // min of W
+		m.decided, m.done = true, true
+		return nil
+	}
+	return m.broadcast()
+}
+
+// Decision implements sim.Machine.
+func (m *machine) Decision() (msg.Value, bool) {
+	if !m.decided {
+		return msg.NoDecision, false
+	}
+	return m.decision, true
+}
+
+// Quiescent implements sim.Machine.
+func (m *machine) Quiescent() bool { return m.done }
+
+// LastRoundReveal is the omission attack that defeats FloodSet: the faulty
+// attacker holds a uniquely small value, send-omits everything until the
+// final round, then delivers only to the victim. The victim's set gains
+// the small value at decision time; everyone else never sees it.
+func LastRoundReveal(attacker, victim proc.ID, t int) sim.OmissionPlan {
+	return sim.OmissionPlan{
+		F: proc.NewSet(attacker),
+		SendFn: func(m msg.Message) bool {
+			if m.Sender != attacker {
+				return false
+			}
+			if m.Round < RoundBound(t) {
+				return true // withhold everything before the last round
+			}
+			return m.Receiver != victim // reveal to the victim only
+		},
+	}
+}

@@ -1,0 +1,178 @@
+package gradecast_test
+
+import (
+	"testing"
+
+	"expensive/internal/msg"
+	"expensive/internal/omission"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/gradecast"
+	"expensive/internal/sim"
+)
+
+func runGC(t *testing.T, cfg gradecast.Config, proposals []msg.Value, plan sim.FaultPlan) map[proc.ID]msg.Value {
+	t.Helper()
+	sc := sim.Config{N: cfg.N, T: cfg.T, Proposals: proposals, MaxRounds: gradecast.RoundBound() + 1}
+	e, err := sim.Run(sc, gradecast.New(cfg), plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := omission.Validate(e); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	out := make(map[proc.ID]msg.Value, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		if d, ok := e.Decision(proc.ID(i)); ok {
+			out[proc.ID(i)] = d
+		}
+	}
+	return out
+}
+
+func uniform(n int, v msg.Value) []msg.Value {
+	out := make([]msg.Value, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestCorrectSenderGradeTwo(t *testing.T) {
+	cfg := gradecast.Config{N: 7, T: 2, Sender: 3}
+	decisions := runGC(t, cfg, uniform(7, "payload"), sim.NoFaults{})
+	if err := gradecast.CheckProperties(decisions, proc.Universe(7), true, "payload"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// splitDealer sends "L" to low ids and "R" to high ids, then behaves
+// honestly in later rounds (echoing nothing).
+type splitDealer struct{ n int }
+
+func (m *splitDealer) Init() []sim.Outgoing {
+	var out []sim.Outgoing
+	for p := 1; p < m.n; p++ {
+		v := "L"
+		if p > m.n/2 {
+			v = "R"
+		}
+		out = append(out, sim.Outgoing{To: proc.ID(p), Payload: v})
+	}
+	return out
+}
+func (m *splitDealer) Step(int, []msg.Message) []sim.Outgoing { return nil }
+func (m *splitDealer) Decision() (msg.Value, bool)            { return msg.NoDecision, false }
+func (m *splitDealer) Quiescent() bool                        { return true }
+
+func TestEquivocatingDealerConsistency(t *testing.T) {
+	// G2/G3 must hold even when the dealer equivocates: no two correct
+	// processes with positive grades may disagree.
+	cfg := gradecast.Config{N: 7, T: 2, Sender: 0}
+	plan := sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{0: &splitDealer{n: 7}}}
+	decisions := runGC(t, cfg, uniform(7, "ignored"), plan)
+	correct := proc.Range(1, 7)
+	if err := gradecast.CheckProperties(decisions, correct, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSilentDealerGradeZero(t *testing.T) {
+	cfg := gradecast.Config{N: 4, T: 1, Sender: 0}
+	plan := sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{0: silent{}}}
+	decisions := runGC(t, cfg, uniform(4, "x"), plan)
+	for _, id := range []proc.ID{1, 2, 3} {
+		g, _, err := gradecast.Parse(decisions[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != 0 {
+			t.Errorf("%s got grade %d for a silent dealer", id, g)
+		}
+	}
+}
+
+type silent struct{}
+
+func (silent) Init() []sim.Outgoing                   { return nil }
+func (silent) Step(int, []msg.Message) []sim.Outgoing { return nil }
+func (silent) Decision() (msg.Value, bool)            { return msg.NoDecision, false }
+func (silent) Quiescent() bool                        { return true }
+
+// echoLiar is a corrupt non-dealer that echoes a fabricated value in
+// rounds 2 and 3, trying to drag honest processes to a bogus grade.
+type echoLiar struct {
+	n  int
+	id proc.ID
+}
+
+func (m *echoLiar) emit() []sim.Outgoing {
+	var out []sim.Outgoing
+	for p := 0; p < m.n; p++ {
+		if proc.ID(p) != m.id {
+			out = append(out, sim.Outgoing{To: proc.ID(p), Payload: "bogus"})
+		}
+	}
+	return out
+}
+func (m *echoLiar) Init() []sim.Outgoing { return nil }
+func (m *echoLiar) Step(round int, _ []msg.Message) []sim.Outgoing {
+	if round < 3 {
+		return m.emit()
+	}
+	return nil
+}
+func (m *echoLiar) Decision() (msg.Value, bool) { return msg.NoDecision, false }
+func (m *echoLiar) Quiescent() bool             { return false }
+
+func TestLyingEchoersCannotOverrideCorrectDealer(t *testing.T) {
+	cfg := gradecast.Config{N: 7, T: 2, Sender: 0}
+	plan := sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{
+		5: &echoLiar{n: 7, id: 5},
+		6: &echoLiar{n: 7, id: 6},
+	}}
+	decisions := runGC(t, cfg, uniform(7, "truth"), plan)
+	correct := proc.NewSet(0, 1, 2, 3, 4)
+	if err := gradecast.CheckProperties(decisions, correct, true, "truth"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (gradecast.Config{N: 6, T: 2, Sender: 0}).Validate(); err == nil {
+		t.Error("expected n > 3t error")
+	}
+	if err := (gradecast.Config{N: 7, T: 2, Sender: 9}).Validate(); err == nil {
+		t.Error("expected sender range error")
+	}
+	if err := (gradecast.Config{N: 7, T: 2, Sender: 0}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, _, err := gradecast.Parse("junk"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, _, err := gradecast.Parse("g|x|v"); err == nil {
+		t.Error("expected grade parse error")
+	}
+	g, v, err := gradecast.Parse(gradecast.Output(2, "val"))
+	if err != nil || g != 2 || v != "val" {
+		t.Errorf("round trip: %d %q %v", g, v, err)
+	}
+}
+
+func TestMessageComplexityQuadratic(t *testing.T) {
+	n := 10
+	cfg := gradecast.Config{N: n, T: 3, Sender: 0}
+	sc := sim.Config{N: n, T: 3, Proposals: uniform(n, "v"), MaxRounds: gradecast.RoundBound() + 1}
+	e, err := sim.Run(sc, gradecast.New(cfg), sim.NoFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One dealer round + two all-to-all rounds: <= (n-1) + 2n(n-1).
+	limit := (n - 1) + 2*n*(n-1)
+	if got := e.CorrectMessages(); got > limit {
+		t.Errorf("%d messages > bound %d", got, limit)
+	}
+}

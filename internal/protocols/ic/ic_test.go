@@ -1,0 +1,82 @@
+package ic_test
+
+import (
+	"testing"
+
+	"expensive/internal/crypto/sig"
+	"expensive/internal/msg"
+	"expensive/internal/omission"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/ic"
+	"expensive/internal/sim"
+)
+
+func runIC(t *testing.T, n, tf int, proposals []msg.Value, plan sim.FaultPlan) *sim.Execution {
+	t.Helper()
+	scheme := sig.NewIdeal("ic-test")
+	cfg := sim.Config{N: n, T: tf, Proposals: proposals, MaxRounds: ic.RoundBound(tf) + 2}
+	e, err := sim.Run(cfg, ic.New(ic.Config{N: n, T: tf, Scheme: scheme, Default: "⊥"}), plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return e
+}
+
+func TestICValidityFaultFree(t *testing.T) {
+	proposals := []msg.Value{"a", "b", "c", "d"}
+	e := runIC(t, 4, 1, proposals, sim.NoFaults{})
+	d, err := e.CommonDecision(proc.Universe(4))
+	if err != nil {
+		t.Fatalf("CommonDecision: %v", err)
+	}
+	vec, err := msg.DecodeVector(d)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i, v := range vec {
+		if v != proposals[i] {
+			t.Errorf("vec[%d] = %q, want %q (IC-Validity)", i, v, proposals[i])
+		}
+	}
+	if err := omission.Validate(e); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+}
+
+// silent never sends.
+type silent struct{}
+
+func (silent) Init() []sim.Outgoing                   { return nil }
+func (silent) Step(int, []msg.Message) []sim.Outgoing { return nil }
+func (silent) Decision() (msg.Value, bool)            { return msg.NoDecision, false }
+func (silent) Quiescent() bool                        { return true }
+
+func TestICWithSilentByzantine(t *testing.T) {
+	proposals := []msg.Value{"a", "b", "c", "d", "e"}
+	plan := sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{2: silent{}}}
+	e := runIC(t, 5, 1, proposals, plan)
+	d, err := e.CommonDecision(proc.NewSet(0, 1, 3, 4))
+	if err != nil {
+		t.Fatalf("Agreement violated: %v", err)
+	}
+	vec, err := msg.DecodeVector(d)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// Correct entries survive; the silent process's slot is the default.
+	for _, i := range []int{0, 1, 3, 4} {
+		if vec[i] != proposals[i] {
+			t.Errorf("vec[%d] = %q, want %q", i, vec[i], proposals[i])
+		}
+	}
+	if vec[2] != "⊥" {
+		t.Errorf("vec[2] = %q, want default", vec[2])
+	}
+}
+
+func TestICDecidesWithinBound(t *testing.T) {
+	e := runIC(t, 4, 2, []msg.Value{"a", "b", "c", "d"}, sim.NoFaults{})
+	if e.Rounds > ic.RoundBound(2)+1 {
+		t.Errorf("decided after %d rounds, bound %d", e.Rounds, ic.RoundBound(2))
+	}
+}

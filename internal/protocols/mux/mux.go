@@ -1,0 +1,147 @@
+// Package mux composes several independent protocol instances into a
+// single machine per process.
+//
+// The computational model (Appendix A.1) allows at most one message per
+// sender/receiver pair per round, so running n parallel Byzantine
+// broadcast instances — as interactive consistency does — requires
+// bundling the per-instance messages into one payload. The multiplexer
+// does exactly that: payloads are canonical JSON maps from instance index
+// to inner payload, and received bundles are demultiplexed back into
+// per-instance synthetic messages.
+package mux
+
+import (
+	"strconv"
+
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/sim"
+)
+
+// Combiner folds the decisions of all sub-machines (in instance order)
+// into the composite decision.
+type Combiner func(sub []msg.Value) msg.Value
+
+// VectorCombiner encodes the sub-decisions as an I_n vector — the natural
+// combiner for interactive consistency.
+func VectorCombiner(sub []msg.Value) msg.Value { return msg.EncodeVector(sub) }
+
+// Machine multiplexes k sub-machines over the single-message-per-peer
+// channel model.
+type Machine struct {
+	subs    []sim.Machine
+	combine Combiner
+
+	decided  bool
+	decision msg.Value
+}
+
+var _ sim.Machine = (*Machine)(nil)
+
+// New builds a multiplexed machine over subs. The composite decides once
+// every sub-machine has decided, combining their decisions with combine.
+func New(subs []sim.Machine, combine Combiner) *Machine {
+	return &Machine{subs: subs, combine: combine}
+}
+
+type bundle struct {
+	// I maps instance index (decimal string, for canonical JSON ordering)
+	// to the inner payload.
+	I map[string]string
+}
+
+// Init implements sim.Machine.
+func (m *Machine) Init() []sim.Outgoing {
+	perInstance := make([][]sim.Outgoing, len(m.subs))
+	for i, s := range m.subs {
+		perInstance[i] = s.Init()
+	}
+	return m.muxOutgoing(perInstance)
+}
+
+// Step implements sim.Machine.
+func (m *Machine) Step(round int, received []msg.Message) []sim.Outgoing {
+	// Demultiplex: per instance, per sender, the synthetic inner message.
+	inner := make([][]msg.Message, len(m.subs))
+	for _, outerMsg := range received {
+		var b bundle
+		if err := msg.Decode(outerMsg.Payload, &b); err != nil {
+			continue // malformed bundle from a Byzantine sender: ignore
+		}
+		for key, payload := range b.I {
+			idx, err := strconv.Atoi(key)
+			if err != nil || idx < 0 || idx >= len(m.subs) {
+				continue
+			}
+			inner[idx] = append(inner[idx], msg.Message{
+				Sender:   outerMsg.Sender,
+				Receiver: outerMsg.Receiver,
+				Round:    outerMsg.Round,
+				Payload:  payload,
+			})
+		}
+	}
+	perInstance := make([][]sim.Outgoing, len(m.subs))
+	for i, s := range m.subs {
+		msg.Sort(inner[i])
+		perInstance[i] = s.Step(round, inner[i])
+	}
+	m.refreshDecision()
+	return m.muxOutgoing(perInstance)
+}
+
+func (m *Machine) refreshDecision() {
+	if m.decided {
+		return
+	}
+	decisions := make([]msg.Value, len(m.subs))
+	for i, s := range m.subs {
+		v, ok := s.Decision()
+		if !ok {
+			return
+		}
+		decisions[i] = v
+	}
+	m.decided, m.decision = true, m.combine(decisions)
+}
+
+func (m *Machine) muxOutgoing(perInstance [][]sim.Outgoing) []sim.Outgoing {
+	byReceiver := make(map[proc.ID]*bundle)
+	var order []proc.ID
+	for i, outs := range perInstance {
+		key := strconv.Itoa(i)
+		for _, o := range outs {
+			b, ok := byReceiver[o.To]
+			if !ok {
+				b = &bundle{I: make(map[string]string)}
+				byReceiver[o.To] = b
+				order = append(order, o.To)
+			}
+			b.I[key] = o.Payload
+		}
+	}
+	proc.SortIDs(order)
+	out := make([]sim.Outgoing, 0, len(order))
+	for _, to := range order {
+		out = append(out, sim.Outgoing{To: to, Payload: msg.Encode(byReceiver[to])})
+	}
+	return out
+}
+
+// Decision implements sim.Machine.
+func (m *Machine) Decision() (msg.Value, bool) {
+	if !m.decided {
+		return msg.NoDecision, false
+	}
+	return m.decision, true
+}
+
+// Quiescent implements sim.Machine.
+func (m *Machine) Quiescent() bool {
+	for _, s := range m.subs {
+		if !s.Quiescent() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package mux_test
+
+import (
+	"strings"
+	"testing"
+
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/mux"
+	"expensive/internal/sim"
+)
+
+// pingMachine broadcasts its tagged proposal in round 1 and decides the
+// sorted concatenation of everything it saw after round 2.
+type pingMachine struct {
+	n        int
+	id       proc.ID
+	tag      string
+	proposal msg.Value
+	seen     []string
+	decided  bool
+	decision msg.Value
+}
+
+func pingFactory(n int, tag string) sim.Factory {
+	return func(id proc.ID, proposal msg.Value) sim.Machine {
+		return &pingMachine{n: n, id: id, tag: tag, proposal: proposal}
+	}
+}
+
+func (m *pingMachine) Init() []sim.Outgoing {
+	var out []sim.Outgoing
+	for p := proc.ID(0); p < proc.ID(m.n); p++ {
+		if p != m.id {
+			out = append(out, sim.Outgoing{To: p, Payload: m.tag + ":" + string(m.proposal)})
+		}
+	}
+	return out
+}
+
+func (m *pingMachine) Step(round int, received []msg.Message) []sim.Outgoing {
+	for _, rm := range received {
+		m.seen = append(m.seen, rm.Payload)
+	}
+	if round >= 1 {
+		m.decided = true
+		m.decision = msg.Value(strings.Join(m.seen, "|"))
+	}
+	return nil
+}
+
+func (m *pingMachine) Decision() (msg.Value, bool) {
+	if !m.decided {
+		return msg.NoDecision, false
+	}
+	return m.decision, true
+}
+
+func (m *pingMachine) Quiescent() bool { return m.decided }
+
+func muxFactory(n int) sim.Factory {
+	return func(id proc.ID, proposal msg.Value) sim.Machine {
+		subs := []sim.Machine{
+			pingFactory(n, "a")(id, proposal),
+			pingFactory(n, "b")(id, proposal),
+		}
+		return mux.New(subs, mux.VectorCombiner)
+	}
+}
+
+func TestMuxRoutesPerInstance(t *testing.T) {
+	cfg := sim.Config{N: 3, T: 0, Proposals: []msg.Value{"x", "y", "z"}, MaxRounds: 4}
+	e, err := sim.Run(cfg, muxFactory(3), sim.NoFaults{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	d, ok := e.Decision(0)
+	if !ok {
+		t.Fatal("p0 undecided")
+	}
+	vec, err := msg.DecodeVector(d)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(vec) != 2 {
+		t.Fatalf("vector len = %d", len(vec))
+	}
+	// Instance "a" saw only a-tagged payloads, in sender order.
+	if vec[0] != "a:y|a:z" {
+		t.Errorf("instance a decision = %q", vec[0])
+	}
+	if vec[1] != "b:y|b:z" {
+		t.Errorf("instance b decision = %q", vec[1])
+	}
+	// Exactly one wire message per peer per round despite two instances.
+	if got := len(e.Behavior(0).Frag(1).Sent); got != 2 {
+		t.Errorf("p0 sent %d messages in round 1, want 2 (muxed)", got)
+	}
+}
+
+// garbageSender emits unparseable bundles.
+type garbageSender struct{ n int }
+
+func (m *garbageSender) Init() []sim.Outgoing {
+	var out []sim.Outgoing
+	for p := 1; p < m.n; p++ {
+		out = append(out, sim.Outgoing{To: proc.ID(p), Payload: "{{{not json"})
+	}
+	return out
+}
+func (m *garbageSender) Step(int, []msg.Message) []sim.Outgoing { return nil }
+func (m *garbageSender) Decision() (msg.Value, bool)            { return msg.NoDecision, false }
+func (m *garbageSender) Quiescent() bool                        { return true }
+
+func TestMuxToleratesGarbage(t *testing.T) {
+	plan := sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{0: &garbageSender{n: 3}}}
+	cfg := sim.Config{N: 3, T: 1, Proposals: []msg.Value{"x", "y", "z"}, MaxRounds: 4}
+	e, err := sim.Run(cfg, muxFactory(3), plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, id := range []proc.ID{1, 2} {
+		if _, ok := e.Decision(id); !ok {
+			t.Errorf("%s undecided after garbage bundle", id)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package phaseking_test
+
+import (
+	"testing"
+
+	"expensive/internal/msg"
+	"expensive/internal/omission"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/phaseking"
+	"expensive/internal/sim"
+)
+
+func runPK(t *testing.T, cfg phaseking.Config, proposals []msg.Value, plan sim.FaultPlan, rounds int) *sim.Execution {
+	t.Helper()
+	sc := sim.Config{N: cfg.N, T: cfg.T, Proposals: proposals, MaxRounds: rounds}
+	e, err := sim.Run(sc, phaseking.New(cfg), plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return e
+}
+
+func bits(pattern ...int) []msg.Value {
+	out := make([]msg.Value, len(pattern))
+	for i, b := range pattern {
+		out[i] = msg.Bit(b)
+	}
+	return out
+}
+
+func TestStrongValidityFaultFree(t *testing.T) {
+	for _, b := range []int{0, 1} {
+		cfg := phaseking.Config{N: 5, T: 1}
+		pattern := []int{b, b, b, b, b}
+		e := runPK(t, cfg, bits(pattern...), sim.NoFaults{}, phaseking.RoundBound(1)+2)
+		d, err := e.CommonDecision(proc.Universe(5))
+		if err != nil {
+			t.Fatalf("CommonDecision: %v", err)
+		}
+		if d != msg.Bit(b) {
+			t.Errorf("decided %q, want %d", d, b)
+		}
+		if err := omission.Validate(e); err != nil {
+			t.Errorf("trace invalid: %v", err)
+		}
+	}
+}
+
+func TestMixedProposalsAgree(t *testing.T) {
+	cfg := phaseking.Config{N: 5, T: 1}
+	e := runPK(t, cfg, bits(0, 1, 0, 1, 1), sim.NoFaults{}, phaseking.RoundBound(1)+2)
+	if _, err := e.CommonDecision(proc.Universe(5)); err != nil {
+		t.Fatalf("Agreement: %v", err)
+	}
+}
+
+// splitKing equivocates: in exchange rounds it reports 0 to the first half
+// and 1 to the rest; in its king round it sends the same split.
+type splitKing struct {
+	n, t int
+	id   proc.ID
+}
+
+func (m *splitKing) emit() []sim.Outgoing {
+	var out []sim.Outgoing
+	for p := 0; p < m.n; p++ {
+		if proc.ID(p) == m.id {
+			continue
+		}
+		v := msg.Zero
+		if p >= m.n/2 {
+			v = msg.One
+		}
+		out = append(out, sim.Outgoing{To: proc.ID(p), Payload: msg.Encode(struct{ V msg.Value }{v})})
+	}
+	return out
+}
+
+func (m *splitKing) Init() []sim.Outgoing { return m.emit() }
+
+func (m *splitKing) Step(round int, _ []msg.Message) []sim.Outgoing {
+	if round >= 2*(m.t+1) {
+		return nil
+	}
+	return m.emit()
+}
+
+func (m *splitKing) Decision() (msg.Value, bool) { return msg.NoDecision, false }
+func (m *splitKing) Quiescent() bool             { return false }
+
+func TestAgreementDespiteByzantineKing(t *testing.T) {
+	// n = 9 > 4t with t = 2; kings of phases 1 and 2 are Byzantine splitters.
+	cfg := phaseking.Config{N: 9, T: 2}
+	plan := sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{
+		0: &splitKing{n: 9, t: 2, id: 0},
+		1: &splitKing{n: 9, t: 2, id: 1},
+	}}
+	e := runPK(t, cfg, bits(0, 0, 0, 1, 1, 0, 1, 0, 1), plan, phaseking.RoundBound(2)+2)
+	if _, err := e.CommonDecision(proc.Range(2, 9)); err != nil {
+		t.Fatalf("Agreement violated: %v", err)
+	}
+}
+
+func TestValidityPersistsUnderByzantineMinority(t *testing.T) {
+	// All correct processes propose 1; the adversary must not flip it.
+	cfg := phaseking.Config{N: 9, T: 2}
+	plan := sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{
+		0: &splitKing{n: 9, t: 2, id: 0},
+		5: &splitKing{n: 9, t: 2, id: 5},
+	}}
+	e := runPK(t, cfg, bits(1, 1, 1, 1, 1, 1, 1, 1, 1), plan, phaseking.RoundBound(2)+2)
+	d, err := e.CommonDecision(proc.NewSet(1, 2, 3, 4, 6, 7, 8))
+	if err != nil {
+		t.Fatalf("Agreement: %v", err)
+	}
+	if d != msg.One {
+		t.Errorf("decided %q, want 1 (Strong Validity)", d)
+	}
+}
+
+func TestPhaseAblation(t *testing.T) {
+	// With only t phases (instead of t+1) and the t kings Byzantine, the
+	// adversary keeps the correct processes split: no phase has a correct
+	// king. t+1 phases restore agreement — the pigeonhole is load-bearing.
+	n, tf := 5, 1
+	adv := sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{
+		0: &splitKing{n: n, t: tf, id: 0},
+	}}
+	// Mixed proposals so no one reaches the mult > n/2+t fast path.
+	proposals := bits(0, 0, 0, 1, 1)
+
+	ablated := phaseking.Config{N: n, T: tf, PhasesOverride: tf}
+	e := runPK(t, ablated, proposals, adv, 2*tf+2)
+	if _, err := e.CommonDecision(proc.Range(1, 5)); err == nil {
+		t.Error("expected disagreement with t phases and all kings Byzantine")
+	}
+
+	full := phaseking.Config{N: n, T: tf}
+	e = runPK(t, full, proposals, adv, phaseking.RoundBound(tf)+2)
+	if _, err := e.CommonDecision(proc.Range(1, 5)); err != nil {
+		t.Errorf("full protocol violated agreement: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (phaseking.Config{N: 8, T: 2}).Validate(); err == nil {
+		t.Error("expected n > 4t validation error")
+	}
+	if err := (phaseking.Config{N: 9, T: 2}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestNonBinaryProposalClamped(t *testing.T) {
+	cfg := phaseking.Config{N: 5, T: 1}
+	proposals := []msg.Value{"junk", "0", "0", "0", "0"}
+	e := runPK(t, cfg, proposals, sim.NoFaults{}, phaseking.RoundBound(1)+2)
+	d, err := e.CommonDecision(proc.Universe(5))
+	if err != nil {
+		t.Fatalf("CommonDecision: %v", err)
+	}
+	if d != msg.Zero {
+		t.Errorf("decided %q, want 0", d)
+	}
+}

@@ -1,0 +1,212 @@
+// Package reduction implements the paper's two constructive reductions:
+//
+//   - Algorithm 1 (§4.2): a zero-message reduction from weak consensus to
+//     any solvable non-trivial agreement problem P. Proposing 0 (resp. 1)
+//     feeds P the fixed fully-correct input configuration c0 (resp. c1);
+//     deciding v'_0 from P maps to 0, anything else to 1. Lemma 18 shows
+//     this is a correct weak consensus algorithm with *exactly* the message
+//     complexity of P — which is how the Ω(t²) bound generalizes
+//     (Theorem 3).
+//
+//   - Algorithm 2 (§5.2.2): a reduction from any agreement problem P
+//     satisfying the containment condition to interactive consistency. A
+//     process forwards its proposal to IC and decides Γ(vec) on the decided
+//     vector. This is the sufficiency half of the general solvability
+//     theorem (Theorem 4) and the way this library *derives protocols
+//     automatically* from validity properties.
+package reduction
+
+import (
+	"fmt"
+
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/sim"
+)
+
+// Gamma is the Turing-computable selector of Definition 3: it maps a
+// decided I_n vector to a value admissible under every contained input
+// configuration.
+type Gamma func(vec []msg.Value) msg.Value
+
+// FromIC implements Algorithm 2: wrap an interactive-consistency factory
+// so that the machine decides Γ(vec) once IC decides vec. The reduction
+// adds no messages.
+func FromIC(icFactory sim.Factory, gamma Gamma) sim.Factory {
+	return func(id proc.ID, proposal msg.Value) sim.Machine {
+		return &gammaMachine{inner: icFactory(id, proposal), gamma: gamma}
+	}
+}
+
+type gammaMachine struct {
+	inner sim.Machine
+	gamma Gamma
+
+	decided  bool
+	decision msg.Value
+}
+
+var _ sim.Machine = (*gammaMachine)(nil)
+
+func (m *gammaMachine) Init() []sim.Outgoing { return m.inner.Init() }
+
+func (m *gammaMachine) Step(round int, received []msg.Message) []sim.Outgoing {
+	out := m.inner.Step(round, received)
+	if !m.decided {
+		if v, ok := m.inner.Decision(); ok {
+			vec, err := msg.DecodeVector(v)
+			if err == nil {
+				m.decided, m.decision = true, m.gamma(vec)
+			}
+		}
+	}
+	return out
+}
+
+func (m *gammaMachine) Decision() (msg.Value, bool) {
+	if !m.decided {
+		return msg.NoDecision, false
+	}
+	return m.decision, true
+}
+
+func (m *gammaMachine) Quiescent() bool { return m.inner.Quiescent() }
+
+// Alg1Spec fixes the ingredients of Algorithm 1 (Table 2): the two
+// fully-correct input configurations and the value P decides under c0.
+type Alg1Spec struct {
+	// C0 is an input configuration of P with all processes correct
+	// (π(c0) = Π); proposing 0 to weak consensus proposes C0[i] to P.
+	C0 []msg.Value
+	// C1 is a fully-correct input configuration containing some c1* with
+	// v'_0 ∉ val(c1*); proposing 1 proposes C1[i].
+	C1 []msg.Value
+	// V0 is the value P decides in the fully-correct execution on C0.
+	V0 msg.Value
+}
+
+// WeakFromAgreement implements Algorithm 1: builds a binary weak consensus
+// factory on top of any factory solving P, adding zero messages.
+func WeakFromAgreement(inner sim.Factory, spec Alg1Spec) sim.Factory {
+	return func(id proc.ID, proposal msg.Value) sim.Machine {
+		prop := spec.C0[id]
+		if proposal == msg.One {
+			prop = spec.C1[id]
+		}
+		return &alg1Machine{inner: inner(id, prop), v0: spec.V0}
+	}
+}
+
+type alg1Machine struct {
+	inner sim.Machine
+	v0    msg.Value
+
+	decided  bool
+	decision msg.Value
+}
+
+var _ sim.Machine = (*alg1Machine)(nil)
+
+func (m *alg1Machine) Init() []sim.Outgoing { return m.inner.Init() }
+
+func (m *alg1Machine) Step(round int, received []msg.Message) []sim.Outgoing {
+	out := m.inner.Step(round, received)
+	if !m.decided {
+		if v, ok := m.inner.Decision(); ok {
+			m.decided = true
+			if v == m.v0 {
+				m.decision = msg.Zero
+			} else {
+				m.decision = msg.One
+			}
+		}
+	}
+	return out
+}
+
+func (m *alg1Machine) Decision() (msg.Value, bool) {
+	if !m.decided {
+		return msg.NoDecision, false
+	}
+	return m.decision, true
+}
+
+func (m *alg1Machine) Quiescent() bool { return m.inner.Quiescent() }
+
+// DeriveAlg1 computes V0 for Algorithm 1 by running P's fully-correct
+// execution E0 on configuration c0 (Table 2: v'_0 is well-defined because
+// P satisfies Termination and Agreement and fully-correct executions are
+// determined by the proposals).
+func DeriveAlg1(inner sim.Factory, n, t, horizon int, c0, c1 []msg.Value) (Alg1Spec, error) {
+	if len(c0) != n || len(c1) != n {
+		return Alg1Spec{}, fmt.Errorf("derive alg1: configurations must assign all %d processes", n)
+	}
+	cfg := sim.Config{N: n, T: t, Proposals: append([]msg.Value{}, c0...), MaxRounds: horizon}
+	exec, err := sim.Run(cfg, inner, sim.NoFaults{})
+	if err != nil {
+		return Alg1Spec{}, fmt.Errorf("derive alg1: run E0: %w", err)
+	}
+	v0, err := exec.CommonDecision(proc.Universe(n))
+	if err != nil {
+		return Alg1Spec{}, fmt.Errorf("derive alg1: E0 has no common decision: %w", err)
+	}
+	return Alg1Spec{C0: append([]msg.Value{}, c0...), C1: append([]msg.Value{}, c1...), V0: v0}, nil
+}
+
+// Closed-form Γ selectors for the standard validity properties, usable at
+// any n (the validity package synthesizes Γ for arbitrary finite
+// properties at small n).
+
+// GammaWeak selects the unanimous value of the vector, or def when the
+// vector is not unanimous. It realizes Weak Validity through Algorithm 2:
+// Γ(vec) ∈ ⋂_{c' ⊑ vec} val_weak(c') because only the full configuration
+// constrains the decision.
+func GammaWeak(def msg.Value) Gamma {
+	return func(vec []msg.Value) msg.Value {
+		if len(vec) == 0 {
+			return def
+		}
+		v := vec[0]
+		for _, x := range vec[1:] {
+			if x != v {
+				return def
+			}
+		}
+		return v
+	}
+}
+
+// GammaStrong selects the value held by at least n-t entries (unique when
+// n > 2t), or def when none exists. It realizes Strong Validity through
+// Algorithm 2 for n > 2t — the solvability frontier Theorem 5 establishes.
+func GammaStrong(n, t int, def msg.Value) Gamma {
+	return func(vec []msg.Value) msg.Value {
+		counts := make(map[msg.Value]int, len(vec))
+		for _, v := range vec {
+			counts[v]++
+		}
+		best, bestN := def, -1
+		for v, c := range counts {
+			if c > bestN || (c == bestN && v < best) {
+				best, bestN = v, c
+			}
+		}
+		if bestN >= n-t {
+			return best
+		}
+		return def
+	}
+}
+
+// GammaFirstValid selects the first entry (in process order) satisfying
+// the predicate, or fallback — the External Validity selector of §4.3.
+func GammaFirstValid(valid func(msg.Value) bool, fallback msg.Value) Gamma {
+	return func(vec []msg.Value) msg.Value {
+		for _, v := range vec {
+			if valid(v) {
+				return v
+			}
+		}
+		return fallback
+	}
+}

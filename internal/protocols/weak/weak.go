@@ -1,0 +1,50 @@
+// Package weak provides *sound* binary weak consensus algorithms — the
+// upper-bound side of Theorem 2. All of them have Ω(n²) message
+// complexity, as the theorem says they must, and the lower-bound falsifier
+// certifies that their probe executions exceed the t²/32 budget instead of
+// producing a violation (experiment E1).
+//
+// Three constructions are provided, matching the three substrates of the
+// paper's landscape:
+//
+//   - ViaIC: authenticated, tolerates any t < n. Interactive consistency
+//     (n × Dolev-Strong) composed with Γ_weak through Algorithm 2.
+//   - ViaEIG: unauthenticated, n > 3t. EIG interactive consistency composed
+//     with Γ_weak — the unauthenticated solvability frontier of Theorem 4.
+//   - ViaPhaseKing: unauthenticated, n > 4t, polynomial messages. Binary
+//     Strong Validity implies Weak Validity, so Phase-King solves weak
+//     consensus directly.
+package weak
+
+import (
+	"expensive/internal/crypto/sig"
+	"expensive/internal/msg"
+	"expensive/internal/protocols/eig"
+	"expensive/internal/protocols/ic"
+	"expensive/internal/protocols/phaseking"
+	"expensive/internal/protocols/reduction"
+	"expensive/internal/sim"
+)
+
+// Default is the fallback decision when unanimity is not observed.
+const Default = msg.One
+
+// ViaIC returns an authenticated weak consensus factory (any t < n) and
+// its decision-round bound.
+func ViaIC(n, t int, scheme sig.Scheme) (sim.Factory, int) {
+	icf := ic.New(ic.Config{N: n, T: t, Scheme: scheme, Default: Default})
+	return reduction.FromIC(icf, reduction.GammaWeak(Default)), ic.RoundBound(t)
+}
+
+// ViaEIG returns an unauthenticated weak consensus factory (n > 3t) and
+// its decision-round bound.
+func ViaEIG(n, t int) (sim.Factory, int) {
+	eigf := eig.New(eig.Config{N: n, T: t, Default: Default})
+	return reduction.FromIC(eigf, reduction.GammaWeak(Default)), eig.RoundBound(t)
+}
+
+// ViaPhaseKing returns an unauthenticated polynomial weak consensus
+// factory (n > 4t) and its decision-round bound.
+func ViaPhaseKing(n, t int) (sim.Factory, int) {
+	return phaseking.New(phaseking.Config{N: n, T: t}), phaseking.RoundBound(t)
+}

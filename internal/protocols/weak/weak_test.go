@@ -1,0 +1,81 @@
+package weak_test
+
+import (
+	"testing"
+
+	"expensive/internal/crypto/sig"
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/weak"
+	"expensive/internal/sim"
+)
+
+func uniform(n int, v msg.Value) []msg.Value {
+	out := make([]msg.Value, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// All three constructions must satisfy Weak Validity on unanimous
+// fault-free executions and Agreement on mixed ones.
+func TestAllConstructions(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, t    int
+		factory sim.Factory
+		rounds  int
+	}{}
+	f1, r1 := weak.ViaIC(4, 2, sig.NewIdeal("weak-test"))
+	cases = append(cases, struct {
+		name    string
+		n, t    int
+		factory sim.Factory
+		rounds  int
+	}{"via-ic t<n", 4, 2, f1, r1})
+	f2, r2 := weak.ViaEIG(4, 1)
+	cases = append(cases, struct {
+		name    string
+		n, t    int
+		factory sim.Factory
+		rounds  int
+	}{"via-eig n>3t", 4, 1, f2, r2})
+	f3, r3 := weak.ViaPhaseKing(5, 1)
+	cases = append(cases, struct {
+		name    string
+		n, t    int
+		factory sim.Factory
+		rounds  int
+	}{"via-phase-king n>4t", 5, 1, f3, r3})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, b := range []msg.Value{msg.Zero, msg.One} {
+				cfg := sim.Config{N: tc.n, T: tc.t, Proposals: uniform(tc.n, b), MaxRounds: tc.rounds + 1}
+				e, err := sim.Run(cfg, tc.factory, sim.NoFaults{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, err := e.CommonDecision(proc.Universe(tc.n))
+				if err != nil || d != b {
+					t.Errorf("unanimous %s: decided %q err %v (Weak Validity)", b, d, err)
+				}
+			}
+			mixed := uniform(tc.n, msg.Zero)
+			mixed[0] = msg.One
+			cfg := sim.Config{N: tc.n, T: tc.t, Proposals: mixed, MaxRounds: tc.rounds + 1}
+			e, err := sim.Run(cfg, tc.factory, sim.NoFaults{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := e.CommonDecision(proc.Universe(tc.n))
+			if err != nil {
+				t.Fatalf("Agreement: %v", err)
+			}
+			if !msg.IsBit(d) {
+				t.Errorf("non-binary decision %q", d)
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+)
+
+// CrashSpec describes one crashing process: it behaves correctly through
+// round Round-1, delivers only to DeliverTo in round Round (the classical
+// "crash during a send" partial delivery), and is silent afterwards.
+type CrashSpec struct {
+	Round     int
+	DeliverTo proc.Set
+}
+
+// Crash builds the crash-failure adversary as an omission plan: a crash is
+// the special omission pattern "send-omit everything from some point on".
+// This is how the library demonstrates that crash faults are a strict
+// subset of omission faults (experiment E10): the paper's Ω(t²) bound is
+// proven against omissions, and protocols that only survive crashes break
+// under the richer pattern.
+func Crash(specs map[proc.ID]CrashSpec) OmissionPlan {
+	faulty := proc.Set{}
+	for id := range specs {
+		faulty = faulty.Add(id)
+	}
+	return OmissionPlan{
+		F: faulty,
+		SendFn: func(m msg.Message) bool {
+			spec, ok := specs[m.Sender]
+			if !ok {
+				return false
+			}
+			if m.Round > spec.Round {
+				return true
+			}
+			if m.Round == spec.Round {
+				return !spec.DeliverTo.Contains(m.Receiver)
+			}
+			return false
+		},
+	}
+}

@@ -1,0 +1,486 @@
+// Package sim implements the synchronous computational model of §2 and
+// Appendix A.1: n deterministic state machines advancing in lock-step
+// rounds, a static adversary that corrupts up to t processes before the
+// run, and full per-round trace recording.
+//
+// The engine produces an Execution — the exact object Appendix A.1.6
+// defines: a faulty set plus one Behavior per process, where a Behavior is
+// a sequence of Fragments (state, sent, send-omitted, received,
+// receive-omitted per round). Everything downstream — the omission-model
+// validator, swap_omission, merge, and the lower-bound falsifier — operates
+// on these traces.
+//
+// Determinism contract: a Machine's outputs may depend only on its inputs
+// (proposal, round number, received messages). The engine sorts received
+// messages by sender before every Step, so identical views yield identical
+// behavior — the indistinguishability property the paper's proofs rely on.
+package sim
+
+import (
+	"fmt"
+
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+)
+
+// Outgoing is a message a machine asks the engine to send in the next
+// round. The engine stamps sender and round.
+type Outgoing struct {
+	To      proc.ID
+	Payload string
+}
+
+// Machine is the deterministic per-process state machine of Appendix A.1.3.
+//
+// Init returns the messages sent in round 1 (they depend only on the
+// initial state). Step consumes the messages received in round r and
+// returns the messages to send in round r+1. Decision exposes the
+// decision-bit component of the state; once set it must never change.
+// Quiescent reports that the machine will never send again regardless of
+// future inputs — the engine uses it for sound early termination.
+type Machine interface {
+	Init() []Outgoing
+	Step(round int, received []msg.Message) []Outgoing
+	Decision() (msg.Value, bool)
+	Quiescent() bool
+}
+
+// Factory builds the honest machine of process id with the given proposal.
+type Factory func(id proc.ID, proposal msg.Value) Machine
+
+// FaultPlan is the static adversary: it fixes the corrupted set before the
+// run and controls how corrupted processes misbehave. Honest machines of
+// corrupted processes still run under an omission plan (they are "honest
+// but dropped"); a Byzantine plan replaces the machine outright.
+type FaultPlan interface {
+	// Faulty returns the corrupted set F, |F| <= t.
+	Faulty() proc.Set
+	// Byzantine returns a replacement machine for corrupted process id, or
+	// nil to run the honest machine subject to omissions.
+	Byzantine(id proc.ID) Machine
+	// SendOmit reports whether the corrupted sender send-omits m.
+	SendOmit(m msg.Message) bool
+	// ReceiveOmit reports whether the corrupted receiver receive-omits m.
+	ReceiveOmit(m msg.Message) bool
+}
+
+// NoFaults is the fully-correct fault plan (the paper's E0-style runs).
+type NoFaults struct{}
+
+var _ FaultPlan = NoFaults{}
+
+// Faulty implements FaultPlan.
+func (NoFaults) Faulty() proc.Set { return proc.Set{} }
+
+// Byzantine implements FaultPlan.
+func (NoFaults) Byzantine(proc.ID) Machine { return nil }
+
+// SendOmit implements FaultPlan.
+func (NoFaults) SendOmit(msg.Message) bool { return false }
+
+// ReceiveOmit implements FaultPlan.
+func (NoFaults) ReceiveOmit(msg.Message) bool { return false }
+
+// OmissionPlan corrupts F with send/receive omission faults chosen by the
+// two predicates (§3's failure model). Honest machines keep running.
+type OmissionPlan struct {
+	F         proc.Set
+	SendFn    func(m msg.Message) bool
+	ReceiveFn func(m msg.Message) bool
+}
+
+var _ FaultPlan = OmissionPlan{}
+
+// Faulty implements FaultPlan.
+func (p OmissionPlan) Faulty() proc.Set { return p.F }
+
+// Byzantine implements FaultPlan.
+func (p OmissionPlan) Byzantine(proc.ID) Machine { return nil }
+
+// SendOmit implements FaultPlan.
+func (p OmissionPlan) SendOmit(m msg.Message) bool {
+	return p.SendFn != nil && p.F.Contains(m.Sender) && p.SendFn(m)
+}
+
+// ReceiveOmit implements FaultPlan.
+func (p OmissionPlan) ReceiveOmit(m msg.Message) bool {
+	return p.ReceiveFn != nil && p.F.Contains(m.Receiver) && p.ReceiveFn(m)
+}
+
+// ByzantinePlan replaces the machines of corrupted processes with
+// adversarial ones.
+type ByzantinePlan struct {
+	Machines map[proc.ID]Machine
+}
+
+var _ FaultPlan = ByzantinePlan{}
+
+// Faulty implements FaultPlan.
+func (p ByzantinePlan) Faulty() proc.Set {
+	ids := make([]proc.ID, 0, len(p.Machines))
+	for id := range p.Machines {
+		ids = append(ids, id)
+	}
+	return proc.NewSet(ids...)
+}
+
+// Byzantine implements FaultPlan.
+func (p ByzantinePlan) Byzantine(id proc.ID) Machine { return p.Machines[id] }
+
+// SendOmit implements FaultPlan.
+func (p ByzantinePlan) SendOmit(msg.Message) bool { return false }
+
+// ReceiveOmit implements FaultPlan.
+func (p ByzantinePlan) ReceiveOmit(msg.Message) bool { return false }
+
+// Config parameterizes a run.
+type Config struct {
+	N int
+	T int
+	// Proposals assigns a proposal to every process (len N). The engine
+	// treats entries of corrupted processes as their nominal initial state.
+	Proposals []msg.Value
+	// MaxRounds is the execution horizon (must be positive). Protocol round
+	// bounds are supplied by the caller; the engine may stop earlier only
+	// when every machine is quiescent.
+	MaxRounds int
+	// DisableEarlyStop forces the engine to run exactly MaxRounds even when
+	// all machines are quiescent. The lower-bound machinery uses it so all
+	// probe executions share one horizon.
+	DisableEarlyStop bool
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("config: need n >= 2, got %d", c.N)
+	case c.T < 0 || c.T >= c.N:
+		return fmt.Errorf("config: need 0 <= t < n, got n=%d t=%d", c.N, c.T)
+	case len(c.Proposals) != c.N:
+		return fmt.Errorf("config: need %d proposals, got %d", c.N, len(c.Proposals))
+	case c.MaxRounds <= 0:
+		return fmt.Errorf("config: MaxRounds must be positive, got %d", c.MaxRounds)
+	}
+	return nil
+}
+
+// Fragment is the Appendix A.1.4 per-round record of one process: the
+// messages it sent, send-omitted, received and receive-omitted in the
+// round, plus the decision component of its state at the start of the
+// next round.
+type Fragment struct {
+	Round          int
+	Sent           []msg.Message
+	SendOmitted    []msg.Message
+	Received       []msg.Message
+	ReceiveOmitted []msg.Message
+	Decided        bool
+	Decision       msg.Value
+}
+
+// Behavior is the Appendix A.1.5 full per-process record: proposal plus
+// one fragment per round.
+type Behavior struct {
+	ID        proc.ID
+	Proposal  msg.Value
+	Fragments []Fragment
+}
+
+// Frag returns the fragment of round r (1-based), or an empty fragment if
+// the behavior is shorter (the process is silent past its recorded end).
+func (b *Behavior) Frag(r int) Fragment {
+	if r < 1 || r > len(b.Fragments) {
+		return Fragment{Round: r}
+	}
+	return b.Fragments[r-1]
+}
+
+// FinalDecision returns the process's decision at the end of the behavior.
+func (b *Behavior) FinalDecision() (msg.Value, bool) {
+	if len(b.Fragments) == 0 {
+		return msg.NoDecision, false
+	}
+	f := b.Fragments[len(b.Fragments)-1]
+	if !f.Decided {
+		return msg.NoDecision, false
+	}
+	return f.Decision, true
+}
+
+// AllSent returns every message the process (successfully) sent.
+func (b *Behavior) AllSent() []msg.Message {
+	var out []msg.Message
+	for _, f := range b.Fragments {
+		out = append(out, f.Sent...)
+	}
+	return out
+}
+
+// AllSendOmitted returns every message the process send-omitted.
+func (b *Behavior) AllSendOmitted() []msg.Message {
+	var out []msg.Message
+	for _, f := range b.Fragments {
+		out = append(out, f.SendOmitted...)
+	}
+	return out
+}
+
+// AllReceiveOmitted returns every message the process receive-omitted.
+func (b *Behavior) AllReceiveOmitted() []msg.Message {
+	var out []msg.Message
+	for _, f := range b.Fragments {
+		out = append(out, f.ReceiveOmitted...)
+	}
+	return out
+}
+
+// Execution is the Appendix A.1.6 object: a bounded prefix of a (formally
+// infinite) execution, with the faulty set and one behavior per process.
+type Execution struct {
+	N      int
+	T      int
+	Faulty proc.Set
+	// Behaviors has length N, indexed by process ID.
+	Behaviors []*Behavior
+	// Rounds is the number of recorded rounds.
+	Rounds int
+	// Quiesced reports that the run ended because every machine was
+	// quiescent (so the recorded prefix determines the infinite execution).
+	Quiesced bool
+}
+
+// Behavior returns the behavior of process id.
+func (e *Execution) Behavior(id proc.ID) *Behavior { return e.Behaviors[id] }
+
+// Correct returns Π \ Faulty.
+func (e *Execution) Correct() proc.Set { return e.Faulty.Complement(e.N) }
+
+// Decision returns the final decision of process id.
+func (e *Execution) Decision(id proc.ID) (msg.Value, bool) {
+	return e.Behaviors[id].FinalDecision()
+}
+
+// CommonDecision returns the unique decision of all processes in group, or
+// an error if one of them is undecided or two of them disagree.
+func (e *Execution) CommonDecision(group proc.Set) (msg.Value, error) {
+	var common msg.Value
+	first := true
+	for _, id := range group.Members() {
+		v, ok := e.Decision(id)
+		if !ok {
+			return msg.NoDecision, fmt.Errorf("%s is undecided after %d rounds", id, e.Rounds)
+		}
+		if first {
+			common, first = v, false
+		} else if v != common {
+			return msg.NoDecision, fmt.Errorf("%s decided %q, others decided %q", id, v, common)
+		}
+	}
+	if first {
+		return msg.NoDecision, fmt.Errorf("empty group")
+	}
+	return common, nil
+}
+
+// MessagesSentBy counts messages successfully sent by processes in group.
+func (e *Execution) MessagesSentBy(group proc.Set) int {
+	total := 0
+	for _, id := range group.Members() {
+		for _, f := range e.Behaviors[id].Fragments {
+			total += len(f.Sent)
+		}
+	}
+	return total
+}
+
+// CorrectMessages is the paper's message complexity of the execution: the
+// number of messages sent by correct processes.
+func (e *Execution) CorrectMessages() int { return e.MessagesSentBy(e.Correct()) }
+
+// Proposals returns the proposal vector of the execution.
+func (e *Execution) Proposals() []msg.Value {
+	out := make([]msg.Value, e.N)
+	for i, b := range e.Behaviors {
+		out[i] = b.Proposal
+	}
+	return out
+}
+
+// Run executes the protocol under the fault plan and returns the recorded
+// execution. Errors indicate harness misuse (bad config, a machine sending
+// to itself or twice to one peer, an omission plan touching a correct
+// process) — never mere protocol-property violations, which are left in
+// the trace for the checkers to find.
+func Run(cfg Config, factory Factory, plan FaultPlan) (*Execution, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	faulty := plan.Faulty()
+	if faulty.Len() > cfg.T {
+		return nil, fmt.Errorf("fault plan corrupts %d > t=%d processes", faulty.Len(), cfg.T)
+	}
+	if !faulty.SubsetOf(proc.Universe(cfg.N)) {
+		return nil, fmt.Errorf("fault plan corrupts processes outside Π: %v", faulty)
+	}
+
+	machines := make([]Machine, cfg.N)
+	behaviors := make([]*Behavior, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		id := proc.ID(i)
+		if m := plan.Byzantine(id); m != nil {
+			if !faulty.Contains(id) {
+				return nil, fmt.Errorf("byzantine machine supplied for correct process %s", id)
+			}
+			machines[i] = m
+		} else {
+			machines[i] = factory(id, cfg.Proposals[i])
+		}
+		behaviors[i] = &Behavior{ID: id, Proposal: cfg.Proposals[i]}
+	}
+
+	// Outgoing messages for the next round, per process.
+	pending := make([][]Outgoing, cfg.N)
+	for i := range machines {
+		pending[i] = machines[i].Init()
+	}
+
+	rounds := 0
+	quiesced := false
+	for r := 1; r <= cfg.MaxRounds; r++ {
+		rounds = r
+		inboxes := make([][]msg.Message, cfg.N)
+		frags := make([]Fragment, cfg.N)
+		for i := range frags {
+			frags[i] = Fragment{Round: r}
+		}
+
+		// Send phase.
+		for i := 0; i < cfg.N; i++ {
+			seen := make(map[proc.ID]bool, len(pending[i]))
+			for _, out := range pending[i] {
+				if out.To == proc.ID(i) {
+					return nil, fmt.Errorf("round %d: %s sent to itself", r, proc.ID(i))
+				}
+				if out.To < 0 || int(out.To) >= cfg.N {
+					return nil, fmt.Errorf("round %d: %s sent to unknown process %d", r, proc.ID(i), out.To)
+				}
+				if seen[out.To] {
+					return nil, fmt.Errorf("round %d: %s sent twice to %s", r, proc.ID(i), out.To)
+				}
+				seen[out.To] = true
+				m := msg.Message{Sender: proc.ID(i), Receiver: out.To, Round: r, Payload: out.Payload}
+				if plan.SendOmit(m) {
+					if !faulty.Contains(m.Sender) {
+						return nil, fmt.Errorf("round %d: plan send-omits message of correct %s", r, m.Sender)
+					}
+					frags[i].SendOmitted = append(frags[i].SendOmitted, m)
+					continue
+				}
+				frags[i].Sent = append(frags[i].Sent, m)
+				inboxes[out.To] = append(inboxes[out.To], m)
+			}
+		}
+
+		// Receive phase.
+		for j := 0; j < cfg.N; j++ {
+			msg.Sort(inboxes[j])
+			for _, m := range inboxes[j] {
+				if plan.ReceiveOmit(m) {
+					if !faulty.Contains(m.Receiver) {
+						return nil, fmt.Errorf("round %d: plan receive-omits message of correct %s", r, m.Receiver)
+					}
+					frags[j].ReceiveOmitted = append(frags[j].ReceiveOmitted, m)
+					continue
+				}
+				frags[j].Received = append(frags[j].Received, m)
+			}
+		}
+
+		// Compute phase: new state and next round's messages. Early stop is
+		// sound only when every machine is quiescent AND decided: a quiescent
+		// machine never sends again, but an undecided one might still decide
+		// in a later (silent) round.
+		allQuiet := true
+		for i := 0; i < cfg.N; i++ {
+			pending[i] = machines[i].Step(r, frags[i].Received)
+			v, decided := machines[i].Decision()
+			if decided {
+				frags[i].Decided, frags[i].Decision = true, v
+			}
+			behaviors[i].Fragments = append(behaviors[i].Fragments, frags[i])
+			if len(pending[i]) > 0 || !machines[i].Quiescent() || !decided {
+				allQuiet = false
+			}
+		}
+
+		if allQuiet && !cfg.DisableEarlyStop {
+			quiesced = true
+			break
+		}
+	}
+
+	return &Execution{
+		N:         cfg.N,
+		T:         cfg.T,
+		Faulty:    faulty,
+		Behaviors: behaviors,
+		Rounds:    rounds,
+		Quiesced:  quiesced,
+	}, nil
+}
+
+// Conforms re-runs the honest machine of every process not in skip against
+// the received messages recorded in e and verifies that the recorded send
+// behavior (sent ∪ send-omitted) matches the machine's output exactly, and
+// that recorded decisions match the machine's decisions. This is the
+// independent validity check for constructed executions: it proves the
+// trace is genuinely generated by the protocol's state machines.
+func Conforms(e *Execution, factory Factory, skip proc.Set) error {
+	for i := 0; i < e.N; i++ {
+		id := proc.ID(i)
+		if skip.Contains(id) {
+			continue
+		}
+		b := e.Behaviors[i]
+		machine := factory(id, b.Proposal)
+		out := machine.Init()
+		for r := 1; r <= len(b.Fragments); r++ {
+			f := b.Frag(r)
+			if err := sameOutgoing(id, r, out, append(append([]msg.Message{}, f.Sent...), f.SendOmitted...)); err != nil {
+				return err
+			}
+			received := append([]msg.Message{}, f.Received...)
+			msg.Sort(received)
+			out = machine.Step(r, received)
+			v, ok := machine.Decision()
+			if ok != f.Decided || (ok && v != f.Decision) {
+				return fmt.Errorf("%s round %d: recorded decision (%q,%v) != machine decision (%q,%v)",
+					id, r, f.Decision, f.Decided, v, ok)
+			}
+		}
+	}
+	return nil
+}
+
+func sameOutgoing(id proc.ID, round int, out []Outgoing, recorded []msg.Message) error {
+	if len(out) != len(recorded) {
+		return fmt.Errorf("%s round %d: machine emits %d messages, trace records %d",
+			id, round, len(out), len(recorded))
+	}
+	byTo := make(map[proc.ID]string, len(out))
+	for _, o := range out {
+		byTo[o.To] = o.Payload
+	}
+	for _, m := range recorded {
+		p, ok := byTo[m.Receiver]
+		if !ok {
+			return fmt.Errorf("%s round %d: trace records message to %s the machine never emits",
+				id, round, m.Receiver)
+		}
+		if p != m.Payload {
+			return fmt.Errorf("%s round %d: payload to %s differs between machine and trace",
+				id, round, m.Receiver)
+		}
+	}
+	return nil
+}

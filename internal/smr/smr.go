@@ -1,0 +1,146 @@
+// Package smr is the application layer the paper's introduction motivates:
+// state machine replication built on repeated Byzantine agreement. Each
+// log slot runs one instance of an agreement protocol; replicas feed their
+// pending commands as proposals and append the decided command.
+//
+// The layer is substrate-agnostic: any sim.Factory solving an agreement
+// problem (Phase-King, IC+Γ, External-Validity agreement, ...) drives it,
+// and slots can execute either in the recording simulator or over the live
+// transports. Because every slot is a full agreement instance, the
+// replicated log inherits the paper's price tag: Ω(t²) messages per slot,
+// no matter which validity property the application picks.
+package smr
+
+import (
+	"fmt"
+
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/sim"
+)
+
+// Command is an application command (opaque value).
+type Command = msg.Value
+
+// Entry is one committed log slot.
+type Entry struct {
+	Slot    int
+	Command Command
+	// Messages is the number of messages correct replicas spent on the slot.
+	Messages int
+	// Rounds is the number of synchronous rounds the slot consumed.
+	Rounds int
+}
+
+// Config wires a replicated log.
+type Config struct {
+	N int
+	T int
+	// Protocol builds one agreement instance; it is invoked once per slot.
+	Protocol func(slot int) (sim.Factory, int)
+	// Plan optionally injects faults per slot (nil = fault-free).
+	Plan func(slot int) sim.FaultPlan
+	// NoOp is proposed by replicas with empty queues and committed when a
+	// slot decides it; it must be a value the protocol can decide.
+	NoOp Command
+}
+
+// Log is a deterministic replicated log driven by repeated agreement.
+type Log struct {
+	cfg     Config
+	queues  [][]Command
+	entries []Entry
+}
+
+// New creates an empty replicated log with one command queue per replica.
+func New(cfg Config) (*Log, error) {
+	switch {
+	case cfg.N < 2 || cfg.T < 0 || cfg.T >= cfg.N:
+		return nil, fmt.Errorf("smr: need 0 <= t < n, n >= 2 (n=%d t=%d)", cfg.N, cfg.T)
+	case cfg.Protocol == nil:
+		return nil, fmt.Errorf("smr: nil protocol constructor")
+	}
+	return &Log{cfg: cfg, queues: make([][]Command, cfg.N)}, nil
+}
+
+// Submit enqueues a command at one replica (as if a client contacted it).
+func (l *Log) Submit(replica proc.ID, cmd Command) error {
+	if replica < 0 || int(replica) >= l.cfg.N {
+		return fmt.Errorf("smr: unknown replica %v", replica)
+	}
+	l.queues[replica] = append(l.queues[replica], cmd)
+	return nil
+}
+
+// Entries returns the committed log.
+func (l *Log) Entries() []Entry {
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Pending reports the number of commands still queued across replicas.
+func (l *Log) Pending() int {
+	total := 0
+	for _, q := range l.queues {
+		total += len(q)
+	}
+	return total
+}
+
+// CommitSlot runs one agreement instance over the replicas' current queue
+// heads and appends the decided command. A replica whose queue is empty
+// proposes NoOp. The decided command is dequeued wherever it is queued.
+func (l *Log) CommitSlot() (Entry, error) {
+	slot := len(l.entries)
+	factory, rounds := l.cfg.Protocol(slot)
+	proposals := make([]msg.Value, l.cfg.N)
+	for i := range proposals {
+		if len(l.queues[i]) > 0 {
+			proposals[i] = l.queues[i][0]
+		} else {
+			proposals[i] = l.cfg.NoOp
+		}
+	}
+	plan := sim.FaultPlan(sim.NoFaults{})
+	if l.cfg.Plan != nil {
+		if p := l.cfg.Plan(slot); p != nil {
+			plan = p
+		}
+	}
+	cfg := sim.Config{N: l.cfg.N, T: l.cfg.T, Proposals: proposals, MaxRounds: rounds + 2}
+	exec, err := sim.Run(cfg, factory, plan)
+	if err != nil {
+		return Entry{}, fmt.Errorf("smr slot %d: %w", slot, err)
+	}
+	decision, err := exec.CommonDecision(exec.Correct())
+	if err != nil {
+		return Entry{}, fmt.Errorf("smr slot %d: %w", slot, err)
+	}
+	// Dequeue the committed command everywhere it is pending.
+	for i := range l.queues {
+		for j, cmd := range l.queues[i] {
+			if cmd == decision {
+				l.queues[i] = append(l.queues[i][:j], l.queues[i][j+1:]...)
+				break
+			}
+		}
+	}
+	entry := Entry{Slot: slot, Command: decision, Messages: exec.CorrectMessages(), Rounds: exec.Rounds}
+	l.entries = append(l.entries, entry)
+	return entry, nil
+}
+
+// Drain commits slots until no commands are pending or maxSlots is
+// reached, returning the committed entries.
+func (l *Log) Drain(maxSlots int) ([]Entry, error) {
+	var out []Entry
+	for len(out) < maxSlots && l.Pending() > 0 {
+		e, err := l.CommitSlot()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

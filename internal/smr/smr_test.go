@@ -1,0 +1,171 @@
+package smr_test
+
+import (
+	"testing"
+
+	"expensive/internal/crypto/sig"
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/external"
+	"expensive/internal/protocols/ic"
+	"expensive/internal/protocols/reduction"
+	"expensive/internal/sim"
+	"expensive/internal/smr"
+)
+
+// agreementProtocol builds a multi-valued agreement instance: IC plus the
+// first-nonempty selector, so any proposed command can be committed.
+func agreementProtocol(n, t int, scheme sig.Scheme) func(slot int) (sim.Factory, int) {
+	return func(slot int) (sim.Factory, int) {
+		icf := ic.New(ic.Config{N: n, T: t, Scheme: scheme, Default: "noop"})
+		gamma := reduction.GammaFirstValid(func(v msg.Value) bool { return v != "noop" && v != "" }, "noop")
+		return reduction.FromIC(icf, gamma), ic.RoundBound(t)
+	}
+}
+
+func TestLogCommitsSubmittedCommands(t *testing.T) {
+	n, tf := 4, 1
+	scheme := sig.NewIdeal("smr-test")
+	log, err := smr.New(smr.Config{
+		N: n, T: tf,
+		Protocol: agreementProtocol(n, tf, scheme),
+		NoOp:     "noop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := []smr.Command{"cmd-a", "cmd-b", "cmd-c"}
+	for i, c := range cmds {
+		if err := log.Submit(proc.ID(i%n), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := log.Drain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("committed %d entries, want 3", len(entries))
+	}
+	committed := make(map[smr.Command]bool)
+	for _, e := range entries {
+		committed[e.Command] = true
+		if e.Messages == 0 {
+			t.Errorf("slot %d committed for free — contradicts the paper", e.Slot)
+		}
+	}
+	for _, c := range cmds {
+		if !committed[c] {
+			t.Errorf("command %q never committed", c)
+		}
+	}
+	if log.Pending() != 0 {
+		t.Errorf("%d commands still pending", log.Pending())
+	}
+}
+
+func TestLogCommitsNoOpWhenIdle(t *testing.T) {
+	n, tf := 4, 1
+	scheme := sig.NewIdeal("smr-idle")
+	log, err := smr.New(smr.Config{N: n, T: tf, Protocol: agreementProtocol(n, tf, scheme), NoOp: "noop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := log.CommitSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Command != "noop" {
+		t.Errorf("idle slot committed %q", e.Command)
+	}
+}
+
+func TestLogSurvivesSilentReplica(t *testing.T) {
+	n, tf := 4, 1
+	scheme := sig.NewIdeal("smr-byz")
+	log, err := smr.New(smr.Config{
+		N: n, T: tf,
+		Protocol: agreementProtocol(n, tf, scheme),
+		Plan: func(slot int) sim.FaultPlan {
+			return sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{3: silent{}}}
+		},
+		NoOp: "noop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Submit(0, "important"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := log.Drain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Command != "important" {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+type silent struct{}
+
+func (silent) Init() []sim.Outgoing                   { return nil }
+func (silent) Step(int, []msg.Message) []sim.Outgoing { return nil }
+func (silent) Decision() (msg.Value, bool)            { return msg.NoDecision, false }
+func (silent) Quiescent() bool                        { return true }
+
+func TestBlockchainSMR(t *testing.T) {
+	// External-Validity agreement as the slot protocol: only client-signed
+	// transactions commit, even when a replica proposes garbage.
+	n, tf := 4, 1
+	scheme := sig.NewIdeal("smr-chain")
+	auth := external.NewAuthority(scheme)
+	genesis, err := auth.NewTx(external.ClientBase, "genesis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := external.New(external.Config{N: n, T: tf, Scheme: scheme, Authority: auth, Fallback: genesis})
+	log, err := smr.New(smr.Config{
+		N: n, T: tf,
+		Protocol: func(int) (sim.Factory, int) { return factory, external.RoundBound(tf) },
+		NoOp:     genesis,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := auth.NewTx(external.ClientBase, "pay-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Submit(0, tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Submit(1, "forged-garbage"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := log.Drain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !auth.Valid(e.Command) {
+			t.Errorf("slot %d committed invalid command %q", e.Slot, e.Command)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := smr.New(smr.Config{N: 1, T: 0}); err == nil {
+		t.Error("expected n validation error")
+	}
+	if _, err := smr.New(smr.Config{N: 4, T: 1}); err == nil {
+		t.Error("expected protocol validation error")
+	}
+	scheme := sig.NewIdeal("smr-v")
+	log, err := smr.New(smr.Config{N: 4, T: 1, Protocol: agreementProtocol(4, 1, scheme), NoOp: "noop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Submit(99, "x"); err == nil {
+		t.Error("expected replica range error")
+	}
+}

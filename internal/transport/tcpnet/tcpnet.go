@@ -1,0 +1,226 @@
+// Package tcpnet is the socket mesh: every process listens on a loopback
+// TCP port and dials every higher-numbered peer, yielding one reliable
+// FIFO connection per unordered pair. Frames travel as newline-delimited
+// JSON. This substrate demonstrates that every protocol in the library —
+// built against the abstract synchronous model — runs unmodified over a
+// real network stack.
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"expensive/internal/proc"
+	"expensive/internal/transport"
+)
+
+// Mesh is a full TCP mesh over 127.0.0.1.
+type Mesh struct {
+	n     int
+	conns [][]net.Conn // conns[i][j]: i's connection to j (nil on diagonal)
+	inbox []chan frameOrErr
+
+	mu      sync.Mutex
+	closed  bool
+	readers sync.WaitGroup
+}
+
+type frameOrErr struct {
+	f   transport.Frame
+	err error
+}
+
+// New builds a connected mesh of n nodes on loopback ports. It returns an
+// error if any listen/dial step fails.
+func New(n int) (*Mesh, error) {
+	m := &Mesh{n: n, conns: make([][]net.Conn, n), inbox: make([]chan frameOrErr, n)}
+	for i := range m.conns {
+		m.conns[i] = make([]net.Conn, n)
+		m.inbox[i] = make(chan frameOrErr, 4*n)
+	}
+
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("tcpnet: listen node %d: %w", i, err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	defer func() {
+		for _, l := range listeners {
+			_ = l.Close()
+		}
+	}()
+
+	// Accept loop per listener: peers identify themselves with a hello line.
+	type accepted struct {
+		node int
+		from int
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan accepted, n*n)
+	var acceptWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		expected := i // node i accepts from peers j < i
+		acceptWG.Add(1)
+		go func(node int, l net.Listener) {
+			defer acceptWG.Done()
+			for k := 0; k < expected; k++ {
+				conn, err := l.Accept()
+				if err != nil {
+					acceptCh <- accepted{node: node, err: err}
+					return
+				}
+				var hello struct{ From int }
+				if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&hello); err != nil {
+					acceptCh <- accepted{node: node, err: fmt.Errorf("hello: %w", err)}
+					return
+				}
+				acceptCh <- accepted{node: node, from: hello.From, conn: conn}
+			}
+		}(i, listeners[i])
+	}
+
+	// Dial peers with higher IDs.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			conn, err := net.Dial("tcp", addrs[j])
+			if err != nil {
+				m.Close()
+				return nil, fmt.Errorf("tcpnet: dial %d->%d: %w", i, j, err)
+			}
+			if err := json.NewEncoder(conn).Encode(struct{ From int }{From: i}); err != nil {
+				m.Close()
+				return nil, fmt.Errorf("tcpnet: hello %d->%d: %w", i, j, err)
+			}
+			m.conns[i][j] = conn
+		}
+	}
+
+	acceptWG.Wait()
+	close(acceptCh)
+	for a := range acceptCh {
+		if a.err != nil {
+			m.Close()
+			return nil, fmt.Errorf("tcpnet: accept at node %d: %w", a.node, a.err)
+		}
+		m.conns[a.node][a.from] = a.conn
+	}
+
+	// Reader pumps: one goroutine per connection endpoint.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || m.conns[i][j] == nil {
+				continue
+			}
+			m.readers.Add(1)
+			go m.pump(i, m.conns[i][j])
+		}
+	}
+	return m, nil
+}
+
+func (m *Mesh) pump(owner int, conn net.Conn) {
+	defer m.readers.Done()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	for {
+		var f transport.Frame
+		if err := dec.Decode(&f); err != nil {
+			m.mu.Lock()
+			closed := m.closed
+			m.mu.Unlock()
+			if !closed {
+				select {
+				case m.inbox[owner] <- frameOrErr{err: err}:
+				default:
+				}
+			}
+			return
+		}
+		m.inbox[owner] <- frameOrErr{f: f}
+	}
+}
+
+// Endpoints returns the mesh's n endpoints.
+func (m *Mesh) Endpoints() []transport.Endpoint {
+	eps := make([]transport.Endpoint, m.n)
+	for i := 0; i < m.n; i++ {
+		id := proc.ID(i)
+		eps[i] = &endpoint{mesh: m, id: id}
+	}
+	return eps
+}
+
+// Close tears the mesh down.
+func (m *Mesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	for i := range m.conns {
+		for j := range m.conns[i] {
+			if c := m.conns[i][j]; c != nil {
+				_ = c.Close()
+			}
+		}
+	}
+	return nil
+}
+
+type endpoint struct {
+	mesh *Mesh
+	id   proc.ID
+
+	mu       sync.Mutex
+	encoders map[proc.ID]*json.Encoder
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)
+
+// Send implements transport.Endpoint.
+func (e *endpoint) Send(to proc.ID, f transport.Frame) error {
+	if to < 0 || int(to) >= e.mesh.n || to == e.id {
+		return fmt.Errorf("tcpnet: bad peer %v", to)
+	}
+	conn := e.mesh.conns[e.id][to]
+	if conn == nil {
+		return fmt.Errorf("tcpnet: no connection %v -> %v", e.id, to)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.encoders == nil {
+		e.encoders = make(map[proc.ID]*json.Encoder)
+	}
+	enc, ok := e.encoders[to]
+	if !ok {
+		enc = json.NewEncoder(conn)
+		e.encoders[to] = enc
+	}
+	return enc.Encode(f)
+}
+
+// Recv implements transport.Endpoint.
+func (e *endpoint) Recv() (transport.Frame, error) {
+	fe, ok := <-e.mesh.inbox[e.id]
+	if !ok {
+		return transport.Frame{}, fmt.Errorf("tcpnet: mesh closed")
+	}
+	if fe.err != nil {
+		return transport.Frame{}, fe.err
+	}
+	return fe.f, nil
+}
+
+// Close implements transport.Endpoint: closes the whole mesh (idempotent).
+func (e *endpoint) Close() error { return e.mesh.Close() }

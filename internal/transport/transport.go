@@ -1,0 +1,186 @@
+// Package transport runs the library's protocol machines over real
+// message channels instead of the trace-recording simulator: one goroutine
+// per process, frames exchanged through an Endpoint (in-memory channels in
+// memnet, TCP loopback sockets in tcpnet).
+//
+// Synchrony is implemented with the classical bulk-synchronous trick: in
+// every round each node sends exactly one frame to every peer — empty if
+// the protocol has nothing to say — and waits for n-1 round-stamped frames
+// before stepping its machine. Over reliable FIFO links this realizes the
+// synchronous round model of §2 without a central coordinator, and fault
+// injection (dropping payloads while keeping the empty frame) realizes the
+// omission-failure model on a live network.
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/sim"
+)
+
+// Frame is the wire unit: one per (sender, receiver, round), possibly
+// empty. Empty frames carry the round structure; payloads carry protocol
+// messages.
+type Frame struct {
+	From    int    `json:"from"`
+	To      int    `json:"to"`
+	Round   int    `json:"round"`
+	Has     bool   `json:"has"`
+	Payload string `json:"payload,omitempty"`
+}
+
+// Endpoint is one process's connection to the mesh.
+type Endpoint interface {
+	// Send transmits a frame to a peer. It must not block indefinitely when
+	// all nodes follow the round protocol.
+	Send(to proc.ID, f Frame) error
+	// Recv returns the next incoming frame from any peer.
+	Recv() (Frame, error)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// NodeResult is the outcome of one node's run.
+type NodeResult struct {
+	ID       proc.ID
+	Decision msg.Value
+	Decided  bool
+	// Sent counts non-empty frames (protocol messages) sent.
+	Sent int
+	Err  error
+}
+
+// RunNode drives one machine for the given number of rounds over an
+// endpoint. It returns when all rounds have completed or an error occurs.
+func RunNode(ep Endpoint, n int, id proc.ID, machine sim.Machine, rounds int) NodeResult {
+	res := NodeResult{ID: id}
+	out := machine.Init()
+	// future buffers frames that arrive ahead of the local round counter
+	// (a peer may finish round r and emit r+1 before we drain r).
+	future := make(map[int][]Frame)
+
+	for r := 1; r <= rounds; r++ {
+		payloads := make(map[proc.ID]string, len(out))
+		for _, o := range out {
+			payloads[o.To] = o.Payload
+		}
+		for p := proc.ID(0); p < proc.ID(n); p++ {
+			if p == id {
+				continue
+			}
+			f := Frame{From: int(id), To: int(p), Round: r}
+			if body, ok := payloads[p]; ok {
+				f.Has, f.Payload = true, body
+				res.Sent++
+			}
+			if err := ep.Send(p, f); err != nil {
+				res.Err = fmt.Errorf("%s round %d: send to %s: %w", id, r, p, err)
+				return res
+			}
+		}
+
+		frames := future[r]
+		delete(future, r)
+		for len(frames) < n-1 {
+			f, err := ep.Recv()
+			if err != nil {
+				res.Err = fmt.Errorf("%s round %d: recv: %w", id, r, err)
+				return res
+			}
+			switch {
+			case f.Round == r:
+				frames = append(frames, f)
+			case f.Round > r:
+				future[f.Round] = append(future[f.Round], f)
+			default:
+				// Stale frame: a violation of the FIFO round protocol.
+				res.Err = fmt.Errorf("%s round %d: stale frame from p%d (round %d)", id, r, f.From, f.Round)
+				return res
+			}
+		}
+
+		var received []msg.Message
+		for _, f := range frames {
+			if !f.Has {
+				continue
+			}
+			received = append(received, msg.Message{
+				Sender:   proc.ID(f.From),
+				Receiver: id,
+				Round:    r,
+				Payload:  f.Payload,
+			})
+		}
+		msg.Sort(received)
+		out = machine.Step(r, received)
+	}
+
+	if v, ok := machine.Decision(); ok {
+		res.Decision, res.Decided = v, true
+	}
+	return res
+}
+
+// Cluster couples endpoints with the machines they drive.
+type Cluster struct {
+	N         int
+	Endpoints []Endpoint
+	Factory   sim.Factory
+	Proposals []msg.Value
+	Rounds    int
+}
+
+// Run starts one goroutine per node, waits for all of them, and returns
+// the per-node results (indexed by process ID).
+func (c Cluster) Run() ([]NodeResult, error) {
+	if len(c.Endpoints) != c.N || len(c.Proposals) != c.N {
+		return nil, fmt.Errorf("cluster: need %d endpoints and proposals, have %d/%d",
+			c.N, len(c.Endpoints), len(c.Proposals))
+	}
+	if c.Rounds <= 0 {
+		return nil, fmt.Errorf("cluster: rounds must be positive")
+	}
+	results := make([]NodeResult, c.N)
+	var wg sync.WaitGroup
+	for i := 0; i < c.N; i++ {
+		id := proc.ID(i)
+		machine := c.Factory(id, c.Proposals[i])
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[id] = RunNode(c.Endpoints[id], c.N, id, machine, c.Rounds)
+		}()
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("node %d: %w", i, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// CommonDecision folds node results into the unique decision of the given
+// group, mirroring sim.Execution.CommonDecision for live runs.
+func CommonDecision(results []NodeResult, group proc.Set) (msg.Value, error) {
+	var common msg.Value
+	first := true
+	for _, id := range group.Members() {
+		r := results[id]
+		if !r.Decided {
+			return msg.NoDecision, fmt.Errorf("%s undecided", id)
+		}
+		if first {
+			common, first = r.Decision, false
+		} else if r.Decision != common {
+			return msg.NoDecision, fmt.Errorf("%s decided %q, others %q", id, r.Decision, common)
+		}
+	}
+	if first {
+		return msg.NoDecision, fmt.Errorf("empty group")
+	}
+	return common, nil
+}

@@ -1,0 +1,63 @@
+package viz_test
+
+import (
+	"strings"
+	"testing"
+
+	"expensive/internal/msg"
+	"expensive/internal/omission"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/cheap"
+	"expensive/internal/viz"
+)
+
+func TestTimelineRendersGlyphsAndGroups(t *testing.T) {
+	group := proc.NewSet(6, 7)
+	e, err := omission.RunIsolated(8, 4, cheap.Leader(8), msg.Zero, group, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := viz.Timeline(e, viz.Options{Groups: map[string]proc.Set{"B": group}})
+	for _, want := range []string{"p0", "p7", "legend", "(faulty)", "B |", "=0", "=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// The isolated processes receive-omit the leader's message in round 1.
+	if !strings.Contains(out, "r") {
+		t.Errorf("no receive-omission glyph:\n%s", out)
+	}
+}
+
+func TestTimelineTruncation(t *testing.T) {
+	e, err := omission.RunIsolated(8, 4, cheap.Star(8), msg.Zero, proc.NewSet(7), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := viz.Timeline(e, viz.Options{})
+	short := viz.Timeline(e, viz.Options{MaxRounds: 1})
+	if len(short) >= len(full) {
+		t.Error("truncated timeline not shorter")
+	}
+}
+
+func TestDiffLocatesDivergence(t *testing.T) {
+	group := proc.NewSet(6, 7)
+	e1, err := omission.RunIsolated(8, 4, cheap.Leader(8), msg.Zero, group, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := omission.RunIsolated(8, 4, cheap.Leader(8), msg.Zero, group, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := viz.Diff(e1, e2)
+	// The isolated processes' views differ in round 1 (omitted vs received);
+	// everyone else is identical.
+	if !strings.Contains(out, "p6: round 1") {
+		t.Errorf("diff should locate p6's divergence at round 1:\n%s", out)
+	}
+	if !strings.Contains(out, "p0: -") {
+		t.Errorf("diff should report p0 identical:\n%s", out)
+	}
+}
