@@ -3,6 +3,7 @@ package expensive
 import (
 	"expensive/internal/crypto/sig"
 	"expensive/internal/experiments"
+	"expensive/internal/experiments/runner"
 	"expensive/internal/lowerbound"
 	"expensive/internal/msg"
 	"expensive/internal/omission"
@@ -66,6 +67,14 @@ type (
 	Violation = lowerbound.Violation
 	// ExperimentTable is a rendered experiment result.
 	ExperimentTable = experiments.Table
+	// ExperimentOptions tunes the parallel experiment engine (worker count,
+	// cancellation).
+	ExperimentOptions = runner.Options
+	// ExperimentResult couples an experiment table with wall-clock and
+	// probe-count statistics.
+	ExperimentResult = runner.Result
+	// ExperimentInfo is the registration metadata of one experiment.
+	ExperimentInfo = runner.Info
 	// NodeResult is the outcome of one live (transport) node.
 	NodeResult = transport.NodeResult
 )
@@ -253,11 +262,25 @@ func DeriveWeakFromAgreement(inner Factory, n, t, horizon int, c0, c1 []Value) (
 
 // Experiments.
 
-// RunExperiment executes one of the paper experiments E1–E9 with its
-// recorded default parameters.
+// RunExperiment executes one of the paper experiments E1–E12 with its
+// recorded default parameters and full parallelism.
 func RunExperiment(id string) (*ExperimentTable, error) { return experiments.Run(id) }
 
-// ExperimentIDs lists the available experiments.
+// RunExperiments executes the given experiments (all of them when ids is
+// empty) on the parallel engine and returns per-experiment tables with
+// wall-clock and probe-count statistics. Experiments run one after
+// another; the requested parallelism fans out each experiment's
+// independent simulation probes. Tables are byte-identical at every
+// parallelism level.
+func RunExperiments(opts ExperimentOptions, ids ...string) ([]*ExperimentResult, error) {
+	return runner.RunMany(ids, opts)
+}
+
+// ListExperiments returns the registered experiments — ID, title, and
+// recorded default parameters — in registration order.
+func ListExperiments() []ExperimentInfo { return runner.List() }
+
+// ExperimentIDs lists the available experiment IDs.
 func ExperimentIDs() []string { return experiments.AllIDs() }
 
 // Live transports.

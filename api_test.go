@@ -165,6 +165,35 @@ func TestFacadeExperiments(t *testing.T) {
 	if _, err := expensive.RunExperiment("nope"); err == nil {
 		t.Error("expected unknown-experiment error")
 	}
+
+	infos := expensive.ListExperiments()
+	if len(infos) != len(ids) {
+		t.Fatalf("ListExperiments returned %d entries, want %d", len(infos), len(ids))
+	}
+	for i, info := range infos {
+		if info.ID != ids[i] {
+			t.Errorf("ListExperiments[%d].ID = %s, want %s", i, info.ID, ids[i])
+		}
+		if info.Title == "" {
+			t.Errorf("%s: empty title", info.ID)
+		}
+	}
+
+	results, err := expensive.RunExperiments(expensive.ExperimentOptions{Parallelism: 2}, "E7", "E10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Table.ID != "E7" || results[1].Table.ID != "E10" {
+		t.Fatalf("RunExperiments results out of order: %v", results)
+	}
+	for _, res := range results {
+		if res.Probes <= 0 && res.Table.ID == "E10" {
+			t.Errorf("%s: probe count %d, want > 0", res.Table.ID, res.Probes)
+		}
+		if res.Wall <= 0 {
+			t.Errorf("%s: wall clock %v", res.Table.ID, res.Wall)
+		}
+	}
 }
 
 func TestFacadeTransports(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"expensive"
 	"expensive/internal/crypto/sig"
 	"expensive/internal/experiments"
+	"expensive/internal/experiments/runner"
 	"expensive/internal/lowerbound"
 	"expensive/internal/msg"
 	"expensive/internal/proc"
@@ -36,12 +37,12 @@ func benchExperiment(b *testing.B, run func() (*experiments.Table, error)) {
 	}
 }
 
-func BenchmarkE1Falsifier(b *testing.B) {
-	// The full sweep is heavy; the benchmark uses the cheap-protocol slice
-	// at the recorded parameters and one sound protocol.
+func benchFalsifier(b *testing.B, parallelism int) {
+	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := lowerbound.Falsify("leader", cheap.Leader(40), cheap.LeaderRounds, 40, 16, lowerbound.Options{})
+		rep, err := lowerbound.Falsify("leader", cheap.Leader(40), cheap.LeaderRounds, 40, 16,
+			lowerbound.Options{Parallelism: parallelism})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,13 +52,27 @@ func BenchmarkE1Falsifier(b *testing.B) {
 	}
 }
 
+func BenchmarkE1Falsifier(b *testing.B) {
+	// The full sweep is heavy; the benchmark uses the cheap-protocol slice
+	// at the recorded parameters. Serial vs parallel probe computation.
+	b.Run("serial", func(b *testing.B) { benchFalsifier(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchFalsifier(b, 0) })
+}
+
 func BenchmarkE2Isolation(b *testing.B) {
 	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E2(20, 8, 3) })
 }
 
 func BenchmarkE3Merge(b *testing.B) {
-	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E3(40, 16) })
+	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E3(40, 16, serialOpts) })
 }
+
+// serialOpts and parallelOpts pin the two ends of the engine's worker
+// range for the parallel-vs-serial comparison benchmarks.
+var (
+	serialOpts   = runner.Options{Parallelism: 1}
+	parallelOpts = runner.Options{Parallelism: 0} // NumCPU
+)
 
 func BenchmarkE4Swap(b *testing.B) {
 	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E4(24, 8) })
@@ -68,7 +83,12 @@ func BenchmarkE5Reduction(b *testing.B) {
 }
 
 func BenchmarkE6Solvability(b *testing.B) {
-	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E6([][2]int{{4, 1}}) })
+	b.Run("serial", func(b *testing.B) {
+		benchExperiment(b, func() (*experiments.Table, error) { return experiments.E6([][2]int{{4, 1}}, serialOpts) })
+	})
+	b.Run("parallel", func(b *testing.B) {
+		benchExperiment(b, func() (*experiments.Table, error) { return experiments.E6([][2]int{{4, 1}}, parallelOpts) })
+	})
 }
 
 func BenchmarkE7StrongCC(b *testing.B) {
@@ -76,11 +96,21 @@ func BenchmarkE7StrongCC(b *testing.B) {
 }
 
 func BenchmarkE8External(b *testing.B) {
-	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E8(40, 16) })
+	b.Run("serial", func(b *testing.B) {
+		benchExperiment(b, func() (*experiments.Table, error) { return experiments.E8(40, 16, serialOpts) })
+	})
+	b.Run("parallel", func(b *testing.B) {
+		benchExperiment(b, func() (*experiments.Table, error) { return experiments.E8(40, 16, parallelOpts) })
+	})
 }
 
 func BenchmarkE9Protocols(b *testing.B) {
-	benchExperiment(b, func() (*experiments.Table, error) { return experiments.E9([]int{4, 8, 16}) })
+	b.Run("serial", func(b *testing.B) {
+		benchExperiment(b, func() (*experiments.Table, error) { return experiments.E9([]int{4, 8, 16}, serialOpts) })
+	})
+	b.Run("parallel", func(b *testing.B) {
+		benchExperiment(b, func() (*experiments.Table, error) { return experiments.E9([]int{4, 8, 16}, parallelOpts) })
+	})
 }
 
 func BenchmarkE10FailureModels(b *testing.B) {

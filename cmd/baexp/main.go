@@ -1,6 +1,8 @@
 // Command baexp is the experiment and exploration CLI of the library.
 //
-//	baexp exp E1 [E2 ...]   run paper experiments (default: all)
+//	baexp exp [-json] [-parallel N] [-list] E1 [E2 ...]
+//	                        run paper experiments (default: all) on the
+//	                        parallel engine
 //	baexp falsify ...       run the Theorem 2 falsifier on one protocol
 //	baexp solve ...         evaluate Theorem 4 for a standard problem
 //	baexp run ...           run a protocol live over memnet or TCP
@@ -9,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +19,7 @@ import (
 
 	"expensive/internal/crypto/sig"
 	"expensive/internal/experiments"
+	"expensive/internal/experiments/runner"
 	"expensive/internal/lowerbound"
 	"expensive/internal/msg"
 	"expensive/internal/proc"
@@ -64,23 +68,45 @@ func usage() {
 	fmt.Println(`baexp — "All Byzantine Agreement Problems are Expensive" (PODC 2024), executable
 
 subcommands:
-  exp [IDs...]   run paper experiments E1..E12 (default: all)
+  exp [-json] [-parallel N] [-list] [IDs...]
+                 run paper experiments E1..E12 (default: all) on the parallel engine
   falsify        run the Theorem 2 falsifier against a weak consensus protocol
   solve          evaluate the Theorem 4 solvability verdict for a problem
   run            run a protocol live over an in-memory or TCP mesh`)
 }
 
 func runExperiments(args []string) error {
-	ids := args
-	if len(ids) == 0 {
-		ids = experiments.AllIDs()
+	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit structured JSON results (table + wall-clock + probe counts)")
+	parallel := fs.Int("parallel", 0, "worker count per experiment (0 = NumCPU, 1 = serial)")
+	list := fs.Bool("list", false, "list the registered experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	for _, id := range ids {
-		tab, err := experiments.Run(strings.ToUpper(id))
-		if err != nil {
-			return err
+	if *list {
+		for _, info := range runner.List() {
+			fmt.Printf("  %-4s %s (%s)\n", info.ID, info.Title, info.Params)
 		}
-		fmt.Println(tab.Render())
+		return nil
+	}
+	ids := fs.Args()
+	for i := range ids {
+		ids[i] = strings.ToUpper(ids[i])
+	}
+	opts := runner.Options{Parallelism: *parallel}
+	results, err := runner.RunMany(ids, opts)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	for _, res := range results {
+		fmt.Println(res.Table.Render())
+		fmt.Printf("  [%s: %d probes, %.1f ms wall, %d workers]\n\n",
+			res.Table.ID, res.Probes, res.WallMS, res.Workers)
 	}
 	return nil
 }
@@ -91,6 +117,7 @@ func runFalsify(args []string) error {
 	n := fs.Int("n", 40, "system size")
 	t := fs.Int("t", 16, "fault budget (>= 8)")
 	verbose := fs.Bool("v", false, "print the construction narrative")
+	parallel := fs.Int("parallel", 0, "probe worker count (0 = NumCPU, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,7 +137,7 @@ func runFalsify(args []string) error {
 		return err
 	}
 	rounds := candidate.Rounds(*n, *t)
-	rep, err := lowerbound.Falsify(candidate.Name, factory, rounds, *n, *t, lowerbound.Options{})
+	rep, err := lowerbound.Falsify(candidate.Name, factory, rounds, *n, *t, lowerbound.Options{Parallelism: *parallel})
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,11 @@ func TestRunSubcommands(t *testing.T) {
 		{"help", []string{"help"}},
 		{"experiment E7", []string{"exp", "E7"}},
 		{"experiment lowercase", []string{"exp", "e4"}},
+		{"experiment json", []string{"exp", "-json", "E7"}},
+		{"experiment serial", []string{"exp", "-parallel", "1", "E4"}},
+		{"experiment parallel", []string{"exp", "-parallel", "4", "E9"}},
+		{"experiment list", []string{"exp", "-list"}},
+		{"falsify parallel", []string{"falsify", "-proto", "star", "-n", "24", "-t", "8", "-parallel", "4"}},
 		{"falsify leader", []string{"falsify", "-proto", "leader", "-n", "24", "-t", "8"}},
 		{"falsify verbose", []string{"falsify", "-proto", "silent", "-n", "24", "-t", "8", "-v"}},
 		{"solve strong frontier", []string{"solve", "-problem", "strong", "-n", "5", "-t", "2"}},

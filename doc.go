@@ -28,6 +28,47 @@
 //     loopback mesh running the same machines over real channels. See
 //     NewMemMesh and NewTCPMesh.
 //
-// The experiments E1–E9 (RunExperiment) regenerate every table and figure
-// of the paper's argument; EXPERIMENTS.md records the outputs.
+// # The experiment engine
+//
+// The experiments E1–E12 regenerate every table and figure of the paper's
+// argument. Each one is registered by ID, with its recorded default
+// parameters, in the parallel experiment engine
+// (internal/experiments/runner): a worker-pool executor that fans out an
+// experiment's *independent* simulation probes — per-candidate falsifier
+// sweeps, (n, t) grid points, Lemma 4 interpolation families — across
+// runtime.NumCPU() workers while keeping each probe a single-threaded,
+// deterministic sim.Run. Probe analysis is sequential in construction
+// order, so a registered experiment produces byte-identical tables at
+// every parallelism level (this is tested).
+//
+//   - RunExperiment runs one experiment with default parallelism.
+//   - RunExperiments runs many, returning JSON-serializable tables plus
+//     wall-clock and probe-count statistics per experiment.
+//   - ListExperiments enumerates the registry.
+//
+// The same engine backs the CLI:
+//
+//	baexp exp                     # run all experiments, NumCPU workers
+//	baexp exp -parallel 1 E1      # force the serial path
+//	baexp exp -json E6 E9         # structured results for tooling
+//	baexp exp -list               # show the registry
+//	baexp falsify -parallel 8 ... # parallel probes in the falsifier
+//
+// Adding a new experiment is one Register call at package init (see
+// internal/experiments/register.go for the canonical examples):
+//
+//	runner.Register(runner.Experiment{
+//	    ID:     "E13",
+//	    Title:  "my new experiment",
+//	    Params: "n=10 t=3",
+//	    Run: func(o runner.Options) (*runner.Table, error) {
+//	        return E13(10, 3, o) // fan out independent probes via runner.Map
+//	    },
+//	})
+//
+// The experiment function receives the engine options and uses runner.Map
+// (deterministic index-ordered fan-out) or runner.Prefetch (speculative
+// probe computation with early-exit consumption) for its independent
+// units; everything it returns must depend only on its inputs so tables
+// stay reproducible.
 package expensive

@@ -1,0 +1,3 @@
+module expensive
+
+go 1.21

@@ -1,64 +1,21 @@
 // Package experiments regenerates every table and figure of the paper's
-// argument as runnable experiments E1–E9 (see DESIGN.md §4 for the
-// mapping). Each experiment returns a Table — structured rows plus notes —
-// that cmd/baexp prints and EXPERIMENTS.md records; bench_test.go wraps
-// each one in a testing.B benchmark.
+// argument as runnable experiments E1–E12 (see DESIGN.md §4 for the
+// mapping). Each experiment is registered by ID with its default
+// parameters in the runner registry (see register.go); cmd/baexp runs
+// them through the parallel engine and EXPERIMENTS.md records the
+// outputs; bench_test.go wraps each one in a testing.B benchmark.
 package experiments
 
 import (
 	"fmt"
-	"strings"
+
+	"expensive/internal/experiments/runner"
 )
 
-// Table is a rendered experiment result.
-type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
-}
-
-// Render formats the table as aligned monospace text.
-func (t *Table) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len([]rune(h))
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len([]rune(cell)) > widths[i] {
-				widths[i] = len([]rune(cell))
-			}
-		}
-	}
-	line := func(cells []string) {
-		parts := make([]string, len(cells))
-		for i, c := range cells {
-			pad := 0
-			if i < len(widths) {
-				pad = widths[i] - len([]rune(c))
-			}
-			parts[i] = c + strings.Repeat(" ", pad)
-		}
-		b.WriteString("  " + strings.Join(parts, "  ") + "\n")
-	}
-	line(t.Header)
-	sep := make([]string, len(t.Header))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	line(sep)
-	for _, row := range t.Rows {
-		line(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "  note: %s\n", n)
-	}
-	return b.String()
-}
+// Table is a rendered experiment result: structured rows plus notes. It
+// lives in the runner package (the engine needs it without importing the
+// experiments themselves); this alias keeps the historical name.
+type Table = runner.Table
 
 func yesNo(b bool) string {
 	if b {

@@ -1,10 +1,13 @@
 package experiments_test
 
 import (
+	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 
 	"expensive/internal/experiments"
+	"expensive/internal/experiments/runner"
 )
 
 func TestAllExperimentsRun(t *testing.T) {
@@ -33,5 +36,50 @@ func TestAllExperimentsRun(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if _, err := experiments.Run("E99"); err == nil {
 		t.Error("expected error for unknown experiment")
+	}
+}
+
+// TestParallelDeterminism asserts the engine's core contract: a
+// registered experiment run with Parallelism 1 (fully serial) and with
+// NumCPU workers produces byte-identical Table output — both the
+// rendered text and the JSON encoding. The heavyweight IDs (E1, E8) are
+// excluded to keep the suite fast; their machinery — the parallel
+// falsifier — is covered by the cheap E3 here and by the lowerbound
+// package's own determinism test.
+func TestParallelDeterminism(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		// Still exercise real pool concurrency on small CI machines.
+		workers = 4
+	}
+	for _, id := range []string{"E2", "E3", "E4", "E5", "E6", "E7", "E9", "E10", "E11", "E12"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && id == "E6" {
+				t.Skip("slow experiment skipped in -short mode")
+			}
+			serial, err := experiments.RunWith(id, runner.Options{Parallelism: 1})
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			parallel, err := experiments.RunWith(id, runner.Options{Parallelism: workers})
+			if err != nil {
+				t.Fatalf("parallel(%d): %v", workers, err)
+			}
+			if s, p := serial.Render(), parallel.Render(); s != p {
+				t.Errorf("rendered tables differ between -parallel 1 and -parallel %d:\n--- serial ---\n%s\n--- parallel ---\n%s", workers, s, p)
+			}
+			sj, err := json.Marshal(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pj, err := json.Marshal(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(sj) != string(pj) {
+				t.Errorf("JSON encodings differ between -parallel 1 and -parallel %d", workers)
+			}
+		})
 	}
 }

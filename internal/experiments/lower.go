@@ -7,11 +7,14 @@ import (
 	"encoding/hex"
 
 	"expensive/internal/crypto/sig"
+	"expensive/internal/experiments/runner"
 	"expensive/internal/lowerbound"
 	"expensive/internal/msg"
 	"expensive/internal/omission"
 	"expensive/internal/proc"
 	"expensive/internal/protocols/cheap"
+	"expensive/internal/protocols/ic"
+	"expensive/internal/protocols/phaseking"
 	"expensive/internal/protocols/weak"
 	"expensive/internal/sim"
 )
@@ -43,8 +46,11 @@ func Candidates() []lowerbound.Candidate {
 			New:    func(n, t int) (sim.Factory, error) { return cheap.Gossip(n, 3), nil },
 		},
 		{
+			// The round bounds of the sound constructions are closed-form
+			// (phaseking.RoundBound, ic.RoundBound) — Rounds must not rebuild
+			// and discard a whole protocol stack to learn them.
 			Name: "phase-king", Sound: true, Complexity: "Θ(n²·t) msgs, n > 4t",
-			Rounds: func(n, t int) int { f, _ := weakRounds(n, t, "pk"); return f },
+			Rounds: func(n, t int) int { return phaseking.RoundBound(t) },
 			New: func(n, t int) (sim.Factory, error) {
 				if n <= 4*t {
 					return nil, fmt.Errorf("phase-king needs n > 4t")
@@ -55,23 +61,12 @@ func Candidates() []lowerbound.Candidate {
 		},
 		{
 			Name: "weak-via-ic", Sound: true, Complexity: "Θ(n³) msgs (n×Dolev-Strong), any t < n",
-			Rounds: func(n, t int) int { f, _ := weakRounds(n, t, "ic"); return f },
+			Rounds: func(n, t int) int { return ic.RoundBound(t) },
 			New: func(n, t int) (sim.Factory, error) {
 				f, _ := weak.ViaIC(n, t, sig.NewIdeal("e1-ic"))
 				return f, nil
 			},
 		},
-	}
-}
-
-func weakRounds(n, t int, kind string) (int, error) {
-	switch kind {
-	case "pk":
-		_, r := weak.ViaPhaseKing(n, t)
-		return r, nil
-	default:
-		_, r := weak.ViaIC(n, t, sig.NewIdeal("e1-ic"))
-		return r, nil
 	}
 }
 
@@ -87,8 +82,11 @@ func DefaultE1() E1Params {
 	return E1Params{CheapN: 40, CheapT: 16, SoundN: 70, SoundT: 16}
 }
 
-// E1 runs the Theorem 2 falsifier across the protocol catalogue.
-func E1(p E1Params) (*Table, error) {
+// E1 runs the Theorem 2 falsifier across the protocol catalogue. The
+// per-candidate sweeps are independent, so they fan out across the worker
+// pool; each candidate's falsifier additionally parallelizes its own
+// probe family. Rows land in catalogue order regardless of parallelism.
+func E1(p E1Params, opts runner.Options) (*Table, error) {
 	tab := &Table{
 		ID:    "E1",
 		Title: "Theorem 2 / Lemma 1 — the Ω(t²) falsifier vs. weak consensus protocols",
@@ -97,18 +95,20 @@ func E1(p E1Params) (*Table, error) {
 			"max msgs observed", "verdict", "certificate",
 		},
 	}
-	for _, c := range Candidates() {
+	cands := Candidates()
+	rows, err := runner.Map(opts.Context(), opts.Workers(), len(cands), func(i int) ([]string, error) {
+		c := cands[i]
 		n, t := p.CheapN, p.CheapT
 		if c.Sound {
 			n, t = p.SoundN, p.SoundT
 		}
 		factory, err := c.New(n, t)
 		if err != nil {
-			tab.Rows = append(tab.Rows, []string{c.Name, c.Complexity, itoa(n), itoa(t), "-", "-", "skipped: " + err.Error(), "-"})
-			continue
+			return []string{c.Name, c.Complexity, itoa(n), itoa(t), "-", "-", "skipped: " + err.Error(), "-"}, nil
 		}
 		rounds := c.Rounds(n, t)
-		rep, err := lowerbound.Falsify(c.Name, factory, rounds, n, t, lowerbound.Options{})
+		rep, err := lowerbound.Falsify(c.Name, factory, rounds, n, t,
+			lowerbound.Options{Parallelism: opts.Parallelism, Ctx: opts.Context()})
 		if err != nil {
 			return nil, fmt.Errorf("E1 %s: %w", c.Name, err)
 		}
@@ -124,11 +124,15 @@ func E1(p E1Params) (*Table, error) {
 			return nil, fmt.Errorf("E1 %s: soundness expectation violated (sound=%v broken=%v)",
 				c.Name, c.Sound, rep.Broken())
 		}
-		tab.Rows = append(tab.Rows, []string{
+		return []string{
 			c.Name, c.Complexity, itoa(n), itoa(t), itoa(rep.Threshold),
 			itoa(rep.MaxCorrectMessages), verdict, cert,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	tab.Rows = rows
 	tab.Notes = append(tab.Notes,
 		"every sub-quadratic protocol is falsified with a concrete, independently re-validated execution",
 		"every sound protocol's probe executions exceed the t²/32 budget, as Theorem 2 requires",
@@ -256,10 +260,11 @@ func (m *chainedEcho) Quiescent() bool { return false }
 
 // E3 reproduces Figure 2 / Lemmas 3-5 on a cheap protocol: the decisions
 // of A, B and C in the critical executions and their merge.
-func E3(n, t int) (*Table, error) {
+func E3(n, t int, opts runner.Options) (*Table, error) {
 	factory := cheap.Star(n)
 	rounds := cheap.StarRounds
-	rep, err := lowerbound.Falsify("star", factory, rounds, n, t, lowerbound.Options{})
+	rep, err := lowerbound.Falsify("star", factory, rounds, n, t,
+		lowerbound.Options{Parallelism: opts.Parallelism, Ctx: opts.Context()})
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"expensive/internal/crypto/sig"
+	"expensive/internal/experiments/runner"
 	"expensive/internal/lowerbound"
 	"expensive/internal/msg"
 	"expensive/internal/proc"
@@ -141,8 +142,10 @@ func E5(n, t int) (*Table, error) {
 
 // E8 runs the Corollary 1 pipeline: the sub-quadratic external-validity
 // protocol is lifted to weak consensus by Algorithm 1 and falsified; the
-// sound IC-based construction survives with quadratic traffic.
-func E8(n, t int) (*Table, error) {
+// sound IC-based construction survives with quadratic traffic. The two
+// lift-and-falsify pipelines are independent and fan out across the
+// worker pool.
+func E8(n, t int, opts runner.Options) (*Table, error) {
 	scheme := sig.NewIdeal("e8")
 	auth := external.NewAuthority(scheme)
 	tx0, err := auth.NewTx(external.ClientBase, "block-0")
@@ -160,46 +163,59 @@ func E8(n, t int) (*Table, error) {
 		Header: []string{"protocol", "complexity", "lifted via Alg. 1", "falsifier verdict", "max msgs", "t²/32"},
 	}
 
-	// Cheap external protocol.
-	cheapInner := external.CheapLeader(n, auth, tx0)
-	spec, err := reduction.DeriveAlg1(cheapInner, n, t, external.CheapLeaderRounds+1, uniformVals(n, tx0), uniformVals(n, tx1))
-	if err != nil {
-		return nil, err
+	lopts := lowerbound.Options{Parallelism: opts.Parallelism, Ctx: opts.Context()}
+	pipelines := []func() ([]string, error){
+		// Cheap external protocol: must be falsified, certificate re-checked.
+		func() ([]string, error) {
+			cheapInner := external.CheapLeader(n, auth, tx0)
+			spec, err := reduction.DeriveAlg1(cheapInner, n, t, external.CheapLeaderRounds+1, uniformVals(n, tx0), uniformVals(n, tx1))
+			if err != nil {
+				return nil, err
+			}
+			lifted := reduction.WeakFromAgreement(cheapInner, spec)
+			rep, err := lowerbound.Falsify("cheap-external", lifted, external.CheapLeaderRounds, n, t, lopts)
+			if err != nil {
+				return nil, err
+			}
+			verdict := "survived (unexpected)"
+			if rep.Broken() {
+				if err := lowerbound.CheckViolation(rep.Violation, lifted, external.CheapLeaderRounds); err != nil {
+					return nil, fmt.Errorf("E8 certificate recheck: %w", err)
+				}
+				verdict = rep.Violation.Kind + " violated (machine-checked)"
+			}
+			return []string{
+				"leader-announce (cheap)", "n-1 msgs", "yes", verdict, itoa(rep.MaxCorrectMessages), itoa(rep.Threshold),
+			}, nil
+		},
+		// Sound external protocol: must respect the budget.
+		func() ([]string, error) {
+			soundInner := external.New(external.Config{N: n, T: t, Scheme: scheme, Authority: auth, Fallback: tx0})
+			soundSpec, err := reduction.DeriveAlg1(soundInner, n, t, external.RoundBound(t)+2, uniformVals(n, tx0), uniformVals(n, tx1))
+			if err != nil {
+				return nil, err
+			}
+			liftedSound := reduction.WeakFromAgreement(soundInner, soundSpec)
+			repSound, err := lowerbound.Falsify("sound-external", liftedSound, external.RoundBound(t), n, t, lopts)
+			if err != nil {
+				return nil, err
+			}
+			verdictSound := "budget respected (sound)"
+			if repSound.Broken() {
+				verdictSound = "falsified (unexpected)"
+			}
+			return []string{
+				"IC + first-valid (sound)", "Θ(n³) msgs", "yes", verdictSound, itoa(repSound.MaxCorrectMessages), itoa(repSound.Threshold),
+			}, nil
+		},
 	}
-	lifted := reduction.WeakFromAgreement(cheapInner, spec)
-	rep, err := lowerbound.Falsify("cheap-external", lifted, external.CheapLeaderRounds, n, t, lowerbound.Options{})
-	if err != nil {
-		return nil, err
-	}
-	verdict := "survived (unexpected)"
-	if rep.Broken() {
-		if err := lowerbound.CheckViolation(rep.Violation, lifted, external.CheapLeaderRounds); err != nil {
-			return nil, fmt.Errorf("E8 certificate recheck: %w", err)
-		}
-		verdict = rep.Violation.Kind + " violated (machine-checked)"
-	}
-	tab.Rows = append(tab.Rows, []string{
-		"leader-announce (cheap)", "n-1 msgs", "yes", verdict, itoa(rep.MaxCorrectMessages), itoa(rep.Threshold),
+	rows, err := runner.Map(opts.Context(), opts.Workers(), len(pipelines), func(i int) ([]string, error) {
+		return pipelines[i]()
 	})
-
-	// Sound external protocol.
-	soundInner := external.New(external.Config{N: n, T: t, Scheme: scheme, Authority: auth, Fallback: tx0})
-	soundSpec, err := reduction.DeriveAlg1(soundInner, n, t, external.RoundBound(t)+2, uniformVals(n, tx0), uniformVals(n, tx1))
 	if err != nil {
 		return nil, err
 	}
-	liftedSound := reduction.WeakFromAgreement(soundInner, soundSpec)
-	repSound, err := lowerbound.Falsify("sound-external", liftedSound, external.RoundBound(t), n, t, lowerbound.Options{})
-	if err != nil {
-		return nil, err
-	}
-	verdictSound := "budget respected (sound)"
-	if repSound.Broken() {
-		verdictSound = "falsified (unexpected)"
-	}
-	tab.Rows = append(tab.Rows, []string{
-		"IC + first-valid (sound)", "Θ(n³) msgs", "yes", verdictSound, itoa(repSound.MaxCorrectMessages), itoa(repSound.Threshold),
-	})
+	tab.Rows = rows
 	tab.Notes = append(tab.Notes,
 		"both protocols have two fully-correct executions deciding different transactions, so Corollary 1 applies",
 	)

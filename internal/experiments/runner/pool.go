@@ -1,0 +1,192 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested parallelism level: values <= 0 mean
+// runtime.NumCPU().
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.NumCPU()
+	}
+	return parallelism
+}
+
+// Map runs fn(0), …, fn(n-1) on a pool of workers and returns the results
+// in index order. workers <= 1 runs the jobs inline, in order, stopping at
+// the first error — the serial semantics every parallel run must
+// reproduce.
+//
+// With workers > 1 the jobs are pulled off a shared feed in index order.
+// An error cancels the remaining (not yet started) jobs; because fn must
+// be deterministic and indices are claimed monotonically, the
+// lowest-index error is exactly the error a serial run would have
+// returned, so Map is observationally equivalent to the serial loop.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return out, nil
+}
+
+// Promise is the deferred result of one job submitted via Prefetch.
+type Promise[T any] struct {
+	lazy func() (T, error) // serial mode: computed inline on first Wait
+	once sync.Once
+	done chan struct{} // parallel mode: closed when the job resolves
+	val  T
+	err  error
+}
+
+// Wait blocks until the job has run (or was cancelled) and returns its
+// result. In serial mode the job is computed inline on the caller's
+// goroutine at first Wait.
+func (p *Promise[T]) Wait() (T, error) {
+	if p.lazy != nil {
+		p.once.Do(func() { p.val, p.err = p.lazy() })
+		return p.val, p.err
+	}
+	<-p.done
+	return p.val, p.err
+}
+
+// resolve publishes the job's outcome exactly once (parallel mode).
+func (p *Promise[T]) resolve(v T, err error) {
+	p.once.Do(func() {
+		p.val, p.err = v, err
+		close(p.done)
+	})
+}
+
+// Prefetch launches fn(0), …, fn(n-1) speculatively on a pool of workers
+// and returns one promise per job plus a cancel function. The consumer
+// resolves promises in whatever order it likes — typically sequentially,
+// stopping early — and calls cancel to stop the jobs it never consumed
+// (in-flight jobs run to completion; unstarted ones resolve with the
+// context error).
+//
+// The returned cancel function *joins* the pool: it stops unstarted jobs
+// and then waits for in-flight ones to finish, so after cancel returns no
+// speculative work is still burning CPU (or incrementing sim.Runs) in the
+// background — per-experiment probe and wall-clock attribution stays
+// exact.
+//
+// workers <= 1 degrades to fully lazy evaluation: each promise computes
+// its job inline on first Wait, so a serial caller does exactly the same
+// work, in exactly the same order, as a plain sequential loop — no
+// speculative probes, no goroutines.
+func Prefetch[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]*Promise[T], context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	promises := make([]*Promise[T], n)
+
+	if workers <= 1 {
+		for i := range promises {
+			i := i
+			promises[i] = &Promise[T]{lazy: func() (T, error) {
+				if err := ctx.Err(); err != nil {
+					var zero T
+					return zero, err
+				}
+				return fn(i)
+			}}
+		}
+		return promises, func() {}
+	}
+
+	for i := range promises {
+		promises[i] = &Promise[T]{done: make(chan struct{})}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	if workers > n {
+		workers = n
+	}
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				var zero T
+				for j := i; j < n; j++ {
+					promises[j].resolve(zero, ctx.Err())
+				}
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := fn(i)
+				promises[i].resolve(v, err)
+			}
+		}()
+	}
+	return promises, func() {
+		cancel()
+		wg.Wait()
+	}
+}

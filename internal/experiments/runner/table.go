@@ -1,0 +1,70 @@
+// Package runner is the parallel experiment engine: a registry of
+// experiments (each registered by ID with its default parameters), a
+// worker-pool executor with deterministic result ordering, and structured
+// JSON-serializable results with wall-clock and probe-count statistics.
+//
+// The engine owns all concurrency of the experiment layer. Individual
+// simulation probes (sim.Run) stay strictly single-threaded — that is the
+// determinism contract the paper's indistinguishability arguments rely
+// on — and the pool fans out only *independent* probes: per-candidate
+// falsifier sweeps, (n, t) grid points, and interpolation probes whose
+// inputs do not depend on each other's outcomes. A registered experiment
+// must therefore produce byte-identical tables at every parallelism level.
+package runner
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: structured rows plus notes. It is
+// JSON-serializable, so `baexp exp -json` can emit it for downstream
+// tooling.
+type Table struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// Render formats the table as aligned monospace text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len([]rune(c))
+			}
+			parts[i] = c + strings.Repeat(" ", pad)
+		}
+		b.WriteString("  " + strings.Join(parts, "  ") + "\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"expensive/internal/crypto/sig"
+	"expensive/internal/experiments/runner"
 	"expensive/internal/msg"
 	"expensive/internal/proc"
 	"expensive/internal/protocols/dolevstrong"
@@ -15,8 +16,10 @@ import (
 
 // E9 measures the message and round scaling of the matching (upper-bound)
 // protocols against the t²/32 floor: the quadratic envelope the paper's
-// lower bound says is unavoidable.
-func E9(sizes []int) (*Table, error) {
+// lower bound says is unavoidable. Every (protocol, n) grid point is an
+// independent fault-free run fanned out across the worker pool; rows land
+// in grid order.
+func E9(sizes []int, opts runner.Options) (*Table, error) {
 	scheme := sig.NewIdeal("e9")
 	tab := &Table{
 		ID:    "E9",
@@ -26,6 +29,13 @@ func E9(sizes []int) (*Table, error) {
 			"msgs (correct)", "t²/32", "msgs/n²",
 		},
 	}
+	type point struct {
+		name    string
+		factory sim.Factory
+		n, t    int
+		bound   int
+	}
+	var grid []point
 	for _, n := range sizes {
 		t := (n - 1) / 3
 		if t < 1 {
@@ -34,34 +44,41 @@ func E9(sizes []int) (*Table, error) {
 
 		// Dolev-Strong Byzantine broadcast, t < n.
 		tBB := n / 2
-		bb := dolevstrong.New(dolevstrong.Config{N: n, T: tBB, Sender: 0, Scheme: scheme, Tag: "bb", Default: "⊥"})
-		if err := addScalingRow(tab, "dolev-strong BB", bb, n, tBB, dolevstrong.RoundBound(tBB)); err != nil {
-			return nil, err
-		}
+		grid = append(grid, point{
+			name: "dolev-strong BB", n: n, t: tBB, bound: dolevstrong.RoundBound(tBB),
+			factory: dolevstrong.New(dolevstrong.Config{N: n, T: tBB, Sender: 0, Scheme: scheme, Tag: "bb", Default: "⊥"}),
+		})
 
 		// Authenticated IC (n parallel broadcasts).
-		icf := ic.New(ic.Config{N: n, T: t, Scheme: scheme, Default: msg.One})
-		if err := addScalingRow(tab, "interactive consistency (auth)", icf, n, t, ic.RoundBound(t)); err != nil {
-			return nil, err
-		}
+		grid = append(grid, point{
+			name: "interactive consistency (auth)", n: n, t: t, bound: ic.RoundBound(t),
+			factory: ic.New(ic.Config{N: n, T: t, Scheme: scheme, Default: msg.One}),
+		})
 
 		// Phase-King strong consensus, n > 4t.
-		tPK := (n - 1) / 4
-		if tPK >= 1 {
-			pk := phaseking.New(phaseking.Config{N: n, T: tPK})
-			if err := addScalingRow(tab, "phase-king", pk, n, tPK, phaseking.RoundBound(tPK)); err != nil {
-				return nil, err
-			}
+		if tPK := (n - 1) / 4; tPK >= 1 {
+			grid = append(grid, point{
+				name: "phase-king", n: n, t: tPK, bound: phaseking.RoundBound(tPK),
+				factory: phaseking.New(phaseking.Config{N: n, T: tPK}),
+			})
 		}
 
 		// EIG only at small n (message size is exponential in t).
 		if n <= 8 {
-			ef := eig.New(eig.Config{N: n, T: t, Default: msg.One})
-			if err := addScalingRow(tab, "interactive consistency (EIG)", ef, n, t, eig.RoundBound(t)); err != nil {
-				return nil, err
-			}
+			grid = append(grid, point{
+				name: "interactive consistency (EIG)", n: n, t: t, bound: eig.RoundBound(t),
+				factory: eig.New(eig.Config{N: n, T: t, Default: msg.One}),
+			})
 		}
 	}
+	rows, err := runner.Map(opts.Context(), opts.Workers(), len(grid), func(i int) ([]string, error) {
+		p := grid[i]
+		return scalingRow(p.name, p.factory, p.n, p.t, p.bound)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab.Rows = rows
 	tab.Notes = append(tab.Notes,
 		"msgs/n² exposes the quadratic envelope: roughly constant per protocol family as n grows",
 		"the t²/32 column is the Theorem 2 floor every entry must (and does) clear",
@@ -69,7 +86,7 @@ func E9(sizes []int) (*Table, error) {
 	return tab, nil
 }
 
-func addScalingRow(tab *Table, name string, factory sim.Factory, n, t, bound int) error {
+func scalingRow(name string, factory sim.Factory, n, t, bound int) ([]string, error) {
 	proposals := make([]msg.Value, n)
 	for i := range proposals {
 		proposals[i] = msg.Zero
@@ -77,57 +94,19 @@ func addScalingRow(tab *Table, name string, factory sim.Factory, n, t, bound int
 	cfg := sim.Config{N: n, T: t, Proposals: proposals, MaxRounds: bound + 2}
 	e, err := sim.Run(cfg, factory, sim.NoFaults{})
 	if err != nil {
-		return fmt.Errorf("E9 %s n=%d: %w", name, n, err)
+		return nil, fmt.Errorf("E9 %s n=%d: %w", name, n, err)
 	}
 	if _, err := e.CommonDecision(proc.Universe(n)); err != nil {
-		return fmt.Errorf("E9 %s n=%d: %w", name, n, err)
+		return nil, fmt.Errorf("E9 %s n=%d: %w", name, n, err)
 	}
 	msgs := e.CorrectMessages()
 	floor := t * t / 32
-	tab.Rows = append(tab.Rows, []string{
-		name, itoa(n), itoa(t), itoa(e.Rounds), itoa(bound),
-		itoa(msgs), itoa(floor), fmt.Sprintf("%.2f", float64(msgs)/float64(n*n)),
-	})
 	if msgs < floor {
-		return fmt.Errorf("E9 %s n=%d: %d messages below the t²/32 floor %d — contradicts Theorem 2",
+		return nil, fmt.Errorf("E9 %s n=%d: %d messages below the t²/32 floor %d — contradicts Theorem 2",
 			name, n, msgs, floor)
 	}
-	return nil
-}
-
-// AllIDs lists the experiment identifiers in order.
-func AllIDs() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
-}
-
-// Run executes one experiment by ID with its default parameters.
-func Run(id string) (*Table, error) {
-	switch id {
-	case "E1":
-		return E1(DefaultE1())
-	case "E2":
-		return E2(20, 8, 3)
-	case "E10":
-		return E10(8, 2)
-	case "E11":
-		return E11()
-	case "E12":
-		return E12(10, 4)
-	case "E3":
-		return E3(40, 16)
-	case "E4":
-		return E4(24, 8)
-	case "E5":
-		return E5(6, 1)
-	case "E6":
-		return E6([][2]int{{4, 1}, {4, 2}, {5, 2}})
-	case "E7":
-		return E7(3)
-	case "E8":
-		return E8(40, 16)
-	case "E9":
-		return E9([]int{4, 8, 16, 24})
-	default:
-		return nil, fmt.Errorf("unknown experiment %q (have %v)", id, AllIDs())
-	}
+	return []string{
+		name, itoa(n), itoa(t), itoa(e.Rounds), itoa(bound),
+		itoa(msgs), itoa(floor), fmt.Sprintf("%.2f", float64(msgs)/float64(n*n)),
+	}, nil
 }

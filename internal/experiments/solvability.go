@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"expensive/internal/crypto/sig"
+	"expensive/internal/experiments/runner"
 	"expensive/internal/solve"
 	"expensive/internal/validity"
 )
@@ -13,8 +14,10 @@ import (
 // standard validity property and several (n, t) pairs, the containment
 // condition verdict is compared against an *actual protocol derivation* —
 // Algorithm 2 over IC (authenticated) or EIG (unauthenticated) — whose
-// decisions are then checked on every input configuration.
-func E6(pairs [][2]int) (*Table, error) {
+// decisions are then checked on every input configuration. Every
+// (problem, n, t) grid point is an independent job fanned out across the
+// worker pool; rows land in grid order.
+func E6(pairs [][2]int, opts runner.Options) (*Table, error) {
 	tab := &Table{
 		ID:    "E6",
 		Title: "Theorem 4 — general solvability matrix: CC verdict vs. derived-protocol check",
@@ -23,25 +26,37 @@ func E6(pairs [][2]int) (*Table, error) {
 			"auth solvable", "auth derived+checked", "unauth solvable", "unauth derived+checked",
 		},
 	}
+	type cell struct {
+		p    validity.Problem
+		n, t int
+	}
+	var grid []cell
 	for _, nt := range pairs {
-		n, t := nt[0], nt[1]
-		for _, p := range validity.Standard(n, t) {
-			verdict := p.Solve()
-			authCell, err := deriveAndCheck(p, true)
-			if err != nil {
-				return nil, fmt.Errorf("E6 %s n=%d t=%d auth: %w", p.Name, n, t, err)
-			}
-			unauthCell, err := deriveAndCheck(p, false)
-			if err != nil {
-				return nil, fmt.Errorf("E6 %s n=%d t=%d unauth: %w", p.Name, n, t, err)
-			}
-			tab.Rows = append(tab.Rows, []string{
-				p.Name, itoa(n), itoa(t), yesNo(verdict.Trivial), yesNo(verdict.CC),
-				yesNo(verdict.Authenticated), authCell,
-				yesNo(verdict.Unauthenticated), unauthCell,
-			})
+		for _, p := range validity.Standard(nt[0], nt[1]) {
+			grid = append(grid, cell{p: p, n: nt[0], t: nt[1]})
 		}
 	}
+	rows, err := runner.Map(opts.Context(), opts.Workers(), len(grid), func(i int) ([]string, error) {
+		c := grid[i]
+		verdict := c.p.Solve()
+		authCell, err := deriveAndCheck(c.p, true)
+		if err != nil {
+			return nil, fmt.Errorf("E6 %s n=%d t=%d auth: %w", c.p.Name, c.n, c.t, err)
+		}
+		unauthCell, err := deriveAndCheck(c.p, false)
+		if err != nil {
+			return nil, fmt.Errorf("E6 %s n=%d t=%d unauth: %w", c.p.Name, c.n, c.t, err)
+		}
+		return []string{
+			c.p.Name, itoa(c.n), itoa(c.t), yesNo(verdict.Trivial), yesNo(verdict.CC),
+			yesNo(verdict.Authenticated), authCell,
+			yesNo(verdict.Unauthenticated), unauthCell,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab.Rows = rows
 	tab.Notes = append(tab.Notes,
 		"'derived+checked ok' means Algorithm 2 produced a protocol whose decisions were verified admissible on every input configuration in I",
 		"'unsolvable (refused)' means the derivation was refused exactly when the theorem says no protocol exists",

@@ -31,8 +31,10 @@
 package lowerbound
 
 import (
+	"context"
 	"fmt"
 
+	"expensive/internal/experiments/runner"
 	"expensive/internal/msg"
 	"expensive/internal/omission"
 	"expensive/internal/proc"
@@ -98,6 +100,29 @@ type Options struct {
 	// only the direct Lemma 2 attempts on isolation probes. This is the
 	// ablation showing the merge argument is load-bearing.
 	DisableMerge bool
+	// Parallelism fans out independent simulation probes — the
+	// fully-correct pair E_0/E_1, the default-bit pair E_B(1)_0/E_C(1)_1,
+	// and the Lemma 4 interpolation family E_B(k)_v — across a worker
+	// pool. <= 0 means runtime.NumCPU(); 1 forces the fully serial path.
+	// Each probe is still a single-threaded sim.Run (the determinism
+	// contract); probe *analysis* stays sequential in construction order,
+	// so the report is byte-identical at every parallelism level. Parallel
+	// runs may merely compute speculative probes the serial path would
+	// have skipped. The factory must tolerate concurrent machine
+	// construction when Parallelism != 1 (every factory in this module
+	// does — machines share no mutable state).
+	Parallelism int
+	// Ctx cancels the construction between (and, in parallel mode, inside)
+	// probe waves; nil means context.Background().
+	Ctx context.Context
+}
+
+// context resolves the effective context of the run.
+func (o Options) context() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 type falsifier struct {
@@ -166,11 +191,37 @@ func (f *falsifier) uniform(v msg.Value) []msg.Value {
 	return ps
 }
 
-// runFull runs the fully-correct execution with unanimous proposal v and
-// checks Weak Validity and Termination on it.
-func (f *falsifier) runFull(v msg.Value) (*sim.Execution, error) {
-	cfg := sim.Config{N: f.n, T: f.t, Proposals: f.uniform(v), MaxRounds: f.horizon}
-	e, err := sim.Run(cfg, f.factory, sim.NoFaults{})
+// probe is a deferred simulation probe: a Promise resolving to the
+// execution, computed on the worker pool (or inline when serial).
+type probe = runner.Promise[*sim.Execution]
+
+// fullFetch builds the compute step of the fully-correct execution with
+// unanimous proposal v. Fetches are pure — safe to run concurrently.
+func (f *falsifier) fullFetch(v msg.Value) func() (*sim.Execution, error) {
+	return func() (*sim.Execution, error) {
+		cfg := sim.Config{N: f.n, T: f.t, Proposals: f.uniform(v), MaxRounds: f.horizon}
+		return sim.Run(cfg, f.factory, sim.NoFaults{})
+	}
+}
+
+// isolatedFetch builds the compute step of E_group(k)_v.
+func (f *falsifier) isolatedFetch(group proc.Set, k int, v msg.Value) func() (*sim.Execution, error) {
+	return func() (*sim.Execution, error) {
+		return omission.RunIsolated(f.n, f.t, f.factory, v, group, k, f.horizon)
+	}
+}
+
+// inlineProbe wraps a single fetch as a lazily evaluated probe (no
+// speculation, computed on first Wait).
+func (f *falsifier) inlineProbe(fetch func() (*sim.Execution, error)) *probe {
+	ps, _ := runner.Prefetch(f.opts.context(), 1, 1, func(int) (*sim.Execution, error) { return fetch() })
+	return ps[0]
+}
+
+// runFull consumes the fully-correct execution with unanimous proposal v
+// and checks Weak Validity and Termination on it.
+func (f *falsifier) runFull(v msg.Value, pr *probe) (*sim.Execution, error) {
+	e, err := pr.Wait()
 	if err != nil {
 		return nil, fmt.Errorf("run E_%s: %w", v, err)
 	}
@@ -219,12 +270,12 @@ func decisionRound(e *sim.Execution) int {
 	return maxR
 }
 
-// probeIsolated runs E_G(k)_v, checks the correct processes agree, tries
-// the direct Lemma 2 argument on the isolated group, and returns the
-// execution plus the correct processes' common decision. A nil execution
-// with nil error means a violation was recorded.
-func (f *falsifier) probeIsolated(label string, group proc.Set, k int, v msg.Value) (*sim.Execution, msg.Value, error) {
-	e, err := omission.RunIsolated(f.n, f.t, f.factory, v, group, k, f.horizon)
+// probeIsolated consumes E_G(k)_v, checks the correct processes agree,
+// tries the direct Lemma 2 argument on the isolated group, and returns
+// the execution plus the correct processes' common decision. A nil
+// execution with nil error means a violation was recorded.
+func (f *falsifier) probeIsolated(label string, group proc.Set, pr *probe) (*sim.Execution, msg.Value, error) {
+	e, err := pr.Wait()
 	if err != nil {
 		return nil, msg.NoDecision, fmt.Errorf("probe %s: %w", label, err)
 	}
@@ -333,7 +384,10 @@ func (f *falsifier) lemma2(e *sim.Execution, group proc.Set, bX msg.Value, label
 	return nil
 }
 
-// run drives the full construction.
+// run drives the full construction. Probe executions are *computed* on
+// the worker pool (speculatively, when Parallelism != 1) but *analyzed*
+// strictly in construction order, so the report — observations, log
+// lines, violations — is identical at every parallelism level.
 func (f *falsifier) run() error {
 	part, err := proc.NewPartition(f.n, f.t)
 	if err != nil {
@@ -341,22 +395,36 @@ func (f *falsifier) run() error {
 	}
 	f.logf("partition: |A|=%d |B|=%d |C|=%d (t/4 = %d)", part.A.Len(), part.B.Len(), part.C.Len(), f.t/4)
 
+	workers := runner.Workers(f.opts.Parallelism)
+
+	// Wave 1: the four probes of Steps 1-2 have no mutual dependencies.
+	wave1 := []func() (*sim.Execution, error){
+		f.fullFetch(msg.Zero),
+		f.fullFetch(msg.One),
+		f.isolatedFetch(part.B, 1, msg.Zero),
+		f.isolatedFetch(part.C, 1, msg.One),
+	}
+	p1, cancel1 := runner.Prefetch(f.opts.context(), workers, len(wave1), func(i int) (*sim.Execution, error) {
+		return wave1[i]()
+	})
+	defer cancel1()
+
 	// Step 1: Weak Validity on the fully-correct executions.
-	e0, err := f.runFull(msg.Zero)
+	e0, err := f.runFull(msg.Zero, p1[0])
 	if err != nil || f.report.Violation != nil {
 		return err
 	}
-	e1, err := f.runFull(msg.One)
+	e1, err := f.runFull(msg.One, p1[1])
 	if err != nil || f.report.Violation != nil {
 		return err
 	}
 
 	// Step 2: the default bit (Lemma 3 on E_B(1)_0 and E_C(1)_1).
-	eB1, dB, err := f.probeIsolated("E_B(1)_0", part.B, 1, msg.Zero)
+	eB1, dB, err := f.probeIsolated("E_B(1)_0", part.B, p1[2])
 	if err != nil || f.report.Violation != nil {
 		return err
 	}
-	eC1, dC, err := f.probeIsolated("E_C(1)_1", part.C, 1, msg.One)
+	eC1, dC, err := f.probeIsolated("E_C(1)_1", part.C, p1[3])
 	if err != nil || f.report.Violation != nil {
 		return err
 	}
@@ -380,7 +448,11 @@ func (f *falsifier) run() error {
 	v := msg.FlipBit(d)
 	f.logf("default bit d=%q; interpolating over the unanimous-%s family (Lemma 4)", d, v)
 
-	// Step 3: Lemma 4 interpolation over E_B(k)_v.
+	// Step 3: Lemma 4 interpolation over E_B(k)_v. The probes of the whole
+	// family are mutually independent — only the *scan* for the critical
+	// round is sequential — so they are prefetched as one wave; the scan
+	// consumes them in order and cancels whatever lies beyond the critical
+	// round.
 	eV := e0
 	if v == msg.One {
 		eV = e1
@@ -388,7 +460,12 @@ func (f *falsifier) run() error {
 	rMax := decisionRound(eV)
 	f.logf("all processes decide by round %d in E_%s", rMax, v)
 
-	prev, prevDecision, err := f.probeIsolated(fmt.Sprintf("E_B(1)_%s", v), part.B, 1, v)
+	pB, cancelB := runner.Prefetch(f.opts.context(), workers, rMax+1, func(i int) (*sim.Execution, error) {
+		return f.isolatedFetch(part.B, i+1, v)()
+	})
+	defer cancelB()
+
+	prev, prevDecision, err := f.probeIsolated(fmt.Sprintf("E_B(1)_%s", v), part.B, pB[0])
 	if err != nil || f.report.Violation != nil {
 		return err
 	}
@@ -403,7 +480,7 @@ func (f *falsifier) run() error {
 	critical := -1
 	var eBR, eBR1 *sim.Execution
 	for k := 2; k <= rMax+1; k++ {
-		cur, curDecision, err := f.probeIsolated(fmt.Sprintf("E_B(%d)_%s", k, v), part.B, k, v)
+		cur, curDecision, err := f.probeIsolated(fmt.Sprintf("E_B(%d)_%s", k, v), part.B, pB[k-1])
 		if err != nil || f.report.Violation != nil {
 			return err
 		}
@@ -422,8 +499,10 @@ func (f *falsifier) run() error {
 	}
 	_ = eBR
 
-	// Step 4: run E_C(R)_v and merge with E_B(R+1)_v (Lemma 5).
-	eCR, dCR, err := f.probeIsolated(fmt.Sprintf("E_C(%d)_%s", critical, v), part.C, critical, v)
+	// Step 4: run E_C(R)_v and merge with E_B(R+1)_v (Lemma 5). This probe
+	// depends on the critical round, so it cannot be prefetched.
+	eCR, dCR, err := f.probeIsolated(fmt.Sprintf("E_C(%d)_%s", critical, v), part.C,
+		f.inlineProbe(f.isolatedFetch(part.C, critical, v)))
 	if err != nil || f.report.Violation != nil {
 		return err
 	}

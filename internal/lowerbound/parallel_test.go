@@ -1,0 +1,57 @@
+package lowerbound_test
+
+import (
+	"reflect"
+	"testing"
+
+	"expensive/internal/lowerbound"
+	"expensive/internal/protocols/cheap"
+	"expensive/internal/sim"
+)
+
+// The falsifier's parallel mode computes probes speculatively but must
+// analyze them in construction order, so the whole report — executions
+// observed, max messages, log narrative, violation — is identical at
+// every parallelism level.
+func TestFalsifyParallelDeterminism(t *testing.T) {
+	const n, tf = 40, 16
+	for _, tc := range []struct {
+		name    string
+		factory sim.Factory
+		rounds  int
+	}{
+		{"star", cheap.Star(n), cheap.StarRounds},
+		{"leader", cheap.Leader(n), cheap.LeaderRounds},
+		{"silent", cheap.Silent(), cheap.SilentRounds},
+		{"gossip-k3", cheap.Gossip(n, 3), cheap.GossipRounds},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := lowerbound.Falsify(tc.name, tc.factory, tc.rounds, n, tf,
+				lowerbound.Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := lowerbound.Falsify(tc.name, tc.factory, tc.rounds, n, tf,
+				lowerbound.Options{Parallelism: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Executions != parallel.Executions {
+				t.Errorf("executions: serial %d, parallel %d", serial.Executions, parallel.Executions)
+			}
+			if serial.MaxCorrectMessages != parallel.MaxCorrectMessages {
+				t.Errorf("max msgs: serial %d, parallel %d", serial.MaxCorrectMessages, parallel.MaxCorrectMessages)
+			}
+			if !reflect.DeepEqual(serial.Log, parallel.Log) {
+				t.Errorf("log narratives differ:\nserial: %v\nparallel: %v", serial.Log, parallel.Log)
+			}
+			sb, pb := serial.Broken(), parallel.Broken()
+			if sb != pb {
+				t.Fatalf("verdicts differ: serial broken=%v, parallel broken=%v", sb, pb)
+			}
+			if sb && serial.Violation.String() != parallel.Violation.String() {
+				t.Errorf("violations differ:\nserial: %s\nparallel: %s", serial.Violation, parallel.Violation)
+			}
+		})
+	}
+}

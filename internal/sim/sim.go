@@ -18,10 +18,19 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"expensive/internal/msg"
 	"expensive/internal/proc"
 )
+
+// runCount counts Run invocations process-wide. The experiment engine
+// snapshots it around a run to attribute probe counts per experiment.
+var runCount atomic.Int64
+
+// Runs returns the total number of simulation probes (Run invocations)
+// started so far in this process.
+func Runs() int64 { return runCount.Load() }
 
 // Outgoing is a message a machine asks the engine to send in the next
 // round. The engine stamps sender and round.
@@ -315,6 +324,7 @@ func Run(cfg Config, factory Factory, plan FaultPlan) (*Execution, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	runCount.Add(1)
 	faulty := plan.Faulty()
 	if faulty.Len() > cfg.T {
 		return nil, fmt.Errorf("fault plan corrupts %d > t=%d processes", faulty.Len(), cfg.T)
@@ -344,19 +354,31 @@ func Run(cfg Config, factory Factory, plan FaultPlan) (*Execution, error) {
 		pending[i] = machines[i].Init()
 	}
 
+	// Scratch buffers reused across rounds: per-round message routing is
+	// the engine's hot path, and the probe loops above it (falsifier
+	// sweeps, experiment grids) run it millions of rounds. Fragment slices
+	// (Sent, Received, …) are NOT reused — each round's fragment is
+	// appended to a behavior and must own its backing arrays — but the
+	// routing tables and the duplicate-receiver check are.
+	inboxes := make([][]msg.Message, cfg.N)
+	frags := make([]Fragment, cfg.N)
+	seen := make([]int, cfg.N) // generation-stamped duplicate-receiver check
+	gen := 0
+
 	rounds := 0
 	quiesced := false
 	for r := 1; r <= cfg.MaxRounds; r++ {
 		rounds = r
-		inboxes := make([][]msg.Message, cfg.N)
-		frags := make([]Fragment, cfg.N)
+		for i := range inboxes {
+			inboxes[i] = inboxes[i][:0]
+		}
 		for i := range frags {
 			frags[i] = Fragment{Round: r}
 		}
 
 		// Send phase.
 		for i := 0; i < cfg.N; i++ {
-			seen := make(map[proc.ID]bool, len(pending[i]))
+			gen++
 			for _, out := range pending[i] {
 				if out.To == proc.ID(i) {
 					return nil, fmt.Errorf("round %d: %s sent to itself", r, proc.ID(i))
@@ -364,10 +386,10 @@ func Run(cfg Config, factory Factory, plan FaultPlan) (*Execution, error) {
 				if out.To < 0 || int(out.To) >= cfg.N {
 					return nil, fmt.Errorf("round %d: %s sent to unknown process %d", r, proc.ID(i), out.To)
 				}
-				if seen[out.To] {
+				if seen[out.To] == gen {
 					return nil, fmt.Errorf("round %d: %s sent twice to %s", r, proc.ID(i), out.To)
 				}
-				seen[out.To] = true
+				seen[out.To] = gen
 				m := msg.Message{Sender: proc.ID(i), Receiver: out.To, Round: r, Payload: out.Payload}
 				if plan.SendOmit(m) {
 					if !faulty.Contains(m.Sender) {
