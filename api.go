@@ -1,6 +1,7 @@
 package expensive
 
 import (
+	"expensive/internal/adversary"
 	"expensive/internal/crypto/sig"
 	"expensive/internal/experiments"
 	"expensive/internal/experiments/runner"
@@ -77,6 +78,28 @@ type (
 	ExperimentInfo = runner.Info
 	// NodeResult is the outcome of one live (transport) node.
 	NodeResult = transport.NodeResult
+	// AttackStrategy is a named, seed-deterministic fault-plan generator.
+	AttackStrategy = adversary.Strategy
+	// AttackEnv is the probe environment strategies build plans for.
+	AttackEnv = adversary.Env
+	// Campaign is a seeded adversarial hunt: one strategy versus one
+	// protocol over a range of seeds, every probe fully checked.
+	Campaign = adversary.Campaign
+	// CampaignReport is a campaign's deterministic, JSON-serializable
+	// outcome (byte-identical at every parallelism level).
+	CampaignReport = adversary.CampaignReport
+	// CampaignViolation is a protocol failure found by a campaign probe.
+	CampaignViolation = adversary.Violation
+	// ExplicitFaultPlan is a materialized, replayable, shrinkable fault plan.
+	ExplicitFaultPlan = adversary.ExplicitPlan
+	// ShrinkResult is a minimized counterexample.
+	ShrinkResult = adversary.ShrinkResult
+	// ShrinkOptions parameterize Shrink and RecheckViolation.
+	ShrinkOptions = adversary.ShrinkOptions
+	// SeedRange is the half-open seed interval a campaign sweeps.
+	SeedRange = adversary.SeedRange
+	// ValidityCheck is a pluggable per-probe validity property.
+	ValidityCheck = adversary.ValidityFunc
 )
 
 // Binary values.
@@ -258,6 +281,114 @@ func DeriveWeakFromAgreement(inner Factory, n, t, horizon int, c0, c1 []Value) (
 		return nil, Alg1Spec{}, err
 	}
 	return reduction.WeakFromAgreement(inner, spec), spec, nil
+}
+
+// Adversary hunting: composable attack strategies, parallel seeded
+// campaigns, and counterexample shrinking (see internal/adversary).
+
+// NewCampaign builds a hunt of the given strategy against a protocol: n
+// and t fix the system, factory/rounds the target, and seeds the range of
+// deterministic probes. Tune the returned campaign (Validity, Shrink,
+// Parallelism, New for n-shrinking) before calling Run.
+func NewCampaign(protocol string, factory Factory, rounds, n, t int, strategy AttackStrategy, seeds SeedRange) *Campaign {
+	return &Campaign{
+		Protocol: protocol,
+		Factory:  factory,
+		Rounds:   rounds,
+		N:        n,
+		T:        t,
+		Strategy: strategy,
+		Seeds:    seeds,
+	}
+}
+
+// NewProblemCampaign builds a hunt against a problem's derived protocol,
+// checking the problem's own validity property on every probe.
+func NewProblemCampaign(p Problem, d *Derived, strategy AttackStrategy, seeds SeedRange) (*Campaign, error) {
+	return adversary.ForProblem(p, d, strategy, seeds)
+}
+
+// Strategy constructors — the attack library.
+
+// StrategyRandomSendOmission drops a random faulty subset's outbound
+// messages with the given percentage.
+func StrategyRandomSendOmission(biasPct int) AttackStrategy {
+	return adversary.RandomSendOmission(biasPct)
+}
+
+// StrategyRandomReceiveOmission drops a random faulty subset's inbound
+// messages with the given percentage.
+func StrategyRandomReceiveOmission(biasPct int) AttackStrategy {
+	return adversary.RandomReceiveOmission(biasPct)
+}
+
+// StrategyRandomOmission drops a random faulty subset's inbound and
+// outbound messages with the given percentage (the full §3 omission
+// adversary, randomized).
+func StrategyRandomOmission(biasPct int) AttackStrategy { return adversary.RandomOmission(biasPct) }
+
+// StrategyTargetedWithhold is the targeted last-round-reveal attack that
+// separates the crash model from the omission model (E10).
+func StrategyTargetedWithhold() AttackStrategy { return adversary.TargetedWithhold() }
+
+// StrategySilentCrash crashes random processes with partial delivery.
+func StrategySilentCrash() AttackStrategy { return adversary.SilentCrash() }
+
+// StrategySenderIsolation receive-isolates a random group from a random
+// round on (the paper's Definition 1 pattern, randomized).
+func StrategySenderIsolation() AttackStrategy { return adversary.SenderIsolation() }
+
+// StrategyChaos replaces random processes with Byzantine chatterers.
+func StrategyChaos() AttackStrategy { return adversary.Chaos() }
+
+// StrategyEquivocate replaces random processes with equivocators that
+// tell half of Π "0" and the other half "1".
+func StrategyEquivocate() AttackStrategy { return adversary.Equivocate() }
+
+// StrategyTwoFaced replaces random processes with machines running two
+// honest protocol copies with opposite proposals, one per peer group.
+func StrategyTwoFaced() AttackStrategy { return adversary.TwoFaced() }
+
+// StrategyUnion combines two strategies, splitting the fault budget.
+func StrategyUnion(a, b AttackStrategy) AttackStrategy { return adversary.Union(a, b) }
+
+// StrategyWindowed gates a strategy's omissions to rounds [lo, hi].
+func StrategyWindowed(s AttackStrategy, lo, hi int) AttackStrategy {
+	return adversary.Windowed(s, lo, hi)
+}
+
+// StrategyBiased keeps each omission of the inner strategy only with the
+// given percentage.
+func StrategyBiased(s AttackStrategy, keepPct int) AttackStrategy {
+	return adversary.Biased(s, keepPct)
+}
+
+// Validity properties for campaigns.
+
+// CheckWeakValidity is the paper's Weak Validity (vacuous under faults).
+func CheckWeakValidity(proposals []Value, correct ProcessSet, decision Value) error {
+	return adversary.WeakValidity(proposals, correct, decision)
+}
+
+// CheckStrongValidity requires unanimous correct proposals to win.
+func CheckStrongValidity(proposals []Value, correct ProcessSet, decision Value) error {
+	return adversary.StrongValidity(proposals, correct, decision)
+}
+
+// CheckSenderValidity requires a correct designated sender's proposal to win.
+func CheckSenderValidity(sender ProcessID) ValidityCheck { return adversary.SenderValidity(sender) }
+
+// Shrink minimizes a campaign violation into a 1-minimal explicit fault
+// plan, re-validating every candidate against the execution guarantees
+// and machine conformance.
+func Shrink(v *CampaignViolation, opts ShrinkOptions) (*ShrinkResult, error) {
+	return adversary.Shrink(v, opts)
+}
+
+// RecheckViolation independently re-validates a campaign violation (and
+// its shrunken counterexample, when present), CheckViolation-style.
+func RecheckViolation(v *CampaignViolation, opts ShrinkOptions) error {
+	return adversary.Recheck(v, opts)
 }
 
 // Experiments.

@@ -352,3 +352,61 @@ func TestErrorsAreDiagnosable(t *testing.T) {
 		t.Errorf("error %q should carry the theorem context", err)
 	}
 }
+
+func TestFacadeAdversaryHunt(t *testing.T) {
+	// The full hunt lifecycle through the facade: campaign, violation,
+	// shrink, independent recheck — the E10 FloodSet split as a one-liner.
+	n, tf := 8, 2
+	factory, rounds := expensive.NewFloodSet(n, tf)
+	campaign := expensive.NewCampaign("floodset", factory, rounds, n, tf,
+		expensive.StrategyTargetedWithhold(), expensive.SeedRange{From: 0, To: 16})
+	campaign.Validity = expensive.CheckWeakValidity
+	campaign.New = func(n, t int) (expensive.Factory, int, error) {
+		f, r := expensive.NewFloodSet(n, t)
+		return f, r, nil
+	}
+	report, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Broken() {
+		t.Fatal("targeted withholding should split FloodSet in 16 seeds")
+	}
+	v := report.Violations[0]
+	opts := expensive.ShrinkOptions{
+		Factory: factory, Rounds: rounds, N: n, T: tf,
+		New: campaign.New, Validity: campaign.Validity,
+	}
+	shrunk, err := expensive.Shrink(v, opts)
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	if shrunk.OmitAfter > shrunk.OmitBefore {
+		t.Errorf("shrink grew the plan: %v", shrunk)
+	}
+	v.Shrunk = shrunk
+	if err := expensive.RecheckViolation(v, opts); err != nil {
+		t.Fatalf("RecheckViolation: %v", err)
+	}
+}
+
+func TestFacadeProblemCampaign(t *testing.T) {
+	p := expensive.WeakProblem(4, 1)
+	d, err := expensive.SolveAuthenticated(p, expensive.NewIdealScheme("api-hunt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := expensive.NewProblemCampaign(p, d,
+		expensive.StrategyUnion(expensive.StrategyRandomOmission(40), expensive.StrategyChaos()),
+		expensive.SeedRange{From: 0, To: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Broken() {
+		t.Fatalf("derived weak consensus broken: %v", report.Violations[0])
+	}
+}

@@ -197,6 +197,84 @@ func BenchmarkPhaseKing(b *testing.B) {
 	}
 }
 
+// Campaign throughput benchmarks: the adversary hunt engine's probes/sec
+// at the two ends of the worker range. Each probe is a full cycle — plan
+// derivation, simulation, execution-guarantee validation, conformance
+// re-execution, property checks — so this is the number that tells you
+// how much adversarial ground a seed budget covers.
+
+func benchCampaign(b *testing.B, parallelism int, strategy expensive.AttackStrategy) {
+	b.Helper()
+	n, tf := 8, 2
+	factory, rounds := expensive.NewFloodSet(n, tf)
+	const seedsPerRun = 128
+	b.ReportAllocs()
+	var probes int
+	for i := 0; i < b.N; i++ {
+		c := expensive.NewCampaign("floodset", factory, rounds, n, tf, strategy,
+			expensive.SeedRange{From: 0, To: seedsPerRun})
+		c.Validity = expensive.CheckWeakValidity
+		c.Parallelism = parallelism
+		rep, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes += rep.Probes
+	}
+	b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/s")
+}
+
+func BenchmarkHuntCampaign(b *testing.B) {
+	// Serial vs full-width worker pool (GOMAXPROCS), per strategy family.
+	for _, bench := range []struct {
+		name     string
+		strategy expensive.AttackStrategy
+	}{
+		{"omission", expensive.StrategyRandomOmission(40)},
+		{"targeted", expensive.StrategyTargetedWithhold()},
+		{"byzantine", expensive.StrategyChaos()},
+	} {
+		b.Run(bench.name+"/serial", func(b *testing.B) { benchCampaign(b, 1, bench.strategy) })
+		b.Run(bench.name+"/parallel", func(b *testing.B) { benchCampaign(b, 0, bench.strategy) })
+	}
+}
+
+func BenchmarkShrink(b *testing.B) {
+	// Minimization cost of one found FloodSet counterexample.
+	n, tf := 8, 2
+	factory, rounds := expensive.NewFloodSet(n, tf)
+	newAt := func(n, t int) (expensive.Factory, int, error) {
+		f, r := expensive.NewFloodSet(n, t)
+		return f, r, nil
+	}
+	c := expensive.NewCampaign("floodset", factory, rounds, n, tf,
+		expensive.StrategyTargetedWithhold(), expensive.SeedRange{From: 0, To: 16})
+	c.Validity = expensive.CheckWeakValidity
+	rep, err := c.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !rep.Broken() {
+		b.Fatal("no violation to shrink")
+	}
+	v := rep.Violations[0]
+	opts := expensive.ShrinkOptions{
+		Factory: factory, Rounds: rounds, N: n, T: tf,
+		New: newAt, Validity: expensive.CheckWeakValidity,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps int
+	for i := 0; i < b.N; i++ {
+		sh, err := expensive.Shrink(v, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = sh.Steps
+	}
+	b.ReportMetric(float64(steps), "replays")
+}
+
 func BenchmarkCheckCC(b *testing.B) {
 	problems := []validity.Problem{
 		validity.Weak(5, 2),

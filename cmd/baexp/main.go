@@ -4,6 +4,8 @@
 //	                        run paper experiments (default: all) on the
 //	                        parallel engine
 //	baexp falsify ...       run the Theorem 2 falsifier on one protocol
+//	baexp hunt ...          run a seeded adversary campaign and shrink
+//	                        whatever it finds to a minimal counterexample
 //	baexp solve ...         evaluate Theorem 4 for a standard problem
 //	baexp run ...           run a protocol live over memnet or TCP
 //
@@ -15,14 +17,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
+	"expensive/internal/adversary"
 	"expensive/internal/crypto/sig"
 	"expensive/internal/experiments"
 	"expensive/internal/experiments/runner"
 	"expensive/internal/lowerbound"
 	"expensive/internal/msg"
 	"expensive/internal/proc"
+	"expensive/internal/protocols/dolevstrong"
+	"expensive/internal/protocols/floodset"
 	"expensive/internal/protocols/phaseking"
 	"expensive/internal/protocols/weak"
 	"expensive/internal/sim"
@@ -51,6 +58,8 @@ func run(args []string) error {
 		return runExperiments(args[1:])
 	case "falsify":
 		return runFalsify(args[1:])
+	case "hunt":
+		return runHunt(args[1:])
 	case "solve":
 		return runSolve(args[1:])
 	case "run":
@@ -71,6 +80,8 @@ subcommands:
   exp [-json] [-parallel N] [-list] [IDs...]
                  run paper experiments E1..E12 (default: all) on the parallel engine
   falsify        run the Theorem 2 falsifier against a weak consensus protocol
+  hunt           run a seeded adversary campaign against a protocol and
+                 shrink whatever it finds to a minimal counterexample
   solve          evaluate the Theorem 4 solvability verdict for a problem
   run            run a protocol live over an in-memory or TCP mesh`)
 }
@@ -167,6 +178,219 @@ func runFalsify(args []string) error {
 		}
 	} else {
 		fmt.Println("VERDICT: no violation — the protocol paid the quadratic price (Theorem 2 satisfied)")
+	}
+	return nil
+}
+
+// huntProto describes one huntable protocol: a constructor at any (n, t)
+// — which is also what lets the shrinker reduce n — plus the validity
+// property its hunts check.
+type huntProto struct {
+	new      func(n, t int) (sim.Factory, int, error)
+	validity adversary.ValidityFunc
+}
+
+func huntProtocols() map[string]huntProto {
+	return map[string]huntProto{
+		"floodset": {
+			new: func(n, t int) (sim.Factory, int, error) {
+				return floodset.New(floodset.Config{N: n, T: t}), floodset.RoundBound(t), nil
+			},
+			validity: adversary.WeakValidity,
+		},
+		"floodset-early": {
+			new: func(n, t int) (sim.Factory, int, error) {
+				return floodset.NewEarlyStopping(floodset.Config{N: n, T: t}), floodset.RoundBound(t), nil
+			},
+			validity: adversary.WeakValidity,
+		},
+		"phase-king": {
+			new: func(n, t int) (sim.Factory, int, error) {
+				cfg := phaseking.Config{N: n, T: t}
+				if err := cfg.Validate(); err != nil {
+					return nil, 0, err
+				}
+				return phaseking.New(cfg), phaseking.RoundBound(t), nil
+			},
+			validity: adversary.StrongValidity,
+		},
+		"weak-eig": {
+			new: func(n, t int) (sim.Factory, int, error) {
+				if n <= 3*t {
+					return nil, 0, fmt.Errorf("weak-eig needs n > 3t, got n=%d t=%d", n, t)
+				}
+				f, r := weak.ViaEIG(n, t)
+				return f, r, nil
+			},
+			validity: adversary.WeakValidity,
+		},
+		"weak-ic": {
+			new: func(n, t int) (sim.Factory, int, error) {
+				f, r := weak.ViaIC(n, t, sig.NewIdeal("baexp-hunt"))
+				return f, r, nil
+			},
+			validity: adversary.WeakValidity,
+		},
+		"dolev-strong": {
+			new: func(n, t int) (sim.Factory, int, error) {
+				cfg := dolevstrong.Config{N: n, T: t, Sender: 0, Scheme: sig.NewIdeal("baexp-hunt"), Tag: "bb", Default: "⊥"}
+				return dolevstrong.New(cfg), dolevstrong.RoundBound(t), nil
+			},
+			validity: adversary.SenderValidity(0),
+		},
+	}
+}
+
+// huntStrategies builds the named strategy table; bias parameterizes the
+// random-omission family.
+func huntStrategies(bias int) map[string]adversary.Strategy {
+	return map[string]adversary.Strategy{
+		"random-send-omission":    adversary.RandomSendOmission(bias),
+		"random-receive-omission": adversary.RandomReceiveOmission(bias),
+		"random-omission":         adversary.RandomOmission(bias),
+		"targeted-withhold":       adversary.TargetedWithhold(),
+		"silent-crash":            adversary.SilentCrash(),
+		"sender-isolation":        adversary.SenderIsolation(),
+		"chaos":                   adversary.Chaos(),
+		"equivocate":              adversary.Equivocate(),
+		"two-faced":               adversary.TwoFaced(),
+		"storm":                   adversary.Union(adversary.RandomOmission(bias), adversary.Chaos()),
+	}
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func parseSeedRange(s string) (adversary.SeedRange, error) {
+	var r adversary.SeedRange
+	from, to, ok := strings.Cut(s, ":")
+	if ok {
+		var errFrom, errTo error
+		r.From, errFrom = strconv.ParseInt(from, 10, 64)
+		r.To, errTo = strconv.ParseInt(to, 10, 64)
+		ok = errFrom == nil && errTo == nil
+	}
+	if !ok {
+		return r, fmt.Errorf("seed range %q is not FROM:TO", s)
+	}
+	if r.Count() == 0 {
+		return r, fmt.Errorf("seed range %q is empty", s)
+	}
+	return r, nil
+}
+
+func runHunt(args []string) error {
+	fs := flag.NewFlagSet("hunt", flag.ContinueOnError)
+	protoName := fs.String("proto", "floodset", "protocol to hunt")
+	strategyName := fs.String("strategy", "targeted-withhold", "attack strategy")
+	n := fs.Int("n", 8, "system size")
+	t := fs.Int("t", 2, "fault budget")
+	seedsFlag := fs.String("seeds", "0:64", "half-open seed range FROM:TO")
+	parallel := fs.Int("parallel", 0, "probe worker count (0 = NumCPU, 1 = serial)")
+	jsonOut := fs.Bool("json", false, "emit the deterministic JSON report")
+	shrink := fs.Bool("shrink", true, "minimize found violations")
+	keep := fs.Int("keep", 3, "record at most this many violations (0 = all)")
+	bias := fs.Int("bias", 40, "omission percentage for the random strategies")
+	verbose := fs.Bool("v", false, "render the first shrunk counterexample's timeline")
+	list := fs.Bool("list", false, "list protocols and strategies and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bias < 0 || *bias > 100 {
+		return fmt.Errorf("bias must be a percentage within 0..100, got %d", *bias)
+	}
+	protos := huntProtocols()
+	strategies := huntStrategies(*bias)
+	if *list {
+		fmt.Println("protocols: ", strings.Join(sortedNames(protos), " "))
+		fmt.Println("strategies:", strings.Join(sortedNames(strategies), " "))
+		return nil
+	}
+	proto, ok := protos[*protoName]
+	if !ok {
+		return fmt.Errorf("unknown protocol %q (have %v)", *protoName, sortedNames(protos))
+	}
+	strategy, ok := strategies[*strategyName]
+	if !ok {
+		return fmt.Errorf("unknown strategy %q (have %v)", *strategyName, sortedNames(strategies))
+	}
+	seeds, err := parseSeedRange(*seedsFlag)
+	if err != nil {
+		return err
+	}
+	factory, rounds, err := proto.new(*n, *t)
+	if err != nil {
+		return err
+	}
+	campaign := &adversary.Campaign{
+		Protocol:      *protoName,
+		Factory:       factory,
+		Rounds:        rounds,
+		N:             *n,
+		T:             *t,
+		Strategy:      strategy,
+		Seeds:         seeds,
+		Validity:      proto.validity,
+		Shrink:        *shrink,
+		New:           proto.new,
+		MaxViolations: *keep,
+		Parallelism:   *parallel,
+	}
+	report, err := campaign.Run()
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+
+	fmt.Printf("hunt %s vs %s: n=%d t=%d seeds [%d,%d)\n",
+		report.Strategy, report.Protocol, report.N, report.T, report.Seeds.From, report.Seeds.To)
+	fmt.Printf("  %d probes, %d violating seeds; messages %d..%d, rounds %d..%d\n",
+		report.Probes, report.ViolationCount,
+		report.Messages.Min, report.Messages.Max, report.RoundsHist.Min, report.RoundsHist.Max)
+	fmt.Printf("  [%.1f ms wall, %.0f probes/sec, %d workers]\n", report.WallMS, report.ProbesPerSec, report.Workers)
+	if !report.Broken() {
+		fmt.Println("VERDICT: no violation — the protocol survived every probe")
+		return nil
+	}
+	opts := adversary.ShrinkOptions{
+		Factory: factory, Rounds: rounds, N: *n, T: *t,
+		Horizon: report.Horizon, New: proto.new, Validity: proto.validity,
+	}
+	for _, v := range report.Violations {
+		fmt.Printf("VERDICT: %v\n", v)
+		if v.Plan != nil {
+			fmt.Printf("  found plan: %v\n", v.Plan)
+		}
+		if v.Shrunk != nil {
+			fmt.Printf("  shrunk: %v\n", v.Shrunk)
+		}
+		if err := adversary.Recheck(v, opts); err != nil {
+			return fmt.Errorf("certificate failed independent recheck: %w", err)
+		}
+		fmt.Println("  certificate independently re-validated: execution guarantees, fault budget, machine conformance all hold")
+	}
+	if *verbose {
+		if v := report.Violations[0]; v.Shrunk != nil {
+			factory2, rounds2, err := proto.new(v.Shrunk.N, *t)
+			if err == nil {
+				env := adversary.Env{N: v.Shrunk.N, T: *t, Rounds: rounds2, Horizon: rounds2 + 2, Factory: factory2}
+				cfg := sim.Config{N: v.Shrunk.N, T: *t, Proposals: v.Shrunk.Proposals, MaxRounds: rounds2 + 2}
+				if e, rerr := sim.Run(cfg, factory2, v.Shrunk.Plan.Plan(env)); rerr == nil {
+					fmt.Println("\nminimal counterexample timeline:")
+					fmt.Print(viz.Timeline(e, viz.Options{MaxRounds: 12}))
+				}
+			}
+		}
 	}
 	return nil
 }

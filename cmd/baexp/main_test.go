@@ -18,6 +18,14 @@ func TestRunSubcommands(t *testing.T) {
 		{"experiment serial", []string{"exp", "-parallel", "1", "E4"}},
 		{"experiment parallel", []string{"exp", "-parallel", "4", "E9"}},
 		{"experiment list", []string{"exp", "-list"}},
+		{"hunt floodset", []string{"hunt", "-proto", "floodset", "-seeds", "0:16", "-parallel", "1"}},
+		{"hunt json", []string{"hunt", "-proto", "floodset", "-seeds", "0:8", "-json"}},
+		{"hunt verbose", []string{"hunt", "-proto", "floodset", "-seeds", "0:8", "-v"}},
+		{"hunt parallel", []string{"hunt", "-proto", "floodset", "-seeds", "0:16", "-parallel", "4"}},
+		{"hunt sound protocol", []string{"hunt", "-proto", "phase-king", "-n", "5", "-t", "1", "-strategy", "chaos", "-seeds", "0:10"}},
+		{"hunt storm", []string{"hunt", "-proto", "weak-ic", "-n", "5", "-t", "1", "-strategy", "storm", "-seeds", "0:6"}},
+		{"hunt no shrink", []string{"hunt", "-proto", "floodset", "-seeds", "0:8", "-shrink=false"}},
+		{"hunt list", []string{"hunt", "-list"}},
 		{"falsify parallel", []string{"falsify", "-proto", "star", "-n", "24", "-t", "8", "-parallel", "4"}},
 		{"falsify leader", []string{"falsify", "-proto", "leader", "-n", "24", "-t", "8"}},
 		{"falsify verbose", []string{"falsify", "-proto", "silent", "-n", "24", "-t", "8", "-v"}},
@@ -46,6 +54,11 @@ func TestRunErrors(t *testing.T) {
 		{"unknown subcommand", []string{"bogus"}, "unknown subcommand"},
 		{"unknown experiment", []string{"exp", "E99"}, "unknown experiment"},
 		{"unknown protocol", []string{"falsify", "-proto", "nope"}, "unknown protocol"},
+		{"hunt unknown protocol", []string{"hunt", "-proto", "nope"}, "unknown protocol"},
+		{"hunt unknown strategy", []string{"hunt", "-strategy", "nope"}, "unknown strategy"},
+		{"hunt bad seed range", []string{"hunt", "-seeds", "junk"}, "seed range"},
+		{"hunt empty seed range", []string{"hunt", "-seeds", "5:5"}, "empty"},
+		{"hunt resilience", []string{"hunt", "-proto", "phase-king", "-n", "4", "-t", "1"}, "n > 4t"},
 		{"unknown problem", []string{"solve", "-problem", "nope"}, "unknown problem"},
 		{"phase-king resilience", []string{"run", "-proto", "phase-king", "-n", "4", "-t", "1"}, "n > 4t"},
 		{"proposal count", []string{"run", "-proto", "phase-king", "-n", "5", "-t", "1", "-propose", "0,1"}, "proposals"},

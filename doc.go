@@ -71,4 +71,51 @@
 // probe computation with early-exit consumption) for its independent
 // units; everything it returns must depend only on its inputs so tables
 // stay reproducible.
+//
+// # Adversary hunting
+//
+// The adversary subsystem (internal/adversary) generalizes the paper's
+// hand-built attacks into a reusable layer: a library of composable,
+// seed-deterministic attack strategies, a campaign engine that fans seed
+// ranges out over the worker pool, and a shrinker that minimizes every
+// found violation into a machine-checkable counterexample.
+//
+// A quickstart — rediscover and minimize the E10 attack that splits the
+// crash-tolerant FloodSet under omission faults:
+//
+//	factory, rounds := expensive.NewFloodSet(8, 2)
+//	c := expensive.NewCampaign("floodset", factory, rounds, 8, 2,
+//	    expensive.StrategyTargetedWithhold(), expensive.SeedRange{From: 0, To: 64})
+//	c.Validity = expensive.CheckWeakValidity
+//	c.Shrink = true
+//	report, _ := c.Run()          // finds the agreement split
+//	v := report.Violations[0]     // v.Shrunk is the minimal fault plan
+//
+// Strategies cover random and targeted send/receive omission
+// (StrategyRandomOmission, StrategyTargetedWithhold), silent crashes,
+// Definition 1 group isolation, and Byzantine machines — chatterers,
+// equivocators, and two-faced honest twins (StrategyChaos,
+// StrategyEquivocate, StrategyTwoFaced) — plus combinators:
+// StrategyUnion splits the fault budget between two attacks,
+// StrategyWindowed gates omissions to a round interval, StrategyBiased
+// attenuates them per message. Everything derives from the probe's seed,
+// so campaigns replay bit-for-bit and reports are byte-identical at every
+// parallelism level (tested, like the experiment tables).
+//
+// Every probe is fully checked: the five Appendix A.1.6 execution
+// guarantees, honest-machine conformance (sim.Conforms), Termination,
+// Agreement, and a pluggable validity property (CheckWeakValidity,
+// CheckStrongValidity, CheckSenderValidity, or a Problem's own
+// admissibility via NewProblemCampaign). Violations are materialized as
+// explicit, JSON-serializable fault plans; Shrink reduces them —
+// fewer corrupted processes, fewer omitted messages, smaller n — and
+// RecheckViolation re-validates the final certificate from scratch,
+// exactly like the falsifier's CheckViolation.
+//
+// The same engine backs the CLI:
+//
+//	baexp hunt                                  # targeted withholding vs FloodSet
+//	baexp hunt -proto phase-king -strategy storm -n 9 -t 2
+//	baexp hunt -seeds 0:512 -parallel 8 -json   # deterministic JSON report
+//	baexp hunt -list                            # protocols and strategies
 package expensive

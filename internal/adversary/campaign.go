@@ -1,0 +1,470 @@
+package adversary
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"expensive/internal/experiments/runner"
+	"expensive/internal/msg"
+	"expensive/internal/omission"
+	"expensive/internal/proc"
+	"expensive/internal/sim"
+)
+
+// SeedRange is the half-open seed interval [From, To) a campaign sweeps.
+type SeedRange struct {
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
+}
+
+// Count returns the number of seeds in the range.
+func (r SeedRange) Count() int {
+	if r.To <= r.From {
+		return 0
+	}
+	return int(r.To - r.From)
+}
+
+// ValidityFunc checks the validity property of one probe outcome: the
+// proposal vector, the correct set, and the correct processes' common
+// decision. A non-nil error is a validity violation. Termination and
+// Agreement are checked by the campaign itself before validity runs.
+type ValidityFunc func(proposals []msg.Value, correct proc.Set, decision msg.Value) error
+
+// StrongValidity is the strong consensus property: whenever the correct
+// processes' proposals are unanimous — faulty or not — that value must be
+// the decision. Use it only against protocols that claim strong validity
+// (Phase-King); minimum-style protocols like FloodSet legitimately adopt
+// a faulty process's value.
+func StrongValidity(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
+	members := correct.Members()
+	if len(members) == 0 {
+		return nil
+	}
+	u := proposals[members[0]]
+	for _, id := range members[1:] {
+		if proposals[id] != u {
+			return nil
+		}
+	}
+	if decision != u {
+		return fmt.Errorf("correct processes unanimously proposed %q but decided %q", u, decision)
+	}
+	return nil
+}
+
+// WeakValidity is the paper's Weak Validity: in a *fully correct*
+// execution with unanimous proposals, the decision must be that value.
+// With any fault present it imposes nothing.
+func WeakValidity(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
+	if correct.Len() != len(proposals) {
+		return nil // a process is faulty; Weak Validity is vacuous
+	}
+	return StrongValidity(proposals, correct, decision)
+}
+
+// SenderValidity returns the broadcast validity check: when the designated
+// sender stays correct, the decision must be its proposal.
+func SenderValidity(sender proc.ID) ValidityFunc {
+	return func(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
+		if correct.Contains(sender) && decision != proposals[sender] {
+			return fmt.Errorf("correct sender %s proposed %q but the correct processes decided %q",
+				sender, proposals[sender], decision)
+		}
+		return nil
+	}
+}
+
+// Violation is a protocol failure found by a campaign probe, carrying
+// everything needed to replay, shrink, and independently re-check it.
+type Violation struct {
+	Seed int64 `json:"seed"`
+	// Kind is "termination", "agreement" or "validity".
+	Kind string `json:"kind"`
+	// Witness1/D1 and Witness2/D2 locate the violation: for "agreement",
+	// two correct processes with different decisions; for "termination", a
+	// correct undecided process (Witness2); for "validity", the correct
+	// process whose common decision breaks the property (Witness2/D2).
+	Witness1 proc.ID   `json:"witness1"`
+	D1       msg.Value `json:"d1,omitempty"`
+	Witness2 proc.ID   `json:"witness2"`
+	D2       msg.Value `json:"d2,omitempty"`
+	// Detail narrates the violation.
+	Detail string `json:"detail"`
+	// Proposals is the input configuration of the probe.
+	Proposals []msg.Value `json:"proposals"`
+	// Plan is the materialized fault plan exercised by the probe (nil only
+	// when the strategy's machines are not replayable).
+	Plan *ExplicitPlan `json:"plan,omitempty"`
+	// Shrunk is the minimized counterexample, when shrinking ran. The
+	// violating execution itself is deliberately not retained: the explicit
+	// plan replays it exactly, and holding full traces for every violating
+	// seed of a long hunt would dominate the report's footprint.
+	Shrunk *ShrinkResult `json:"shrunk,omitempty"`
+}
+
+// String renders the violation for diagnostics.
+func (v *Violation) String() string {
+	return fmt.Sprintf("seed %d: %s violation: %s", v.Seed, v.Kind, v.Detail)
+}
+
+// violationIn checks Termination, Agreement, and the validity property on
+// a recorded execution and returns the first violation found (scanning
+// correct processes in ID order, so the verdict is deterministic).
+func violationIn(e *sim.Execution, proposals []msg.Value, validity ValidityFunc) *Violation {
+	correct := e.Correct()
+	var common msg.Value
+	var first proc.ID = -1
+	for _, id := range correct.Members() {
+		d, ok := e.Decision(id)
+		if !ok {
+			return &Violation{
+				Kind:     "termination",
+				Witness2: id,
+				Detail:   fmt.Sprintf("correct %s undecided after %d rounds", id, e.Rounds),
+			}
+		}
+		if first < 0 {
+			common, first = d, id
+		} else if d != common {
+			return &Violation{
+				Kind:     "agreement",
+				Witness1: first,
+				D1:       common,
+				Witness2: id,
+				D2:       d,
+				Detail:   fmt.Sprintf("correct %s decided %q, correct %s decided %q", first, common, id, d),
+			}
+		}
+	}
+	if first < 0 {
+		return nil // no correct processes to violate anything
+	}
+	if validity != nil {
+		if err := validity(proposals, correct, common); err != nil {
+			return &Violation{
+				Kind:     "validity",
+				Witness2: first,
+				D2:       common,
+				Detail:   err.Error(),
+			}
+		}
+	}
+	return nil
+}
+
+// byzSkip returns the processes whose machines the plan replaced — the
+// set sim.Conforms must skip, since no honest machine produced their
+// behavior.
+func byzSkip(plan sim.FaultPlan, faulty proc.Set) proc.Set {
+	skip := proc.Set{}
+	for _, id := range faulty.Members() {
+		if plan.Byzantine(id) != nil {
+			skip = skip.Add(id)
+		}
+	}
+	return skip
+}
+
+// Bucket is one exact-value histogram bucket.
+type Bucket struct {
+	Value int `json:"value"`
+	Count int `json:"count"`
+}
+
+// Histogram is a deterministic exact-value histogram over the probes of a
+// campaign (message counts, round counts).
+type Histogram struct {
+	Min     int      `json:"min"`
+	Max     int      `json:"max"`
+	Sum     int      `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+func histogramOf(values []int) Histogram {
+	h := Histogram{}
+	if len(values) == 0 {
+		return h
+	}
+	counts := make(map[int]int)
+	h.Min, h.Max = values[0], values[0]
+	for _, v := range values {
+		counts[v]++
+		h.Sum += v
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+	}
+	for v, c := range counts {
+		h.Buckets = append(h.Buckets, Bucket{Value: v, Count: c})
+	}
+	sort.Slice(h.Buckets, func(i, j int) bool { return h.Buckets[i].Value < h.Buckets[j].Value })
+	return h
+}
+
+// Campaign is a seeded adversarial hunt: one strategy versus one protocol
+// over a range of seeds, every probe fully checked.
+type Campaign struct {
+	// Protocol names the target for reports.
+	Protocol string
+	// Factory builds the target's honest machines; Rounds is its
+	// decision-round bound. Both are required.
+	Factory sim.Factory
+	Rounds  int
+	N, T    int
+	// Strategy is the adversary (required).
+	Strategy Strategy
+	// Seeds is the half-open seed range to sweep (required, non-empty).
+	Seeds SeedRange
+	// Horizon overrides the probe execution length (default Rounds+2).
+	Horizon int
+	// Proposals overrides the per-seed proposal generator. Default: the
+	// strategy's own generator if it has one, else seeded random bits with
+	// an occasional lone-dissenter pattern.
+	Proposals func(seed int64, env Env) []msg.Value
+	// Validity is the optional validity property checked after Termination
+	// and Agreement.
+	Validity ValidityFunc
+	// Shrink minimizes every recorded violation after the sweep.
+	Shrink bool
+	// New optionally rebuilds the protocol at a different system size,
+	// enabling the shrinker to reduce n. Returning an error refuses a size.
+	New func(n, t int) (sim.Factory, int, error)
+	// MaxViolations caps the violations recorded in the report (0 = all).
+	// Probes beyond the cap are still counted in ViolationCount.
+	MaxViolations int
+	// Parallelism is the probe worker count; <= 0 means NumCPU, 1 serial.
+	Parallelism int
+	// Ctx cancels the sweep; nil means context.Background().
+	Ctx context.Context
+}
+
+// CampaignReport is the deterministic outcome of a campaign: everything
+// in the JSON encoding depends only on the campaign's inputs, never on
+// scheduling — reports are byte-identical at every parallelism level.
+// Wall-clock statistics are carried alongside but excluded from the
+// encoding.
+type CampaignReport struct {
+	Protocol string    `json:"protocol"`
+	Strategy string    `json:"strategy"`
+	N        int       `json:"n"`
+	T        int       `json:"t"`
+	Rounds   int       `json:"round_bound"`
+	Horizon  int       `json:"horizon"`
+	Seeds    SeedRange `json:"seeds"`
+	// Probes counts the executed probes (one per seed).
+	Probes int `json:"probes"`
+	// ViolationCount counts every violating seed; Violations records up to
+	// MaxViolations of them in seed order.
+	ViolationCount int          `json:"violation_count"`
+	Violations     []*Violation `json:"violations,omitempty"`
+	// Messages and RoundsHist are exact-value histograms over the probes'
+	// correct-message counts and recorded round counts.
+	Messages   Histogram `json:"messages"`
+	RoundsHist Histogram `json:"rounds"`
+
+	// Timing statistics (excluded from the JSON encoding: they vary run to
+	// run while the report above must not).
+	Wall         time.Duration `json:"-"`
+	WallMS       float64       `json:"-"`
+	ProbesPerSec float64       `json:"-"`
+	Workers      int           `json:"-"`
+}
+
+// Broken reports whether the campaign found at least one violation.
+func (r *CampaignReport) Broken() bool { return r.ViolationCount > 0 }
+
+func (c *Campaign) validate() error {
+	switch {
+	case c.Factory == nil:
+		return fmt.Errorf("campaign: nil factory")
+	case c.Strategy.Build == nil:
+		return fmt.Errorf("campaign: strategy has no Build function")
+	case c.Rounds <= 0:
+		return fmt.Errorf("campaign: round bound must be positive, got %d", c.Rounds)
+	case c.N < 2 || c.T < 1 || c.T >= c.N:
+		return fmt.Errorf("campaign: need n >= 2 and 1 <= t < n, got n=%d t=%d", c.N, c.T)
+	case c.Seeds.Count() == 0:
+		return fmt.Errorf("campaign: empty seed range [%d, %d)", c.Seeds.From, c.Seeds.To)
+	}
+	return nil
+}
+
+// env resolves the probe environment of the campaign.
+func (c *Campaign) env() Env {
+	horizon := c.Horizon
+	if horizon <= 0 {
+		horizon = c.Rounds + 2
+	}
+	return Env{N: c.N, T: c.T, Rounds: c.Rounds, Horizon: horizon, Factory: c.Factory}
+}
+
+// defaultProposals is the generic seeded input generator: uniform random
+// bits, with one probe in four using the "lone dissenter" pattern (a
+// single process proposing the minority value) — the shape most splitting
+// attacks need.
+func defaultProposals(seed int64, env Env) []msg.Value {
+	r := rng(seed, "proposals")
+	out := make([]msg.Value, env.N)
+	if r.Intn(4) == 0 {
+		lone := r.Intn(env.N)
+		v := msg.Bit(r.Intn(2))
+		for i := range out {
+			if i == lone {
+				out[i] = v
+			} else {
+				out[i] = msg.FlipBit(v)
+			}
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = msg.Bit(r.Intn(2))
+	}
+	return out
+}
+
+func (c *Campaign) proposalsFor(seed int64, env Env) []msg.Value {
+	var out []msg.Value
+	switch {
+	case c.Proposals != nil:
+		out = c.Proposals(seed, env)
+	case c.Strategy.Proposals != nil:
+		out = c.Strategy.Proposals(seed, env)
+	}
+	if len(out) != env.N {
+		return defaultProposals(seed, env)
+	}
+	return out
+}
+
+// probeResult is one seed's deterministic outcome.
+type probeResult struct {
+	messages int
+	rounds   int
+	v        *Violation
+}
+
+// Run sweeps the seed range on the worker pool and returns the report.
+// Errors indicate harness failures — an invalid campaign, a strategy
+// breaking the fault budget, an engine-invalid trace, or a
+// non-conformant honest machine — never mere protocol-property
+// violations, which land in the report.
+func (c *Campaign) Run() (*CampaignReport, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	env := c.env()
+	workers := runner.Workers(c.Parallelism)
+	start := time.Now()
+
+	results, err := runner.Map(c.Ctx, workers, c.Seeds.Count(), func(i int) (probeResult, error) {
+		return c.probe(c.Seeds.From+int64(i), env)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	report := &CampaignReport{
+		Protocol: c.Protocol,
+		Strategy: c.Strategy.Name,
+		N:        c.N,
+		T:        c.T,
+		Rounds:   c.Rounds,
+		Horizon:  env.Horizon,
+		Seeds:    c.Seeds,
+		Probes:   len(results),
+		Workers:  workers,
+	}
+	messages := make([]int, 0, len(results))
+	rounds := make([]int, 0, len(results))
+	for _, res := range results {
+		messages = append(messages, res.messages)
+		rounds = append(rounds, res.rounds)
+		if res.v == nil {
+			continue
+		}
+		report.ViolationCount++
+		if c.MaxViolations > 0 && len(report.Violations) >= c.MaxViolations {
+			continue
+		}
+		report.Violations = append(report.Violations, res.v)
+	}
+	report.Messages = histogramOf(messages)
+	report.RoundsHist = histogramOf(rounds)
+
+	if c.Shrink {
+		opts := c.shrinkOptions(env)
+		for _, v := range report.Violations {
+			if v.Plan == nil {
+				continue // not replayable (foreign Byzantine machines): report unshrunk
+			}
+			sh, err := Shrink(v, opts)
+			if err != nil {
+				return nil, fmt.Errorf("campaign %s seed %d: shrink: %w", c.Protocol, v.Seed, err)
+			}
+			v.Shrunk = sh
+		}
+	}
+
+	report.Wall = time.Since(start)
+	report.WallMS = float64(report.Wall.Microseconds()) / 1e3
+	if secs := report.Wall.Seconds(); secs > 0 {
+		report.ProbesPerSec = float64(report.Probes) / secs
+	}
+	return report, nil
+}
+
+// shrinkOptions derives the shrinker configuration from the campaign.
+func (c *Campaign) shrinkOptions(env Env) ShrinkOptions {
+	return ShrinkOptions{
+		Factory:  c.Factory,
+		Rounds:   c.Rounds,
+		N:        c.N,
+		T:        c.T,
+		Horizon:  env.Horizon,
+		New:      c.New,
+		Validity: c.Validity,
+	}
+}
+
+// probe executes one seed: build the plan, run the protocol, validate the
+// trace against the Appendix A.1.6 guarantees, re-run every honest
+// machine against its recorded inputs, and check the protocol properties.
+func (c *Campaign) probe(seed int64, env Env) (probeResult, error) {
+	plan := c.Strategy.Build(seed, env)
+	proposals := c.proposalsFor(seed, env)
+	cfg := sim.Config{N: c.N, T: c.T, Proposals: proposals, MaxRounds: env.Horizon}
+	e, err := sim.Run(cfg, c.Factory, plan)
+	if err != nil {
+		return probeResult{}, fmt.Errorf("seed %d: %w", seed, err)
+	}
+	// Every engine-produced trace must satisfy the execution model, and
+	// every honest machine must conform to its recording — failures here
+	// are engine or protocol-determinism bugs, not protocol violations.
+	if err := omission.Validate(e); err != nil {
+		return probeResult{}, fmt.Errorf("seed %d: invalid trace: %w", seed, err)
+	}
+	if err := sim.Conforms(e, c.Factory, byzSkip(plan, e.Faulty)); err != nil {
+		return probeResult{}, fmt.Errorf("seed %d: conformance: %w", seed, err)
+	}
+
+	res := probeResult{messages: e.CorrectMessages(), rounds: e.Rounds}
+	if v := violationIn(e, proposals, c.Validity); v != nil {
+		v.Seed = seed
+		v.Proposals = proposals
+		// Materialize the exercised plan for replay and shrinking. Foreign
+		// Byzantine machines are the only non-replayable case; the violation
+		// is still reported, just without a plan.
+		if ep, err := Extract(e, plan); err == nil {
+			v.Plan = ep
+		}
+		res.v = v
+	}
+	return res, nil
+}

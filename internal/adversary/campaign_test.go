@@ -1,0 +1,245 @@
+package adversary
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"expensive/internal/crypto/sig"
+	"expensive/internal/protocols/floodset"
+	"expensive/internal/protocols/phaseking"
+	"expensive/internal/sim"
+	"expensive/internal/solve"
+	"expensive/internal/validity"
+)
+
+// floodsetCampaign is the canonical hunt: the targeted withholding attack
+// against the crash-model FloodSet, which must split (experiment E10).
+func floodsetCampaign(parallelism int) *Campaign {
+	n, tf := 8, 2
+	return &Campaign{
+		Protocol: "floodset",
+		Factory:  floodset.New(floodset.Config{N: n, T: tf}),
+		Rounds:   floodset.RoundBound(tf),
+		N:        n,
+		T:        tf,
+		Strategy: TargetedWithhold(),
+		Seeds:    SeedRange{From: 0, To: 32},
+		Validity: WeakValidity,
+		Shrink:   true,
+		New: func(n, t int) (sim.Factory, int, error) {
+			return floodset.New(floodset.Config{N: n, T: t}), floodset.RoundBound(t), nil
+		},
+		Parallelism: parallelism,
+	}
+}
+
+// TestCampaignFindsAndShrinksFloodSetSplit is the subsystem's acceptance
+// path: the hunt finds the E10 agreement split, shrinks it to a 1-minimal
+// fault plan, and the certificate survives independent re-checking.
+func TestCampaignFindsAndShrinksFloodSetSplit(t *testing.T) {
+	c := floodsetCampaign(1)
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Broken() {
+		t.Fatal("campaign found no violation; the E10 attack should split FloodSet")
+	}
+	var agreement *Violation
+	for _, v := range rep.Violations {
+		if v.Kind == "agreement" {
+			agreement = v
+			break
+		}
+	}
+	if agreement == nil {
+		t.Fatalf("no agreement violation among %d violations", len(rep.Violations))
+	}
+	sh := agreement.Shrunk
+	if sh == nil {
+		t.Fatal("violation was not shrunk")
+	}
+	if sh.OmitAfter > sh.OmitBefore || sh.FaultyAfter > sh.FaultyBefore {
+		t.Fatalf("shrink grew the plan: %v", sh)
+	}
+	// How far n shrinks depends on where the seed placed attacker and
+	// victim (high-ID participants block the drop); TestShrinkReducesN pins
+	// the full reduction deterministically.
+	if sh.N > sh.NBefore {
+		t.Errorf("shrink grew n: %d -> %d", sh.NBefore, sh.N)
+	}
+	if sh.FaultyAfter != 1 {
+		t.Errorf("minimal FloodSet split needs exactly 1 faulty process, got %d", sh.FaultyAfter)
+	}
+
+	opts := c.shrinkOptions(c.env())
+	for _, v := range rep.Violations {
+		if err := Recheck(v, opts); err != nil {
+			t.Fatalf("seed %d: recheck: %v", v.Seed, err)
+		}
+	}
+
+	// 1-minimality: removing any single remaining element of the shrunk
+	// plan must make the violation disappear.
+	factory, rounds, err := c.New(sh.N, c.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{N: sh.N, T: c.T, Rounds: rounds, Horizon: rounds + 2, Factory: factory}
+	stillViolates := func(p ExplicitPlan) bool {
+		e, err := sim.Run(sim.Config{N: sh.N, T: c.T, Proposals: sh.Proposals, MaxRounds: env.Horizon},
+			factory, p.Plan(env))
+		if err != nil {
+			return false
+		}
+		return violationIn(e, sh.Proposals, c.Validity) != nil
+	}
+	if !stillViolates(sh.Plan) {
+		t.Fatal("shrunk plan does not violate on replay")
+	}
+	for _, id := range sh.Plan.Faulty {
+		if stillViolates(sh.Plan.withoutProc(id)) {
+			t.Errorf("shrunk plan still violates without faulty %s — not minimal", id)
+		}
+	}
+	for i := range sh.Plan.SendOmit {
+		if stillViolates(sh.Plan.withoutSendOmit(i)) {
+			t.Errorf("shrunk plan still violates without send-omit %v — not minimal", sh.Plan.SendOmit[i])
+		}
+	}
+	for i := range sh.Plan.ReceiveOmit {
+		if stillViolates(sh.Plan.withoutReceiveOmit(i)) {
+			t.Errorf("shrunk plan still violates without receive-omit %v — not minimal", sh.Plan.ReceiveOmit[i])
+		}
+	}
+}
+
+// TestCampaignReportDeterminism is the parallelism contract: the JSON
+// encoding of a campaign report — violations, shrunken plans, histograms
+// — is byte-identical at parallelism 1 and NumCPU.
+func TestCampaignReportDeterminism(t *testing.T) {
+	encode := func(parallelism int) []byte {
+		rep, err := floodsetCampaign(parallelism).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := encode(1)
+	parallel := encode(0)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("campaign reports differ between parallelism levels:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	if !bytes.Contains(serial, []byte(`"kind": "agreement"`)) {
+		t.Fatal("deterministic report does not contain the expected agreement violation")
+	}
+}
+
+// TestCampaignSoundProtocols hunts protocols inside their resilience
+// bounds with every Byzantine strategy: no violations may appear.
+func TestCampaignSoundProtocols(t *testing.T) {
+	n, tf := 5, 1
+	factory := phaseking.New(phaseking.Config{N: n, T: tf})
+	rounds := phaseking.RoundBound(tf)
+	for _, s := range []Strategy{Chaos(), Equivocate(), TwoFaced(), RandomOmission(40), SilentCrash()} {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			c := &Campaign{
+				Protocol: "phase-king",
+				Factory:  factory,
+				Rounds:   rounds,
+				N:        n,
+				T:        tf,
+				Strategy: s,
+				Seeds:    SeedRange{From: 0, To: 20},
+				Validity: StrongValidity,
+			}
+			rep, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Broken() {
+				t.Fatalf("sound phase-king broken: %v", rep.Violations[0])
+			}
+			if rep.Probes != 20 {
+				t.Fatalf("expected 20 probes, got %d", rep.Probes)
+			}
+		})
+	}
+}
+
+// TestForProblem hunts a derived protocol and checks the problem's own
+// validity property on every probe.
+func TestForProblem(t *testing.T) {
+	p := validity.Weak(4, 1)
+	d, err := solve.Authenticated(p, sig.NewIdeal("adversary-problem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ForProblem(p, d, Chaos(), SeedRange{From: 0, To: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Broken() {
+		t.Fatalf("derived weak consensus broken under chaos: %v", rep.Violations[0])
+	}
+	if rep.Protocol != "weak-consensus/authenticated-ic" {
+		t.Fatalf("unexpected protocol label %q", rep.Protocol)
+	}
+}
+
+// TestCampaignMaxViolations caps the recorded violations while counting
+// all of them.
+func TestCampaignMaxViolations(t *testing.T) {
+	c := floodsetCampaign(1)
+	c.Shrink = false
+	c.MaxViolations = 1
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 1 {
+		t.Fatalf("recorded %d violations, want 1", len(rep.Violations))
+	}
+	if rep.ViolationCount <= 1 {
+		t.Fatalf("expected more than one violating seed in 0:32, got %d", rep.ViolationCount)
+	}
+}
+
+// TestCampaignValidation rejects malformed campaigns.
+func TestCampaignValidation(t *testing.T) {
+	base := floodsetCampaign(1)
+	cases := []func(c *Campaign){
+		func(c *Campaign) { c.Factory = nil },
+		func(c *Campaign) { c.Strategy = Strategy{} },
+		func(c *Campaign) { c.Rounds = 0 },
+		func(c *Campaign) { c.T = 0 },
+		func(c *Campaign) { c.Seeds = SeedRange{From: 5, To: 5} },
+	}
+	for i, breakIt := range cases {
+		c := *base
+		breakIt(&c)
+		if _, err := c.Run(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// TestHistogramDeterminism pins the histogram shape.
+func TestHistogramDeterminism(t *testing.T) {
+	h := histogramOf([]int{3, 1, 3, 2, 3})
+	want := Histogram{Min: 1, Max: 3, Sum: 12, Buckets: []Bucket{{1, 1}, {2, 1}, {3, 3}}}
+	if fmt.Sprint(h) != fmt.Sprint(want) {
+		t.Fatalf("histogram %v, want %v", h, want)
+	}
+}

@@ -1,0 +1,316 @@
+package adversary
+
+import (
+	"fmt"
+
+	"expensive/internal/msg"
+	"expensive/internal/omission"
+	"expensive/internal/proc"
+	"expensive/internal/sim"
+)
+
+// ShrinkOptions parameterize the shrinker with the protocol the violation
+// was found against.
+type ShrinkOptions struct {
+	// Factory and Rounds describe the protocol at the violation's original
+	// system size N (all required, along with T).
+	Factory sim.Factory
+	Rounds  int
+	N, T    int
+	// Horizon is the probe execution length (default Rounds+2).
+	Horizon int
+	// New optionally rebuilds the protocol at a smaller system size,
+	// enabling n-shrinking. Returning an error refuses a size.
+	New func(n, t int) (sim.Factory, int, error)
+	// Validity is the property the original campaign checked.
+	Validity ValidityFunc
+}
+
+// ShrinkResult is a minimized counterexample: an explicit fault plan from
+// which no single corruption or omission can be removed (and, when New is
+// available, no process dropped) without the violation disappearing.
+type ShrinkResult struct {
+	// N and Rounds are the (possibly reduced) system size and round bound;
+	// Horizon is the execution length the minimal plan was validated at.
+	N       int `json:"n"`
+	Rounds  int `json:"round_bound"`
+	Horizon int `json:"horizon"`
+	// Plan is the minimal fault plan.
+	Plan ExplicitPlan `json:"plan"`
+	// Proposals is the (possibly truncated) input configuration.
+	Proposals []msg.Value `json:"proposals"`
+	// Kind and Detail describe the violation the minimal plan produces
+	// (shrinking preserves failure, not necessarily the original kind).
+	Kind     string    `json:"kind"`
+	Detail   string    `json:"detail"`
+	Witness1 int       `json:"witness1"`
+	D1       msg.Value `json:"d1,omitempty"`
+	Witness2 int       `json:"witness2"`
+	D2       msg.Value `json:"d2,omitempty"`
+	// FaultyBefore/After and OmitBefore/After measure the reduction;
+	// NBefore records the original system size.
+	FaultyBefore int `json:"faulty_before"`
+	FaultyAfter  int `json:"faulty_after"`
+	OmitBefore   int `json:"omit_before"`
+	OmitAfter    int `json:"omit_after"`
+	NBefore      int `json:"n_before"`
+	// Steps counts the candidate replays the shrinker evaluated.
+	Steps int `json:"steps"`
+}
+
+// String summarizes the reduction.
+func (s *ShrinkResult) String() string {
+	return fmt.Sprintf("%s violation with %d faulty (was %d), %d omissions (was %d), n=%d (was %d) after %d replays",
+		s.Kind, s.FaultyAfter, s.FaultyBefore, s.OmitAfter, s.OmitBefore, s.N, s.NBefore, s.Steps)
+}
+
+// shrinker carries the mutable state of one minimization.
+type shrinker struct {
+	opts  ShrinkOptions
+	steps int
+
+	// Current protocol instance (changes when n shrinks).
+	n       int
+	factory sim.Factory
+	rounds  int
+	horizon int
+
+	plan      ExplicitPlan
+	proposals []msg.Value
+	last      *Violation // violation of the current (accepted) state
+}
+
+// replay runs a candidate plan from scratch and returns the violation it
+// produces, or nil when the candidate no longer fails (or is not even a
+// valid, conformant execution — such candidates are rejected, keeping
+// every accepted step machine-checkable).
+func (s *shrinker) replay(plan ExplicitPlan, n int, factory sim.Factory, horizon int, proposals []msg.Value) *Violation {
+	s.steps++
+	env := Env{N: n, T: s.opts.T, Rounds: s.rounds, Horizon: horizon, Factory: factory}
+	fp := plan.Plan(env)
+	cfg := sim.Config{N: n, T: s.opts.T, Proposals: proposals, MaxRounds: horizon}
+	e, err := sim.Run(cfg, factory, fp)
+	if err != nil {
+		return nil
+	}
+	if omission.Validate(e) != nil {
+		return nil
+	}
+	if sim.Conforms(e, factory, byzSkip(fp, e.Faulty)) != nil {
+		return nil
+	}
+	v := violationIn(e, proposals, s.opts.Validity)
+	if v != nil {
+		v.Proposals = proposals
+	}
+	return v
+}
+
+// try evaluates a candidate plan at the current size and accepts it when
+// the violation persists.
+func (s *shrinker) try(cand ExplicitPlan) bool {
+	v := s.replay(cand, s.n, s.factory, s.horizon, s.proposals)
+	if v == nil {
+		return false
+	}
+	s.plan, s.last = cand, v
+	return true
+}
+
+// minimizeElements greedily removes corrupted processes and omitted
+// message identities until no single removal preserves the violation
+// (1-minimality). Candidates are tried in deterministic order.
+func (s *shrinker) minimizeElements() {
+	for improved := true; improved; {
+		improved = false
+		ids := append([]proc.ID(nil), s.plan.Faulty...)
+		for _, id := range ids {
+			if !s.plan.FaultySet().Contains(id) {
+				continue // removed together with an earlier candidate
+			}
+			if s.try(s.plan.withoutProc(id)) {
+				improved = true
+			}
+		}
+		for i := 0; i < len(s.plan.SendOmit); {
+			if s.try(s.plan.withoutSendOmit(i)) {
+				improved = true // same index now names the next key
+			} else {
+				i++
+			}
+		}
+		for i := 0; i < len(s.plan.ReceiveOmit); {
+			if s.try(s.plan.withoutReceiveOmit(i)) {
+				improved = true
+			} else {
+				i++
+			}
+		}
+	}
+}
+
+// minimizeN drops the highest-numbered process while the protocol can be
+// rebuilt at the smaller size and the violation persists.
+func (s *shrinker) minimizeN() {
+	if s.opts.New == nil {
+		return
+	}
+	for s.n > 2 && s.n-1 > s.opts.T {
+		n2 := s.n - 1
+		factory2, rounds2, err := s.opts.New(n2, s.opts.T)
+		if err != nil {
+			return
+		}
+		// Preserve the campaign's horizon slack (Horizon - Rounds) so a
+		// custom-horizon violation keeps its semantics at the smaller size.
+		horizon2 := rounds2 + (s.horizon - s.rounds)
+		plan2 := s.plan.filterTo(n2)
+		proposals2 := append([]msg.Value(nil), s.proposals[:n2]...)
+		// rounds must be updated before replay builds the Env.
+		oldRounds := s.rounds
+		s.rounds = rounds2
+		v := s.replay(plan2, n2, factory2, horizon2, proposals2)
+		if v == nil {
+			s.rounds = oldRounds
+			return
+		}
+		s.n, s.factory, s.horizon = n2, factory2, horizon2
+		s.plan, s.proposals, s.last = plan2, proposals2, v
+	}
+}
+
+// Shrink minimizes a campaign violation into a 1-minimal explicit fault
+// plan, re-validating every candidate step against the execution
+// guarantees and machine conformance. The violation must carry a
+// replayable plan (Violation.Plan != nil).
+func Shrink(v *Violation, opts ShrinkOptions) (*ShrinkResult, error) {
+	if v == nil || v.Plan == nil {
+		return nil, fmt.Errorf("shrink: violation carries no replayable plan")
+	}
+	if opts.Factory == nil || opts.Rounds <= 0 || opts.N < 2 {
+		return nil, fmt.Errorf("shrink: options need Factory, Rounds and N")
+	}
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = opts.Rounds + 2
+	}
+	s := &shrinker{
+		opts:      opts,
+		n:         opts.N,
+		factory:   opts.Factory,
+		rounds:    opts.Rounds,
+		horizon:   horizon,
+		plan:      v.Plan.clone(),
+		proposals: append([]msg.Value(nil), v.Proposals...),
+	}
+	// The materialized plan must reproduce a violation before anything is
+	// removed; if it does not, the certificate was never replayable.
+	if s.last = s.replay(s.plan, s.n, s.factory, s.horizon, s.proposals); s.last == nil {
+		return nil, fmt.Errorf("shrink: violation of seed %d does not replay from its explicit plan", v.Seed)
+	}
+
+	// Shrink the system size before individual elements: the element pass
+	// is free to concentrate the surviving omissions on high process IDs,
+	// which would block n-reduction if it ran first. Each pass can expose
+	// work for the other, so iterate to a fixpoint (progress is monotone —
+	// n, |faulty| and omission counts only ever decrease).
+	for {
+		n, faulty, omits := s.n, len(s.plan.Faulty), s.plan.Omissions()
+		s.minimizeN()
+		s.minimizeElements()
+		if s.n == n && len(s.plan.Faulty) == faulty && s.plan.Omissions() == omits {
+			break
+		}
+	}
+
+	return &ShrinkResult{
+		N:            s.n,
+		Rounds:       s.rounds,
+		Horizon:      s.horizon,
+		Plan:         s.plan,
+		Proposals:    s.proposals,
+		Kind:         s.last.Kind,
+		Detail:       s.last.Detail,
+		Witness1:     int(s.last.Witness1),
+		D1:           s.last.D1,
+		Witness2:     int(s.last.Witness2),
+		D2:           s.last.D2,
+		FaultyBefore: len(v.Plan.Faulty),
+		FaultyAfter:  len(s.plan.Faulty),
+		OmitBefore:   v.Plan.Omissions(),
+		OmitAfter:    s.plan.Omissions(),
+		NBefore:      opts.N,
+		Steps:        s.steps,
+	}, nil
+}
+
+// Recheck independently re-validates a violation certificate,
+// CheckViolation-style: the explicit plan (the shrunken one when present)
+// is replayed from scratch; the resulting execution must satisfy the five
+// Appendix A.1.6 guarantees, stay within the fault budget, conform to the
+// protocol's honest machines, and exhibit exactly the recorded violation.
+func Recheck(v *Violation, opts ShrinkOptions) error {
+	if v == nil {
+		return fmt.Errorf("recheck: nil violation")
+	}
+	plan, n, factory, rounds := v.Plan, opts.N, opts.Factory, opts.Rounds
+	proposals := v.Proposals
+	kind, w1, d1, w2, d2 := v.Kind, int(v.Witness1), v.D1, int(v.Witness2), v.D2
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = rounds + 2
+	}
+	if v.Shrunk != nil {
+		sh := v.Shrunk
+		plan, n, rounds, proposals = &sh.Plan, sh.N, sh.Rounds, sh.Proposals
+		kind, w1, d1, w2, d2 = sh.Kind, sh.Witness1, sh.D1, sh.Witness2, sh.D2
+		// Replay at the horizon the shrinker validated the minimal plan
+		// under (it tracks the campaign's Horizon slack across n changes).
+		horizon = sh.Horizon
+		if horizon <= 0 {
+			horizon = rounds + 2
+		}
+		if n != opts.N {
+			if opts.New == nil {
+				return fmt.Errorf("recheck: shrunk to n=%d but no protocol constructor supplied", n)
+			}
+			var err error
+			factory, rounds, err = opts.New(n, opts.T)
+			if err != nil {
+				return fmt.Errorf("recheck: rebuild protocol at n=%d: %w", n, err)
+			}
+		}
+	}
+	if plan == nil {
+		return fmt.Errorf("recheck: violation carries no replayable plan")
+	}
+	if factory == nil {
+		return fmt.Errorf("recheck: options carry no factory")
+	}
+
+	env := Env{N: n, T: opts.T, Rounds: rounds, Horizon: horizon, Factory: factory}
+	fp := plan.Plan(env)
+	cfg := sim.Config{N: n, T: opts.T, Proposals: proposals, MaxRounds: horizon}
+	e, err := sim.Run(cfg, factory, fp)
+	if err != nil {
+		return fmt.Errorf("recheck: replay: %w", err)
+	}
+	if err := omission.Validate(e); err != nil {
+		return fmt.Errorf("recheck: execution invalid: %w", err)
+	}
+	if e.Faulty.Len() > opts.T {
+		return fmt.Errorf("recheck: %d faulty processes exceed t=%d", e.Faulty.Len(), opts.T)
+	}
+	if err := sim.Conforms(e, factory, byzSkip(fp, e.Faulty)); err != nil {
+		return fmt.Errorf("recheck: trace does not conform to the protocol: %w", err)
+	}
+	got := violationIn(e, proposals, opts.Validity)
+	if got == nil {
+		return fmt.Errorf("recheck: replayed execution exhibits no violation")
+	}
+	if got.Kind != kind || int(got.Witness1) != w1 || got.D1 != d1 || int(got.Witness2) != w2 || got.D2 != d2 {
+		return fmt.Errorf("recheck: replayed violation %q (%s/%s) does not match recorded %q (p%d/p%d)",
+			got.Kind, got.Witness1, got.Witness2, kind, w1, w2)
+	}
+	return nil
+}

@@ -1,247 +1,174 @@
 // Package stress fuzzes the sound protocols with seeded random
-// adversaries — randomized omission patterns and randomized Byzantine
-// machines — and checks the agreement-problem invariants plus the
-// Appendix-A execution guarantees on every recorded trace. All randomness
-// is derived from explicit seeds, so every discovered failure replays.
+// adversaries and checks the agreement-problem invariants plus the
+// Appendix-A execution guarantees on every recorded trace. Since the
+// adversary subsystem exists, the package is a thin layer of campaign
+// configurations: the strategies, trace validation, conformance
+// re-execution, and property checks all live in internal/adversary, and
+// every probe here replays from its explicit seed.
 package stress
 
 import (
 	"fmt"
-	"hash/fnv"
-	"math/rand"
 	"testing"
 
+	"expensive/internal/adversary"
 	"expensive/internal/crypto/sig"
 	"expensive/internal/msg"
-	"expensive/internal/omission"
 	"expensive/internal/proc"
 	"expensive/internal/protocols/dolevstrong"
 	"expensive/internal/protocols/phaseking"
 	"expensive/internal/protocols/weak"
-	"expensive/internal/sim"
 )
 
-// coin makes a deterministic pseudo-random boolean decision for a message
-// under a seed: the same (seed, message) always lands the same way, which
-// keeps fault plans valid deterministic adversaries.
-func coin(seed int64, m msg.Message, bias uint32) bool {
-	h := fnv.New32a()
-	fmt.Fprintf(h, "%d|%d|%d|%d", seed, m.Sender, m.Receiver, m.Round)
-	return h.Sum32()%100 < bias
-}
+const fuzzSeeds = 60
 
-// randomOmissionPlan corrupts a random subset of up to t processes and
-// drops each of their inbound/outbound messages with the given bias.
-func randomOmissionPlan(r *rand.Rand, n, t int, bias uint32) sim.OmissionPlan {
-	var faulty proc.Set
-	count := 1 + r.Intn(t)
-	for faulty.Len() < count {
-		faulty = faulty.Add(proc.ID(r.Intn(n)))
+// hunt runs one campaign and fails the test on any violation (the
+// campaign itself already fails on invalid traces or non-conformant
+// machines, which are harness bugs).
+func hunt(t *testing.T, c *adversary.Campaign) *adversary.CampaignReport {
+	t.Helper()
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatalf("campaign %s vs %s: %v", c.Strategy.Name, c.Protocol, err)
 	}
-	seedSend, seedRecv := r.Int63(), r.Int63()
-	return sim.OmissionPlan{
-		F:         faulty,
-		SendFn:    func(m msg.Message) bool { return coin(seedSend, m, bias) },
-		ReceiveFn: func(m msg.Message) bool { return coin(seedRecv, m, bias) },
+	for _, v := range rep.Violations {
+		t.Errorf("campaign %s vs %s: %v", c.Strategy.Name, c.Protocol, v)
 	}
+	return rep
 }
 
-// chaosMachine is a randomized Byzantine process: each round it sends a
-// deterministic-pseudo-random payload to a pseudo-random subset of peers.
-type chaosMachine struct {
-	n     int
-	id    proc.ID
-	seed  int64
-	quiet int // stop after this many rounds to bound the run
-}
-
-var _ sim.Machine = (*chaosMachine)(nil)
-
-func (m *chaosMachine) emit(round int) []sim.Outgoing {
-	var out []sim.Outgoing
-	for p := 0; p < m.n; p++ {
-		if proc.ID(p) == m.id {
-			continue
-		}
-		probe := msg.Message{Sender: m.id, Receiver: proc.ID(p), Round: round}
-		if !coin(m.seed, probe, 60) {
-			continue
-		}
-		payload := string(msg.Bit(int(m.seed+int64(p)+int64(round)) % 2))
-		if coin(m.seed+1, probe, 20) {
-			payload = `{"garbage":` // malformed on purpose
-		}
-		out = append(out, sim.Outgoing{To: proc.ID(p), Payload: payload})
+// binaryStrong is Strong Validity plus the binary-decision domain check.
+func binaryStrong(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
+	if !msg.IsBit(decision) {
+		return fmt.Errorf("non-binary decision %q", decision)
 	}
-	return out
+	return adversary.StrongValidity(proposals, correct, decision)
 }
-
-func (m *chaosMachine) Init() []sim.Outgoing { return m.emit(1) }
-
-func (m *chaosMachine) Step(round int, _ []msg.Message) []sim.Outgoing {
-	if round >= m.quiet {
-		return nil
-	}
-	return m.emit(round + 1)
-}
-
-func (m *chaosMachine) Decision() (msg.Value, bool) { return msg.NoDecision, false }
-func (m *chaosMachine) Quiescent() bool             { return false }
-
-func randomByzantinePlan(r *rand.Rand, n, t, horizon int) sim.ByzantinePlan {
-	machines := make(map[proc.ID]sim.Machine)
-	count := 1 + r.Intn(t)
-	for len(machines) < count {
-		id := proc.ID(r.Intn(n))
-		machines[id] = &chaosMachine{n: n, id: id, seed: r.Int63(), quiet: horizon}
-	}
-	return sim.ByzantinePlan{Machines: machines}
-}
-
-func randomProposals(r *rand.Rand, n int) []msg.Value {
-	out := make([]msg.Value, n)
-	for i := range out {
-		out[i] = msg.Bit(r.Intn(2))
-	}
-	return out
-}
-
-const fuzzRuns = 60
 
 func TestPhaseKingUnderRandomByzantine(t *testing.T) {
 	n, tf := 9, 2
 	factory := phaseking.New(phaseking.Config{N: n, T: tf})
-	rounds := phaseking.RoundBound(tf)
-	for seed := int64(0); seed < fuzzRuns; seed++ {
-		r := rand.New(rand.NewSource(seed))
-		plan := randomByzantinePlan(r, n, tf, rounds+1)
-		proposals := randomProposals(r, n)
-		cfg := sim.Config{N: n, T: tf, Proposals: proposals, MaxRounds: rounds + 2}
-		e, err := sim.Run(cfg, factory, plan)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		correct := e.Correct()
-		d, err := e.CommonDecision(correct)
-		if err != nil {
-			t.Fatalf("seed %d: agreement/termination: %v", seed, err)
-		}
-		if !msg.IsBit(d) {
-			t.Fatalf("seed %d: non-binary decision %q", seed, d)
-		}
-		// Strong Validity: unanimous correct proposals must win.
-		if u, ok := unanimous(proposals, correct); ok && d != u {
-			t.Fatalf("seed %d: correct unanimously proposed %q but decided %q", seed, u, d)
-		}
+	for _, strategy := range []adversary.Strategy{
+		adversary.Chaos(),
+		adversary.Equivocate(),
+		adversary.TwoFaced(),
+	} {
+		hunt(t, &adversary.Campaign{
+			Protocol: "phase-king",
+			Factory:  factory,
+			Rounds:   phaseking.RoundBound(tf),
+			N:        n,
+			T:        tf,
+			Strategy: strategy,
+			Seeds:    adversary.SeedRange{From: 0, To: fuzzSeeds},
+			Validity: binaryStrong,
+		})
 	}
 }
 
 func TestPhaseKingUnderRandomOmissions(t *testing.T) {
 	n, tf := 9, 2
-	factory := phaseking.New(phaseking.Config{N: n, T: tf})
-	rounds := phaseking.RoundBound(tf)
-	for seed := int64(0); seed < fuzzRuns; seed++ {
-		r := rand.New(rand.NewSource(1000 + seed))
-		plan := randomOmissionPlan(r, n, tf, 40)
-		proposals := randomProposals(r, n)
-		cfg := sim.Config{N: n, T: tf, Proposals: proposals, MaxRounds: rounds + 2}
-		e, err := sim.Run(cfg, factory, plan)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		// Every engine-produced trace must satisfy the execution model.
-		if err := omission.Validate(e); err != nil {
-			t.Fatalf("seed %d: invalid trace: %v", seed, err)
-		}
-		// Honest machines (all of them: omission faults keep machines honest)
-		// must conform to the recording.
-		if err := sim.Conforms(e, factory, proc.Set{}); err != nil {
-			t.Fatalf("seed %d: conformance: %v", seed, err)
-		}
-		correct := e.Correct()
-		d, err := e.CommonDecision(correct)
-		if err != nil {
-			t.Fatalf("seed %d: agreement/termination: %v", seed, err)
-		}
-		if u, ok := unanimous(proposals, correct); ok && d != u {
-			t.Fatalf("seed %d: validity: unanimous %q, decided %q", seed, u, d)
-		}
-	}
+	hunt(t, &adversary.Campaign{
+		Protocol: "phase-king",
+		Factory:  phaseking.New(phaseking.Config{N: n, T: tf}),
+		Rounds:   phaseking.RoundBound(tf),
+		N:        n,
+		T:        tf,
+		Strategy: adversary.RandomOmission(40),
+		Seeds:    adversary.SeedRange{From: 1000, To: 1000 + fuzzSeeds},
+		Validity: binaryStrong,
+	})
+}
+
+func TestPhaseKingUnderCombinedAdversary(t *testing.T) {
+	// The storm the old suite could not express: omissions and Byzantine
+	// chatter in one plan, gated and attenuated by the combinators.
+	n, tf := 9, 2
+	strategy := adversary.Union(
+		adversary.Biased(adversary.RandomOmission(60), 70),
+		adversary.Chaos(),
+	)
+	hunt(t, &adversary.Campaign{
+		Protocol: "phase-king",
+		Factory:  phaseking.New(phaseking.Config{N: n, T: tf}),
+		Rounds:   phaseking.RoundBound(tf),
+		N:        n,
+		T:        tf,
+		Strategy: strategy,
+		Seeds:    adversary.SeedRange{From: 0, To: fuzzSeeds / 2},
+		Validity: binaryStrong,
+	})
 }
 
 func TestWeakEIGUnderRandomByzantine(t *testing.T) {
 	n, tf := 7, 2
 	factory, rounds := weak.ViaEIG(n, tf)
-	for seed := int64(0); seed < fuzzRuns/2; seed++ {
-		r := rand.New(rand.NewSource(2000 + seed))
-		plan := randomByzantinePlan(r, n, tf, rounds+1)
-		proposals := randomProposals(r, n)
-		cfg := sim.Config{N: n, T: tf, Proposals: proposals, MaxRounds: rounds + 2}
-		e, err := sim.Run(cfg, factory, plan)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		if _, err := e.CommonDecision(e.Correct()); err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-	}
+	hunt(t, &adversary.Campaign{
+		Protocol: "weak-via-eig",
+		Factory:  factory,
+		Rounds:   rounds,
+		N:        n,
+		T:        tf,
+		Strategy: adversary.Chaos(),
+		Seeds:    adversary.SeedRange{From: 2000, To: 2000 + fuzzSeeds/2},
+		Validity: adversary.WeakValidity,
+	})
 }
 
 func TestWeakICUnderRandomByzantine(t *testing.T) {
 	n, tf := 6, 2
 	factory, rounds := weak.ViaIC(n, tf, sig.NewIdeal("stress-ic"))
-	for seed := int64(0); seed < fuzzRuns/3; seed++ {
-		r := rand.New(rand.NewSource(3000 + seed))
-		plan := randomByzantinePlan(r, n, tf, rounds+1)
-		proposals := randomProposals(r, n)
-		cfg := sim.Config{N: n, T: tf, Proposals: proposals, MaxRounds: rounds + 2}
-		e, err := sim.Run(cfg, factory, plan)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		if _, err := e.CommonDecision(e.Correct()); err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-	}
+	hunt(t, &adversary.Campaign{
+		Protocol: "weak-via-ic",
+		Factory:  factory,
+		Rounds:   rounds,
+		N:        n,
+		T:        tf,
+		Strategy: adversary.Chaos(),
+		Seeds:    adversary.SeedRange{From: 3000, To: 3000 + fuzzSeeds/3},
+		Validity: adversary.WeakValidity,
+	})
 }
 
 func TestDolevStrongUnderRandomByzantine(t *testing.T) {
 	n, tf := 7, 2
-	scheme := sig.NewIdeal("stress-ds")
-	cfg := dolevstrong.Config{N: n, T: tf, Sender: 0, Scheme: scheme, Tag: "bb", Default: "⊥"}
-	factory := dolevstrong.New(cfg)
-	rounds := dolevstrong.RoundBound(tf)
-	for seed := int64(0); seed < fuzzRuns; seed++ {
-		r := rand.New(rand.NewSource(4000 + seed))
-		plan := randomByzantinePlan(r, n, tf, rounds+1)
-		proposals := randomProposals(r, n)
-		sc := sim.Config{N: n, T: tf, Proposals: proposals, MaxRounds: rounds + 2}
-		e, err := sim.Run(sc, factory, plan)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		correct := e.Correct()
-		d, err := e.CommonDecision(correct)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		// Sender Validity when the sender stayed correct.
-		if correct.Contains(0) && d != proposals[0] {
-			t.Fatalf("seed %d: correct sender proposed %q, decided %q", seed, proposals[0], d)
-		}
-	}
+	cfg := dolevstrong.Config{N: n, T: tf, Sender: 0, Scheme: sig.NewIdeal("stress-ds"), Tag: "bb", Default: "⊥"}
+	hunt(t, &adversary.Campaign{
+		Protocol: "dolev-strong",
+		Factory:  dolevstrong.New(cfg),
+		Rounds:   dolevstrong.RoundBound(tf),
+		N:        n,
+		T:        tf,
+		Strategy: adversary.Chaos(),
+		Seeds:    adversary.SeedRange{From: 4000, To: 4000 + fuzzSeeds},
+		Validity: adversary.SenderValidity(0),
+	})
 }
 
-func unanimous(proposals []msg.Value, group proc.Set) (msg.Value, bool) {
-	members := group.Members()
-	if len(members) == 0 {
-		return msg.NoDecision, false
-	}
-	v := proposals[members[0]]
-	for _, id := range members[1:] {
-		if proposals[id] != v {
-			return msg.NoDecision, false
+func TestCampaignsReplayFromSeeds(t *testing.T) {
+	// The replayability contract the whole suite rests on: re-running a
+	// campaign yields the identical report, probe for probe.
+	n, tf := 9, 2
+	campaign := func() *adversary.Campaign {
+		return &adversary.Campaign{
+			Protocol: "phase-king",
+			Factory:  phaseking.New(phaseking.Config{N: n, T: tf}),
+			Rounds:   phaseking.RoundBound(tf),
+			N:        n,
+			T:        tf,
+			Strategy: adversary.RandomOmission(40),
+			Seeds:    adversary.SeedRange{From: 0, To: 10},
 		}
 	}
-	return v, true
+	a, err := campaign().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := campaign().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a.Messages) != fmt.Sprint(b.Messages) || fmt.Sprint(a.RoundsHist) != fmt.Sprint(b.RoundsHist) {
+		t.Fatalf("replayed campaign differs:\n%v\n%v", a, b)
+	}
 }

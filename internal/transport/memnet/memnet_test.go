@@ -1,0 +1,127 @@
+package memnet
+
+import (
+	"strings"
+	"testing"
+
+	"expensive/internal/proc"
+	"expensive/internal/transport"
+)
+
+func TestDeliveryRoundTrip(t *testing.T) {
+	mesh := New(3, nil)
+	eps := mesh.Endpoints()
+
+	sent := transport.Frame{From: 0, To: 2, Round: 1, Has: true, Payload: "hello"}
+	if err := eps[0].Send(2, sent); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := eps[2].Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got != sent {
+		t.Errorf("received %+v, want %+v", got, sent)
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	mesh := New(2, nil)
+	eps := mesh.Endpoints()
+	for r := 1; r <= 5; r++ {
+		f := transport.Frame{From: 0, To: 1, Round: r, Has: true, Payload: "m"}
+		if err := eps[0].Send(1, f); err != nil {
+			t.Fatalf("Send round %d: %v", r, err)
+		}
+	}
+	for r := 1; r <= 5; r++ {
+		got, err := eps[1].Recv()
+		if err != nil {
+			t.Fatalf("Recv round %d: %v", r, err)
+		}
+		if got.Round != r {
+			t.Fatalf("frame order broken: got round %d, want %d", got.Round, r)
+		}
+	}
+}
+
+func TestDropFilterOmission(t *testing.T) {
+	// The drop filter realizes a transport-level omission: the payload is
+	// dropped but the frame itself survives, preserving round synchrony.
+	filter := func(from, to proc.ID, round int) bool { return from == 0 && to == 1 && round == 2 }
+	mesh := New(2, filter)
+	eps := mesh.Endpoints()
+
+	for _, round := range []int{1, 2, 3} {
+		f := transport.Frame{From: 0, To: 1, Round: round, Has: true, Payload: "v"}
+		if err := eps[0].Send(1, f); err != nil {
+			t.Fatalf("Send round %d: %v", round, err)
+		}
+		got, err := eps[1].Recv()
+		if err != nil {
+			t.Fatalf("Recv round %d: %v", round, err)
+		}
+		wantPayload := round != 2
+		if got.Has != wantPayload {
+			t.Errorf("round %d: frame Has=%v, want %v", round, got.Has, wantPayload)
+		}
+		if got.Has && got.Payload != "v" {
+			t.Errorf("round %d: payload %q corrupted", round, got.Payload)
+		}
+		if !got.Has && got.Payload != "" {
+			t.Errorf("round %d: dropped frame still carries payload %q", round, got.Payload)
+		}
+	}
+}
+
+func TestEmptyFramesPassFilter(t *testing.T) {
+	// Only payloads are omission-faultable; empty frames always pass (they
+	// carry the round structure).
+	filter := func(from, to proc.ID, round int) bool { return true }
+	mesh := New(2, filter)
+	eps := mesh.Endpoints()
+	if err := eps[0].Send(1, transport.Frame{From: 0, To: 1, Round: 1}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := eps[1].Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got.Has {
+		t.Errorf("empty frame gained a payload: %+v", got)
+	}
+}
+
+func TestSendToUnknownPeer(t *testing.T) {
+	mesh := New(2, nil)
+	eps := mesh.Endpoints()
+	if err := eps[0].Send(5, transport.Frame{}); err == nil {
+		t.Error("expected error for unknown peer")
+	}
+	if err := eps[0].Send(-1, transport.Frame{}); err == nil {
+		t.Error("expected error for negative peer")
+	}
+}
+
+func TestCloseIsIdempotentAndUnblocksRecv(t *testing.T) {
+	mesh := New(3, nil)
+	eps := mesh.Endpoints()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[1].Recv()
+		done <- err
+	}()
+
+	if err := eps[0].Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Closing any endpoint closes the mesh exactly once; further closes
+	// are no-ops.
+	if err := eps[2].Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("Recv after close: got %v, want mesh-closed error", err)
+	}
+}

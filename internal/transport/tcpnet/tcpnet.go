@@ -22,6 +22,7 @@ type Mesh struct {
 	n     int
 	conns [][]net.Conn // conns[i][j]: i's connection to j (nil on diagonal)
 	inbox []chan frameOrErr
+	done  chan struct{} // closed by Close; unblocks pumps wedged on full inboxes
 
 	mu      sync.Mutex
 	closed  bool
@@ -36,7 +37,7 @@ type frameOrErr struct {
 // New builds a connected mesh of n nodes on loopback ports. It returns an
 // error if any listen/dial step fails.
 func New(n int) (*Mesh, error) {
-	m := &Mesh{n: n, conns: make([][]net.Conn, n), inbox: make([]chan frameOrErr, n)}
+	m := &Mesh{n: n, conns: make([][]net.Conn, n), inbox: make([]chan frameOrErr, n), done: make(chan struct{})}
 	for i := range m.conns {
 		m.conns[i] = make([]net.Conn, n)
 		m.inbox[i] = make(chan frameOrErr, 4*n)
@@ -145,7 +146,14 @@ func (m *Mesh) pump(owner int, conn net.Conn) {
 			}
 			return
 		}
-		m.inbox[owner] <- frameOrErr{f: f}
+		// The delivery must not wedge the pump forever: if the owner stops
+		// draining (it errored out, or the mesh is being torn down), Close
+		// still has to be able to join this goroutine.
+		select {
+		case m.inbox[owner] <- frameOrErr{f: f}:
+		case <-m.done:
+			return
+		}
 	}
 }
 
@@ -159,7 +167,9 @@ func (m *Mesh) Endpoints() []transport.Endpoint {
 	return eps
 }
 
-// Close tears the mesh down.
+// Close tears the mesh down: it closes every connection, which makes the
+// reader pumps exit, and then closes the inboxes so that a Recv issued
+// after Close fails fast instead of blocking forever.
 func (m *Mesh) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -168,6 +178,7 @@ func (m *Mesh) Close() error {
 	}
 	m.closed = true
 	m.mu.Unlock()
+	close(m.done) // wake pumps blocked on full inboxes
 	for i := range m.conns {
 		for j := range m.conns[i] {
 			if c := m.conns[i][j]; c != nil {
@@ -175,6 +186,13 @@ func (m *Mesh) Close() error {
 			}
 		}
 	}
+	go func() {
+		// Inboxes can only be closed once no pump can write to them.
+		m.readers.Wait()
+		for _, ch := range m.inbox {
+			close(ch)
+		}
+	}()
 	return nil
 }
 
