@@ -2,6 +2,9 @@ package expensive
 
 import (
 	"expensive/internal/adversary"
+	"expensive/internal/catalog"
+	_ "expensive/internal/catalog/all" // link every protocol registration
+	"expensive/internal/catalog/matrix"
 	"expensive/internal/crypto/sig"
 	"expensive/internal/experiments"
 	"expensive/internal/experiments/runner"
@@ -9,15 +12,9 @@ import (
 	"expensive/internal/msg"
 	"expensive/internal/omission"
 	"expensive/internal/proc"
-	"expensive/internal/protocols/dolevstrong"
-	"expensive/internal/protocols/eig"
 	"expensive/internal/protocols/external"
-	"expensive/internal/protocols/floodset"
 	"expensive/internal/protocols/gradecast"
-	"expensive/internal/protocols/ic"
-	"expensive/internal/protocols/phaseking"
 	"expensive/internal/protocols/reduction"
-	"expensive/internal/protocols/weak"
 	"expensive/internal/sim"
 	"expensive/internal/smr"
 	"expensive/internal/solve"
@@ -100,6 +97,48 @@ type (
 	SeedRange = adversary.SeedRange
 	// ValidityCheck is a pluggable per-probe validity property.
 	ValidityCheck = adversary.ValidityFunc
+	// AgreementCheck is a pairwise decision-compatibility relation that
+	// replaces strict equal-decision Agreement in campaigns (graded
+	// broadcast's G2/G3).
+	AgreementCheck = adversary.AgreementFunc
+	// Protocol is a first-class catalog entry: identity, model, resilience
+	// condition, requirements, round bound, and builder. Obtain one from
+	// Protocols or LookupProtocol; construct with p.Build(params).
+	Protocol = catalog.Spec
+	// ProtocolParams is the uniform construction input of every cataloged
+	// protocol.
+	ProtocolParams = catalog.Params
+	// ProtocolModel classifies a protocol's fault/authentication setting.
+	ProtocolModel = catalog.Model
+	// ProtocolParamsError is the typed Build validation failure (wraps
+	// ErrUnsupported or ErrBadParams).
+	ProtocolParamsError = catalog.ParamsError
+	// NamedStrategy couples a short stable ID with an attack strategy.
+	NamedStrategy = adversary.Named
+	// Matrix sweeps protocol × strategy × (n, t) over the worker pool.
+	Matrix = matrix.Matrix
+	// MatrixSize is one (n, t) grid point of a matrix sweep.
+	MatrixSize = matrix.Size
+	// MatrixCell is one grid entry (protocol under strategy at a size).
+	MatrixCell = matrix.Cell
+	// MatrixGrid is a matrix's deterministic, JSON-serializable report.
+	MatrixGrid = matrix.Grid
+)
+
+// Protocol models.
+const (
+	Authenticated   = catalog.Authenticated
+	Unauthenticated = catalog.Unauthenticated
+	CrashOnly       = catalog.CrashOnly
+)
+
+// Typed Build failures; match with errors.Is.
+var (
+	// ErrUnsupported marks an (n, t) outside a protocol's resilience
+	// condition.
+	ErrUnsupported = catalog.ErrUnsupported
+	// ErrBadParams marks structurally invalid protocol parameters.
+	ErrBadParams = catalog.ErrBadParams
 )
 
 // Binary values.
@@ -133,48 +172,93 @@ func NoFaults() FaultPlan { return sim.NoFaults{} }
 // ValidateExecution checks the five Appendix A.1.6 execution guarantees.
 func ValidateExecution(e *Execution) error { return omission.Validate(e) }
 
-// Protocol constructors — the matching upper bounds.
+// The protocol catalog. Every protocol in the library self-registers as
+// an introspectable Protocol value carrying its model, resilience
+// condition, round bound, builder and validity property; the functions
+// below are the query surface, and everything downstream — campaigns,
+// matrix sweeps, replicated logs, live clusters — accepts catalog
+// handles.
+
+// Protocols returns every registered protocol in ID order.
+func Protocols() []Protocol { return catalog.Protocols() }
+
+// LookupProtocol returns the protocol registered under id
+// ("dolev-strong", "floodset", "phase-king", ...).
+func LookupProtocol(id string) (Protocol, bool) { return catalog.Lookup(id) }
+
+// ProtocolIDs lists the registered protocol IDs in sorted order.
+func ProtocolIDs() []string { return catalog.IDs() }
+
+// DefaultProtocolParams returns the canonical parameters at (n, t):
+// sender 0, the idealized deterministic scheme, default decision ⊥.
+func DefaultProtocolParams(n, t int) ProtocolParams { return catalog.DefaultParams(n, t) }
+
+// Protocol constructors — the matching upper bounds. These are thin,
+// legacy-lenient shims over the catalog: they keep their historical
+// signatures (no error return, no resilience enforcement) for existing
+// callers. New code should prefer LookupProtocol + p.Build(params), which
+// validates (n, t) and the scheme/sender/default requirements centrally
+// and returns typed errors.
+
+// shim builds a cataloged protocol through the raw (unchecked) builder,
+// reproducing the pre-catalog constructor semantics exactly.
+func shim(id string, p ProtocolParams) (Factory, int) {
+	spec, ok := catalog.Lookup(id)
+	if !ok {
+		panic("expensive: protocol " + id + " not registered")
+	}
+	f, err := spec.New(p)
+	if err != nil {
+		panic("expensive: build " + id + ": " + err.Error())
+	}
+	return f, spec.Rounds(p.N, p.T)
+}
 
 // NewDolevStrongBroadcast returns authenticated Byzantine broadcast with
 // designated sender (t < n, t+1 rounds) and its decision-round bound.
 func NewDolevStrongBroadcast(n, t int, sender ProcessID, scheme Scheme, defaultValue Value) (Factory, int) {
-	cfg := dolevstrong.Config{N: n, T: t, Sender: sender, Scheme: scheme, Tag: "bb", Default: defaultValue}
-	return dolevstrong.New(cfg), dolevstrong.RoundBound(t)
+	return shim("dolev-strong", ProtocolParams{N: n, T: t, Sender: sender, Scheme: scheme, Default: defaultValue})
 }
 
 // NewInteractiveConsistency returns authenticated interactive consistency
 // (n parallel Dolev-Strong instances, t < n). Decisions are encoded
 // vectors; decode with DecodeVector.
 func NewInteractiveConsistency(n, t int, scheme Scheme, defaultValue Value) (Factory, int) {
-	return ic.New(ic.Config{N: n, T: t, Scheme: scheme, Default: defaultValue}), ic.RoundBound(t)
+	return shim("ic", ProtocolParams{N: n, T: t, Scheme: scheme, Default: defaultValue})
 }
 
 // NewEIGConsistency returns unauthenticated interactive consistency by
 // exponential information gathering (n > 3t).
 func NewEIGConsistency(n, t int, defaultValue Value) (Factory, int) {
-	return eig.New(eig.Config{N: n, T: t, Default: defaultValue}), eig.RoundBound(t)
+	return shim("eig", ProtocolParams{N: n, T: t, Default: defaultValue})
 }
 
 // NewPhaseKing returns binary strong consensus (unauthenticated, n > 4t,
 // polynomial messages).
 func NewPhaseKing(n, t int) (Factory, int) {
-	return phaseking.New(phaseking.Config{N: n, T: t}), phaseking.RoundBound(t)
+	return shim("phase-king", ProtocolParams{N: n, T: t})
 }
 
 // NewWeakConsensusIC returns authenticated weak consensus (any t < n).
-func NewWeakConsensusIC(n, t int, scheme Scheme) (Factory, int) { return weak.ViaIC(n, t, scheme) }
+func NewWeakConsensusIC(n, t int, scheme Scheme) (Factory, int) {
+	return shim("weak-ic", ProtocolParams{N: n, T: t, Scheme: scheme})
+}
 
 // NewWeakConsensusEIG returns unauthenticated weak consensus (n > 3t).
-func NewWeakConsensusEIG(n, t int) (Factory, int) { return weak.ViaEIG(n, t) }
+func NewWeakConsensusEIG(n, t int) (Factory, int) {
+	return shim("weak-eig", ProtocolParams{N: n, T: t})
+}
 
 // NewWeakConsensusPhaseKing returns unauthenticated polynomial weak
 // consensus (n > 4t).
-func NewWeakConsensusPhaseKing(n, t int) (Factory, int) { return weak.ViaPhaseKing(n, t) }
+func NewWeakConsensusPhaseKing(n, t int) (Factory, int) {
+	return shim("weak-phase-king", ProtocolParams{N: n, T: t})
+}
 
 // NewGradecast returns Feldman–Micali graded broadcast (n > 3t, 3 rounds).
 // Decisions encode (grade, value) pairs; parse with ParseGradecast.
 func NewGradecast(n, t int, sender ProcessID) (Factory, int) {
-	return gradecast.New(gradecast.Config{N: n, T: t, Sender: sender}), gradecast.RoundBound()
+	return shim("gradecast", ProtocolParams{N: n, T: t, Sender: sender})
 }
 
 // ParseGradecast splits a gradecast decision into grade and value.
@@ -184,13 +268,13 @@ func ParseGradecast(out Value) (grade int, v Value, err error) { return gradecas
 // t+1 rounds). It is NOT omission- or Byzantine-tolerant: see experiment
 // E10 for the attack that splits it.
 func NewFloodSet(n, t int) (Factory, int) {
-	return floodset.New(floodset.Config{N: n, T: t}), floodset.RoundBound(t)
+	return shim("floodset", ProtocolParams{N: n, T: t})
 }
 
 // NewFloodSetEarlyStopping returns the early-deciding FloodSet variant:
 // decides within f+2 rounds under f <= t actual crashes (experiment E12).
 func NewFloodSetEarlyStopping(n, t int) (Factory, int) {
-	return floodset.NewEarlyStopping(floodset.Config{N: n, T: t}), floodset.RoundBound(t)
+	return shim("floodset-early", ProtocolParams{N: n, T: t})
 }
 
 // DecodeVector parses an interactive-consistency decision.
@@ -208,7 +292,10 @@ func NewTxAuthority(scheme Scheme) *TxAuthority { return external.NewAuthority(s
 func ClientID(i int) ProcessID { return external.ClientBase + ProcessID(i) }
 
 // NewExternalAgreement returns agreement with External Validity: the
-// decision always satisfies authority.Valid.
+// decision always satisfies authority.Valid. This shim constructs
+// directly (not through the catalog) because it honors an explicit
+// authority; the cataloged "external" protocol derives its authority from
+// the params' scheme.
 func NewExternalAgreement(n, t int, scheme Scheme, authority *TxAuthority, fallback Value) (Factory, int) {
 	cfg := external.Config{N: n, T: t, Scheme: scheme, Authority: authority, Fallback: fallback}
 	return external.New(cfg), external.RoundBound(t)
@@ -305,8 +392,34 @@ func NewCampaign(protocol string, factory Factory, rounds, n, t int, strategy At
 // NewProblemCampaign builds a hunt against a problem's derived protocol,
 // checking the problem's own validity property on every probe.
 func NewProblemCampaign(p Problem, d *Derived, strategy AttackStrategy, seeds SeedRange) (*Campaign, error) {
-	return adversary.ForProblem(p, d, strategy, seeds)
+	return solve.HuntCampaign(p, d, strategy, seeds)
 }
+
+// NewCampaignFor builds a hunt of the given strategy against a cataloged
+// protocol: the factory, round bound, validity property and n-shrinking
+// rebuild hook all come from the catalog handle. Params are validated
+// centrally — hunting outside the resilience condition is a typed error.
+func NewCampaignFor(p Protocol, params ProtocolParams, strategy AttackStrategy, seeds SeedRange) (*Campaign, error) {
+	return matrix.CampaignFor(p, params, strategy, seeds)
+}
+
+// ShrinkOptionsFor derives the Shrink/RecheckViolation configuration for
+// violations found against a cataloged protocol.
+func ShrinkOptionsFor(p Protocol, params ProtocolParams) (ShrinkOptions, error) {
+	return matrix.ShrinkOptionsFor(p, params)
+}
+
+// StrategyLibrary returns the named attack library in ID order; biasPct
+// parameterizes the random-omission family.
+func StrategyLibrary(biasPct int) []NamedStrategy { return adversary.Library(biasPct) }
+
+// NewMatrix builds a registry-driven sweep of every registered protocol ×
+// every library strategy × the default (n, t) grid over the given seed
+// range. Tune the returned matrix (Protocols, Strategies, Sizes, Shrink,
+// Parallelism) before calling Run; the JSON grid report is byte-identical
+// at every parallelism level, with unsupported (n, t) cells explicitly
+// marked skipped.
+func NewMatrix(seeds SeedRange) *Matrix { return &Matrix{Seeds: seeds} }
 
 // Strategy constructors — the attack library.
 
@@ -442,6 +555,12 @@ func RunCluster(m Mesh, n int, factory Factory, proposals []Value, rounds int) (
 	return c.Run()
 }
 
+// RunClusterFor drives the cataloged protocol live over the mesh for its
+// full round bound, with central Params validation.
+func RunClusterFor(m Mesh, p Protocol, params ProtocolParams, proposals []Value) ([]NodeResult, error) {
+	return matrix.ClusterFor(p, params, m.Endpoints(), proposals)
+}
+
 // ClusterDecision folds node results into the unique decision of a group.
 func ClusterDecision(results []NodeResult, group ProcessSet) (Value, error) {
 	return transport.CommonDecision(results, group)
@@ -465,6 +584,13 @@ type LogEntry = smr.Entry
 // instance of the given agreement protocol.
 func NewReplicatedLog(n, t int, protocol func(slot int) (Factory, int), noOp Value) (*ReplicatedLog, error) {
 	return smr.New(smr.Config{N: n, T: t, Protocol: protocol, NoOp: noOp})
+}
+
+// NewReplicatedLogFor builds a replicated log whose slots each run one
+// instance of the cataloged protocol, constructed with central Params
+// validation.
+func NewReplicatedLogFor(p Protocol, params ProtocolParams, noOp Value) (*ReplicatedLog, error) {
+	return matrix.LogFor(p, params, noOp)
 }
 
 // RenderExecution draws an execution as a per-process, per-round text

@@ -410,3 +410,122 @@ func TestFacadeProblemCampaign(t *testing.T) {
 		t.Fatalf("derived weak consensus broken: %v", report.Violations[0])
 	}
 }
+
+// TestFacadeProtocolCatalog exercises the first-class protocol surface:
+// registry queries, introspection, checked builds with typed errors, and
+// a registry-driven campaign with catalog-derived recheck options.
+func TestFacadeProtocolCatalog(t *testing.T) {
+	protos := expensive.Protocols()
+	if len(protos) < 10 {
+		t.Fatalf("catalog has %d protocols, expected the full library", len(protos))
+	}
+	pk, ok := expensive.LookupProtocol("phase-king")
+	if !ok {
+		t.Fatal("phase-king not registered")
+	}
+	if pk.Model != expensive.Unauthenticated || pk.Condition != "n > 4t" {
+		t.Fatalf("phase-king taxonomy wrong: %q %q", pk.Model, pk.Condition)
+	}
+	if pk.SupportedAt(4, 1) || !pk.SupportedAt(5, 1) {
+		t.Fatal("SupportedAt disagrees with n > 4t")
+	}
+	// Checked build: typed error outside the resilience condition.
+	_, _, err := pk.Build(expensive.DefaultProtocolParams(4, 1))
+	if !errors.Is(err, expensive.ErrUnsupported) {
+		t.Fatalf("Build at n=4 t=1: err %v, want ErrUnsupported", err)
+	}
+	var pe *expensive.ProtocolParamsError
+	if !errors.As(err, &pe) || pe.Protocol != "phase-king" {
+		t.Fatalf("error %v is not a ParamsError naming phase-king", err)
+	}
+	factory, rounds, err := pk.Build(expensive.DefaultProtocolParams(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factory == nil || rounds != 4 {
+		t.Fatalf("phase-king build: rounds %d, want 4", rounds)
+	}
+}
+
+// TestFacadeCampaignFor runs the registry-driven hunt lifecycle: find the
+// E10 FloodSet split through a catalog handle and re-validate it with
+// catalog-derived shrink options.
+func TestFacadeCampaignFor(t *testing.T) {
+	fs, ok := expensive.LookupProtocol("floodset")
+	if !ok {
+		t.Fatal("floodset not registered")
+	}
+	params := expensive.DefaultProtocolParams(8, 2)
+	campaign, err := expensive.NewCampaignFor(fs, params,
+		expensive.StrategyTargetedWithhold(), expensive.SeedRange{From: 0, To: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Broken() {
+		t.Fatal("targeted withholding should split FloodSet in 16 seeds")
+	}
+	opts, err := expensive.ShrinkOptionsFor(fs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Horizon = report.Horizon
+	if err := expensive.RecheckViolation(report.Violations[0], opts); err != nil {
+		t.Fatalf("recheck: %v", err)
+	}
+}
+
+// TestFacadeMatrix runs a small registry-driven matrix and checks the
+// skip/violation bookkeeping.
+func TestFacadeMatrix(t *testing.T) {
+	fs, _ := expensive.LookupProtocol("floodset")
+	pk, _ := expensive.LookupProtocol("phase-king")
+	m := expensive.NewMatrix(expensive.SeedRange{From: 0, To: 6})
+	m.Protocols = []expensive.Protocol{fs, pk}
+	m.Strategies = expensive.StrategyLibrary(40)[:2]
+	m.Sizes = []expensive.MatrixSize{{N: 4, T: 1}, {N: 5, T: 1}}
+	m.Parallelism = 2
+	grid, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Cells) != 2*2*2 {
+		t.Fatalf("grid has %d cells, want 8", len(grid.Cells))
+	}
+	if grid.SkippedCells == 0 {
+		t.Fatal("phase-king at n=4 t=1 should be skipped")
+	}
+}
+
+// TestFacadeCatalogConsumers drives the SMR and live-cluster layers off
+// catalog handles.
+func TestFacadeCatalogConsumers(t *testing.T) {
+	pk, _ := expensive.LookupProtocol("phase-king")
+	log, err := expensive.NewReplicatedLogFor(pk, expensive.DefaultProtocolParams(5, 1), expensive.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := log.Submit(expensive.ProcessID(i), expensive.One); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if entry, err := log.CommitSlot(); err != nil || entry.Command != expensive.One {
+		t.Fatalf("slot: %v %v", entry, err)
+	}
+
+	weig, _ := expensive.LookupProtocol("weak-eig")
+	params := expensive.DefaultProtocolParams(4, 1)
+	proposals := []expensive.Value{expensive.One, expensive.One, expensive.One, expensive.One}
+	results, err := expensive.RunClusterFor(expensive.NewMemMesh(4, nil), weig, params, proposals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := expensive.ClusterDecision(results, expensive.Universe(4))
+	if err != nil || d != expensive.One {
+		t.Fatalf("cluster decision %q err %v", d, err)
+	}
+}

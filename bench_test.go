@@ -239,6 +239,34 @@ func BenchmarkHuntCampaign(b *testing.B) {
 	}
 }
 
+// benchMatrix sweeps the full registry × two strategies × two sizes.
+func benchMatrix(b *testing.B, parallelism int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := expensive.NewMatrix(expensive.SeedRange{From: 0, To: 4})
+		m.Strategies = []expensive.NamedStrategy{
+			{ID: "targeted-withhold", Strategy: expensive.StrategyTargetedWithhold()},
+			{ID: "chaos", Strategy: expensive.StrategyChaos()},
+		}
+		m.Sizes = []expensive.MatrixSize{{N: 4, T: 1}, {N: 5, T: 1}}
+		m.Parallelism = parallelism
+		grid, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !grid.Broken() {
+			b.Fatal("matrix found no FloodSet split")
+		}
+	}
+}
+
+func BenchmarkMatrix(b *testing.B) {
+	// Registry-wide sweep throughput, serial vs full-width cell pool.
+	b.Run("serial", func(b *testing.B) { benchMatrix(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchMatrix(b, 0) })
+}
+
 func BenchmarkShrink(b *testing.B) {
 	// Minimization cost of one found FloodSet counterexample.
 	n, tf := 8, 2

@@ -6,9 +6,13 @@
 //	baexp falsify ...       run the Theorem 2 falsifier on one protocol
 //	baexp hunt ...          run a seeded adversary campaign and shrink
 //	                        whatever it finds to a minimal counterexample
+//	baexp matrix ...        sweep the full protocol × strategy × (n, t)
+//	                        cross-product from the registry
 //	baexp solve ...         evaluate Theorem 4 for a standard problem
 //	baexp run ...           run a protocol live over memnet or TCP
 //
+// Every protocol offering is derived from the catalog registry
+// (internal/catalog) — there is no hand-maintained protocol table here.
 // Run `baexp <subcommand> -h` for flags.
 package main
 
@@ -17,21 +21,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 
 	"expensive/internal/adversary"
+	"expensive/internal/catalog"
+	_ "expensive/internal/catalog/all" // link every protocol registration
+	cmatrix "expensive/internal/catalog/matrix"
 	"expensive/internal/crypto/sig"
 	"expensive/internal/experiments"
 	"expensive/internal/experiments/runner"
 	"expensive/internal/lowerbound"
 	"expensive/internal/msg"
 	"expensive/internal/proc"
-	"expensive/internal/protocols/dolevstrong"
-	"expensive/internal/protocols/floodset"
-	"expensive/internal/protocols/phaseking"
-	"expensive/internal/protocols/weak"
 	"expensive/internal/sim"
 	"expensive/internal/solve"
 	"expensive/internal/transport"
@@ -60,6 +62,8 @@ func run(args []string) error {
 		return runFalsify(args[1:])
 	case "hunt":
 		return runHunt(args[1:])
+	case "matrix":
+		return runMatrix(args[1:])
 	case "solve":
 		return runSolve(args[1:])
 	case "run":
@@ -80,10 +84,48 @@ subcommands:
   exp [-json] [-parallel N] [-list] [IDs...]
                  run paper experiments E1..E12 (default: all) on the parallel engine
   falsify        run the Theorem 2 falsifier against a weak consensus protocol
-  hunt           run a seeded adversary campaign against a protocol and
-                 shrink whatever it finds to a minimal counterexample
+  hunt           run a seeded adversary campaign against a cataloged protocol
+                 and shrink whatever it finds to a minimal counterexample
+  matrix         sweep the full protocol × strategy × (n, t) cross-product
+                 from the registry into a deterministic grid report
   solve          evaluate the Theorem 4 solvability verdict for a problem
-  run            run a protocol live over an in-memory or TCP mesh`)
+  run            run a cataloged protocol live over an in-memory or TCP mesh`)
+}
+
+// printListing is the shared registry printer behind `exp -list`,
+// `hunt -list` and `matrix -list`: aligned (id, title, note) rows.
+func printListing(rows [][3]string) {
+	w := 0
+	for _, r := range rows {
+		if len(r[0]) > w {
+			w = len(r[0])
+		}
+	}
+	for _, r := range rows {
+		if r[2] == "" {
+			fmt.Printf("  %-*s  %s\n", w, r[0], r[1])
+			continue
+		}
+		fmt.Printf("  %-*s  %s (%s)\n", w, r[0], r[1], r[2])
+	}
+}
+
+// printCatalog lists the protocol registry (ID, title, model, resilience
+// condition) and the strategy library — the common body of `hunt -list`
+// and `matrix -list`.
+func printCatalog(bias int) {
+	var rows [][3]string
+	for _, s := range catalog.Protocols() {
+		rows = append(rows, [3]string{s.ID, s.Title, fmt.Sprintf("%s, %s", s.Model, s.Condition)})
+	}
+	fmt.Println("protocols:")
+	printListing(rows)
+	rows = rows[:0]
+	for _, e := range adversary.Library(bias) {
+		rows = append(rows, [3]string{e.ID, e.Strategy.Name, ""})
+	}
+	fmt.Println("strategies:")
+	printListing(rows)
 }
 
 func runExperiments(args []string) error {
@@ -95,9 +137,11 @@ func runExperiments(args []string) error {
 		return err
 	}
 	if *list {
+		var rows [][3]string
 		for _, info := range runner.List() {
-			fmt.Printf("  %-4s %s (%s)\n", info.ID, info.Title, info.Params)
+			rows = append(rows, [3]string{info.ID, info.Title, info.Params})
 		}
+		printListing(rows)
 		return nil
 	}
 	ids := fs.Args()
@@ -182,91 +226,6 @@ func runFalsify(args []string) error {
 	return nil
 }
 
-// huntProto describes one huntable protocol: a constructor at any (n, t)
-// — which is also what lets the shrinker reduce n — plus the validity
-// property its hunts check.
-type huntProto struct {
-	new      func(n, t int) (sim.Factory, int, error)
-	validity adversary.ValidityFunc
-}
-
-func huntProtocols() map[string]huntProto {
-	return map[string]huntProto{
-		"floodset": {
-			new: func(n, t int) (sim.Factory, int, error) {
-				return floodset.New(floodset.Config{N: n, T: t}), floodset.RoundBound(t), nil
-			},
-			validity: adversary.WeakValidity,
-		},
-		"floodset-early": {
-			new: func(n, t int) (sim.Factory, int, error) {
-				return floodset.NewEarlyStopping(floodset.Config{N: n, T: t}), floodset.RoundBound(t), nil
-			},
-			validity: adversary.WeakValidity,
-		},
-		"phase-king": {
-			new: func(n, t int) (sim.Factory, int, error) {
-				cfg := phaseking.Config{N: n, T: t}
-				if err := cfg.Validate(); err != nil {
-					return nil, 0, err
-				}
-				return phaseking.New(cfg), phaseking.RoundBound(t), nil
-			},
-			validity: adversary.StrongValidity,
-		},
-		"weak-eig": {
-			new: func(n, t int) (sim.Factory, int, error) {
-				if n <= 3*t {
-					return nil, 0, fmt.Errorf("weak-eig needs n > 3t, got n=%d t=%d", n, t)
-				}
-				f, r := weak.ViaEIG(n, t)
-				return f, r, nil
-			},
-			validity: adversary.WeakValidity,
-		},
-		"weak-ic": {
-			new: func(n, t int) (sim.Factory, int, error) {
-				f, r := weak.ViaIC(n, t, sig.NewIdeal("baexp-hunt"))
-				return f, r, nil
-			},
-			validity: adversary.WeakValidity,
-		},
-		"dolev-strong": {
-			new: func(n, t int) (sim.Factory, int, error) {
-				cfg := dolevstrong.Config{N: n, T: t, Sender: 0, Scheme: sig.NewIdeal("baexp-hunt"), Tag: "bb", Default: "⊥"}
-				return dolevstrong.New(cfg), dolevstrong.RoundBound(t), nil
-			},
-			validity: adversary.SenderValidity(0),
-		},
-	}
-}
-
-// huntStrategies builds the named strategy table; bias parameterizes the
-// random-omission family.
-func huntStrategies(bias int) map[string]adversary.Strategy {
-	return map[string]adversary.Strategy{
-		"random-send-omission":    adversary.RandomSendOmission(bias),
-		"random-receive-omission": adversary.RandomReceiveOmission(bias),
-		"random-omission":         adversary.RandomOmission(bias),
-		"targeted-withhold":       adversary.TargetedWithhold(),
-		"silent-crash":            adversary.SilentCrash(),
-		"sender-isolation":        adversary.SenderIsolation(),
-		"chaos":                   adversary.Chaos(),
-		"equivocate":              adversary.Equivocate(),
-		"two-faced":               adversary.TwoFaced(),
-		"storm":                   adversary.Union(adversary.RandomOmission(bias), adversary.Chaos()),
-	}
-}
-
-func sortedNames[V any](m map[string]V) []string {
-	names := make([]string, 0, len(m))
-	for name := range m {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
-
 func parseSeedRange(s string) (adversary.SeedRange, error) {
 	var r adversary.SeedRange
 	from, to, ok := strings.Cut(s, ":")
@@ -285,9 +244,19 @@ func parseSeedRange(s string) (adversary.SeedRange, error) {
 	return r, nil
 }
 
+// lookupStrategy resolves a library strategy or fails with the available
+// IDs.
+func lookupStrategy(name string, bias int) (adversary.Strategy, error) {
+	s, ok := adversary.FromLibrary(name, bias)
+	if !ok {
+		return s, fmt.Errorf("unknown strategy %q (have %v)", name, adversary.LibraryIDs())
+	}
+	return s, nil
+}
+
 func runHunt(args []string) error {
 	fs := flag.NewFlagSet("hunt", flag.ContinueOnError)
-	protoName := fs.String("proto", "floodset", "protocol to hunt")
+	protoName := fs.String("proto", "floodset", "cataloged protocol to hunt")
 	strategyName := fs.String("strategy", "targeted-withhold", "attack strategy")
 	n := fs.Int("n", 8, "system size")
 	t := fs.Int("t", 2, "fault budget")
@@ -305,43 +274,30 @@ func runHunt(args []string) error {
 	if *bias < 0 || *bias > 100 {
 		return fmt.Errorf("bias must be a percentage within 0..100, got %d", *bias)
 	}
-	protos := huntProtocols()
-	strategies := huntStrategies(*bias)
 	if *list {
-		fmt.Println("protocols: ", strings.Join(sortedNames(protos), " "))
-		fmt.Println("strategies:", strings.Join(sortedNames(strategies), " "))
+		printCatalog(*bias)
 		return nil
 	}
-	proto, ok := protos[*protoName]
-	if !ok {
-		return fmt.Errorf("unknown protocol %q (have %v)", *protoName, sortedNames(protos))
+	spec, err := catalog.Get(*protoName)
+	if err != nil {
+		return err
 	}
-	strategy, ok := strategies[*strategyName]
-	if !ok {
-		return fmt.Errorf("unknown strategy %q (have %v)", *strategyName, sortedNames(strategies))
+	strategy, err := lookupStrategy(*strategyName, *bias)
+	if err != nil {
+		return err
 	}
 	seeds, err := parseSeedRange(*seedsFlag)
 	if err != nil {
 		return err
 	}
-	factory, rounds, err := proto.new(*n, *t)
+	params := catalog.DefaultParams(*n, *t)
+	campaign, err := cmatrix.CampaignFor(spec, params, strategy, seeds)
 	if err != nil {
 		return err
 	}
-	campaign := &adversary.Campaign{
-		Protocol:      *protoName,
-		Factory:       factory,
-		Rounds:        rounds,
-		N:             *n,
-		T:             *t,
-		Strategy:      strategy,
-		Seeds:         seeds,
-		Validity:      proto.validity,
-		Shrink:        *shrink,
-		New:           proto.new,
-		MaxViolations: *keep,
-		Parallelism:   *parallel,
-	}
+	campaign.Shrink = *shrink
+	campaign.MaxViolations = *keep
+	campaign.Parallelism = *parallel
 	report, err := campaign.Run()
 	if err != nil {
 		return err
@@ -362,10 +318,7 @@ func runHunt(args []string) error {
 		fmt.Println("VERDICT: no violation — the protocol survived every probe")
 		return nil
 	}
-	opts := adversary.ShrinkOptions{
-		Factory: factory, Rounds: rounds, N: *n, T: *t,
-		Horizon: report.Horizon, New: proto.new, Validity: proto.validity,
-	}
+	opts := campaign.RecheckOptions()
 	for _, v := range report.Violations {
 		fmt.Printf("VERDICT: %v\n", v)
 		if v.Plan != nil {
@@ -381,7 +334,8 @@ func runHunt(args []string) error {
 	}
 	if *verbose {
 		if v := report.Violations[0]; v.Shrunk != nil {
-			factory2, rounds2, err := proto.new(v.Shrunk.N, *t)
+			rebuild := spec.Rebuilder(params)
+			factory2, rounds2, err := rebuild(v.Shrunk.N, *t)
 			if err == nil {
 				env := adversary.Env{N: v.Shrunk.N, T: *t, Rounds: rounds2, Horizon: rounds2 + 2, Factory: factory2}
 				cfg := sim.Config{N: v.Shrunk.N, T: *t, Proposals: v.Shrunk.Proposals, MaxRounds: rounds2 + 2}
@@ -393,6 +347,141 @@ func runHunt(args []string) error {
 		}
 	}
 	return nil
+}
+
+// parseSizes parses a comma-separated list of N:T grid points.
+func parseSizes(s string) ([]cmatrix.Size, error) {
+	var out []cmatrix.Size
+	for _, part := range strings.Split(s, ",") {
+		ns, ts, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("size %q is not N:T", part)
+		}
+		n, errN := strconv.Atoi(ns)
+		t, errT := strconv.Atoi(ts)
+		if errN != nil || errT != nil {
+			return nil, fmt.Errorf("size %q is not N:T", part)
+		}
+		out = append(out, cmatrix.Size{N: n, T: t})
+	}
+	return out, nil
+}
+
+func runMatrix(args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
+	protoFlag := fs.String("proto", "", "comma-separated protocol IDs (default: every registered protocol)")
+	strategyFlag := fs.String("strategy", "", "comma-separated strategy IDs (default: the full library)")
+	sizesFlag := fs.String("sizes", "", "comma-separated N:T grid points (default: 4:1,5:1,8:2)")
+	seedsFlag := fs.String("seeds", "0:16", "half-open per-cell seed range FROM:TO")
+	parallel := fs.Int("parallel", 0, "cell worker count (0 = NumCPU, 1 = serial)")
+	jsonOut := fs.Bool("json", false, "emit the deterministic JSON grid report")
+	shrink := fs.Bool("shrink", false, "minimize recorded violations")
+	keep := fs.Int("keep", 1, "violations recorded per cell")
+	bias := fs.Int("bias", cmatrix.DefaultBias, "omission percentage for the random strategies")
+	list := fs.Bool("list", false, "list protocols and strategies and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bias < 0 || *bias > 100 {
+		return fmt.Errorf("bias must be a percentage within 0..100, got %d", *bias)
+	}
+	if *list {
+		printCatalog(*bias)
+		return nil
+	}
+	seeds, err := parseSeedRange(*seedsFlag)
+	if err != nil {
+		return err
+	}
+	m := &cmatrix.Matrix{
+		Seeds:         seeds,
+		Parallelism:   *parallel,
+		Shrink:        *shrink,
+		MaxViolations: *keep,
+	}
+	if *protoFlag != "" {
+		for _, id := range strings.Split(*protoFlag, ",") {
+			spec, err := catalog.Get(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			m.Protocols = append(m.Protocols, spec)
+		}
+	}
+	if *strategyFlag != "" {
+		for _, id := range strings.Split(*strategyFlag, ",") {
+			id = strings.TrimSpace(id)
+			s, err := lookupStrategy(id, *bias)
+			if err != nil {
+				return err
+			}
+			m.Strategies = append(m.Strategies, adversary.Named{ID: id, Strategy: s})
+		}
+	} else {
+		m.Strategies = adversary.Library(*bias)
+	}
+	if *sizesFlag != "" {
+		if m.Sizes, err = parseSizes(*sizesFlag); err != nil {
+			return err
+		}
+	}
+	grid, err := m.Run()
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(grid)
+	}
+	renderGrid(grid)
+	return nil
+}
+
+// renderGrid draws the grid as one table per size: rows are protocols,
+// columns are strategies, cells show the violating-seed count (· = clean,
+// - = skipped by the resilience condition).
+func renderGrid(g *cmatrix.Grid) {
+	fmt.Printf("matrix: %d protocols × %d strategies × %d sizes, seeds [%d,%d): %d cells (%d skipped), %d probes, %d violating cells\n",
+		len(g.Protocols), len(g.Strategies), len(g.Sizes), g.Seeds.From, g.Seeds.To,
+		len(g.Cells), g.SkippedCells, g.Probes, g.ViolatingCells)
+	fmt.Printf("  [%.1f ms wall, %.0f probes/sec, %d workers]\n", g.WallMS, g.ProbesPerSec, g.Workers)
+	fmt.Println("\nstrategies:")
+	for i, s := range g.Strategies {
+		fmt.Printf("  [%c] %s\n", 'A'+i, s)
+	}
+	w := len("protocol")
+	for _, p := range g.Protocols {
+		if len(p) > w {
+			w = len(p)
+		}
+	}
+	cellAt := func(pi, si, zi int) *cmatrix.Cell {
+		return &g.Cells[(pi*len(g.Strategies)+si)*len(g.Sizes)+zi]
+	}
+	for zi, size := range g.Sizes {
+		fmt.Printf("\nn=%d t=%d (· clean, - skipped, k = violating seeds)\n", size.N, size.T)
+		fmt.Printf("  %-*s", w, "protocol")
+		for si := range g.Strategies {
+			fmt.Printf(" %3c", 'A'+si)
+		}
+		fmt.Println()
+		for pi, p := range g.Protocols {
+			fmt.Printf("  %-*s", w, p)
+			for si := range g.Strategies {
+				c := cellAt(pi, si, zi)
+				switch {
+				case c.Skipped:
+					fmt.Printf(" %3s", "-")
+				case c.ViolationCount == 0:
+					fmt.Printf(" %3s", "·")
+				default:
+					fmt.Printf(" %3d", c.ViolationCount)
+				}
+			}
+			fmt.Println()
+		}
+	}
 }
 
 func problemByName(name string, n, t int) (validity.Problem, error) {
@@ -458,7 +547,7 @@ func runSolve(args []string) error {
 
 func runLive(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	protoName := fs.String("proto", "phase-king", "protocol: phase-king|weak-ic|weak-eig")
+	protoName := fs.String("proto", "phase-king", "cataloged protocol to run (see `baexp hunt -list`)")
 	n := fs.Int("n", 5, "system size")
 	t := fs.Int("t", 1, "fault budget")
 	over := fs.String("transport", "mem", "mem|tcp")
@@ -467,20 +556,14 @@ func runLive(args []string) error {
 		return err
 	}
 
-	var factory sim.Factory
-	var rounds int
-	switch *protoName {
-	case "phase-king":
-		if err := (phaseking.Config{N: *n, T: *t}).Validate(); err != nil {
-			return err
-		}
-		factory, rounds = weak.ViaPhaseKing(*n, *t)
-	case "weak-ic":
-		factory, rounds = weak.ViaIC(*n, *t, sig.NewIdeal("baexp-live"))
-	case "weak-eig":
-		factory, rounds = weak.ViaEIG(*n, *t)
-	default:
-		return fmt.Errorf("unknown protocol %q", *protoName)
+	spec, err := catalog.Get(*protoName)
+	if err != nil {
+		return err
+	}
+	params := catalog.DefaultParams(*n, *t)
+	factory, rounds, err := spec.Build(params)
+	if err != nil {
+		return err
 	}
 
 	proposals := make([]msg.Value, *n)
@@ -530,5 +613,12 @@ func runLive(args []string) error {
 	}
 	fmt.Printf("decision: %s over %s in %d rounds, %d messages total (t²/32 floor = %d)\n",
 		d, *over, rounds, total, (*t)*(*t)/32)
+	if spec.Decode != nil {
+		decoded, derr := spec.Decode(d)
+		if derr != nil {
+			return fmt.Errorf("decision %q does not decode: %w", d, derr)
+		}
+		fmt.Printf("decoded: %s\n", decoded)
+	}
 	return nil
 }

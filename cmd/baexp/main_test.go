@@ -26,6 +26,13 @@ func TestRunSubcommands(t *testing.T) {
 		{"hunt storm", []string{"hunt", "-proto", "weak-ic", "-n", "5", "-t", "1", "-strategy", "storm", "-seeds", "0:6"}},
 		{"hunt no shrink", []string{"hunt", "-proto", "floodset", "-seeds", "0:8", "-shrink=false"}},
 		{"hunt list", []string{"hunt", "-list"}},
+		{"hunt gradecast", []string{"hunt", "-proto", "gradecast", "-strategy", "two-faced", "-n", "5", "-t", "1", "-seeds", "0:8"}},
+		{"hunt derived", []string{"hunt", "-proto", "derived-weak", "-n", "4", "-t", "1", "-strategy", "chaos", "-seeds", "0:6"}},
+		{"matrix small", []string{"matrix", "-proto", "floodset", "-sizes", "5:1", "-seeds", "0:4"}},
+		{"matrix json", []string{"matrix", "-proto", "floodset,phase-king", "-strategy", "targeted-withhold,chaos", "-sizes", "4:1,5:1", "-seeds", "0:4", "-json"}},
+		{"matrix parallel", []string{"matrix", "-proto", "floodset,gradecast", "-sizes", "5:1", "-seeds", "0:4", "-parallel", "4"}},
+		{"matrix shrink", []string{"matrix", "-proto", "floodset", "-strategy", "targeted-withhold", "-sizes", "5:1", "-seeds", "0:8", "-shrink"}},
+		{"matrix list", []string{"matrix", "-list"}},
 		{"falsify parallel", []string{"falsify", "-proto", "star", "-n", "24", "-t", "8", "-parallel", "4"}},
 		{"falsify leader", []string{"falsify", "-proto", "leader", "-n", "24", "-t", "8"}},
 		{"falsify verbose", []string{"falsify", "-proto", "silent", "-n", "24", "-t", "8", "-v"}},
@@ -34,6 +41,7 @@ func TestRunSubcommands(t *testing.T) {
 		{"solve unauth", []string{"solve", "-problem", "weak", "-n", "4", "-t", "1", "-auth=false"}},
 		{"run mem", []string{"run", "-proto", "phase-king", "-n", "5", "-t", "1"}},
 		{"run tcp", []string{"run", "-proto", "weak-eig", "-n", "4", "-t", "1", "-transport", "tcp"}},
+		{"run decoded", []string{"run", "-proto", "ic", "-n", "4", "-t", "1"}},
 		{"run explicit proposals", []string{"run", "-proto", "phase-king", "-n", "5", "-t", "1", "-propose", "0,0,0,0,0"}},
 	}
 	for _, tc := range cases {
@@ -59,6 +67,11 @@ func TestRunErrors(t *testing.T) {
 		{"hunt bad seed range", []string{"hunt", "-seeds", "junk"}, "seed range"},
 		{"hunt empty seed range", []string{"hunt", "-seeds", "5:5"}, "empty"},
 		{"hunt resilience", []string{"hunt", "-proto", "phase-king", "-n", "4", "-t", "1"}, "n > 4t"},
+		{"matrix unknown protocol", []string{"matrix", "-proto", "nope"}, "unknown protocol"},
+		{"matrix unknown strategy", []string{"matrix", "-strategy", "nope"}, "unknown strategy"},
+		{"matrix bad sizes", []string{"matrix", "-sizes", "junk"}, "N:T"},
+		{"matrix bad size values", []string{"matrix", "-sizes", "3:0"}, "1 <= t < n"},
+		{"matrix empty seeds", []string{"matrix", "-seeds", "4:4"}, "empty"},
 		{"unknown problem", []string{"solve", "-problem", "nope"}, "unknown problem"},
 		{"phase-king resilience", []string{"run", "-proto", "phase-king", "-n", "4", "-t", "1"}, "n > 4t"},
 		{"proposal count", []string{"run", "-proto", "phase-king", "-n", "5", "-t", "1", "-propose", "0,1"}, "proposals"},

@@ -22,8 +22,8 @@
 //     every solvable problem. See SolveAuthenticated and SolveUnauthenticated.
 //   - The classical matching protocols: Dolev-Strong broadcast,
 //     authenticated and EIG interactive consistency, Phase-King, plus the
-//     zero-message reductions of Algorithms 1 and 2. See the New*
-//     constructors.
+//     zero-message reductions of Algorithms 1 and 2 — all first-class
+//     values in the protocol catalog. See Protocols and LookupProtocol.
 //   - Live deployment substrates: an in-memory goroutine mesh and a TCP
 //     loopback mesh running the same machines over real channels. See
 //     NewMemMesh and NewTCPMesh.
@@ -118,4 +118,45 @@
 //	baexp hunt -proto phase-king -strategy storm -n 9 -t 2
 //	baexp hunt -seeds 0:512 -parallel 8 -json   # deterministic JSON report
 //	baexp hunt -list                            # protocols and strategies
+//
+// # The protocol catalog
+//
+// The paper's theorems quantify over every Byzantine agreement protocol;
+// the catalog (internal/catalog) is the matching abstraction. A Protocol
+// is a first-class spec — ID, title, model (authenticated /
+// unauthenticated / crash), resilience condition as predicate and
+// human-readable string, round bound, builder, optional decision decoder,
+// and its validity property — and every protocol package self-registers
+// at init, so listings, sweeps and lookups all derive from one registry:
+//
+//	p, _ := expensive.LookupProtocol("phase-king")
+//	p.SupportedAt(5, 1)                     // true: n > 4t
+//	factory, rounds, err := p.Build(expensive.DefaultProtocolParams(5, 1))
+//
+// Build validates parameters centrally: t >= n, an (n, t) outside the
+// resilience condition, or a missing scheme/sender/default yields a typed
+// error (ErrUnsupported, ErrBadParams, *ProtocolParamsError) instead of a
+// protocol that silently misbehaves. Campaigns, replicated logs and live
+// clusters accept catalog handles directly (NewCampaignFor,
+// NewReplicatedLogFor, RunClusterFor), with the validity property and the
+// shrinker's rebuild hook supplied by the spec.
+//
+// Migration note: the legacy New* constructors (NewPhaseKing,
+// NewFloodSet, NewDolevStrongBroadcast, ...) are now thin shims over the
+// catalog. Their signatures and semantics are unchanged — they still
+// construct without resilience enforcement — but new code should prefer
+// LookupProtocol + Build for the checked path.
+//
+// On top of the registry sits the matrix engine (catalog/matrix,
+// expensive.Matrix): the full protocol × strategy × (n, t) cross-product
+// fanned over the runner worker pool, skipping unsupported cells by
+// resilience predicate and reporting a deterministic JSON grid that is
+// byte-identical at every parallelism level:
+//
+//	m := expensive.NewMatrix(expensive.SeedRange{From: 0, To: 64})
+//	grid, _ := m.Run()   // every protocol × every strategy × 4:1, 5:1, 8:2
+//
+//	baexp matrix                       # the same sweep from the CLI
+//	baexp matrix -json -parallel 8     # deterministic grid for tooling
+//	baexp matrix -list                 # registry + strategy library
 package expensive

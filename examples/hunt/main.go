@@ -31,21 +31,25 @@ func run() error {
 		n = 8
 		t = 2
 	)
-	factory, rounds := expensive.NewFloodSet(n, t)
-	newAt := func(n, t int) (expensive.Factory, int, error) {
-		f, r := expensive.NewFloodSet(n, t)
-		return f, r, nil
+	// The protocol is a catalog handle: its factory, round bound, weak
+	// validity property, and the rebuild hook that lets the shrinker
+	// reduce n all come from the registry.
+	proto, ok := expensive.LookupProtocol("floodset")
+	if !ok {
+		return errors.New("floodset is not in the catalog")
 	}
+	params := expensive.DefaultProtocolParams(n, t)
 
-	fmt.Printf("hunting FloodSet (crash-tolerant, t+1 rounds) at n=%d t=%d\n", n, t)
+	fmt.Printf("hunting %s (%s, %s) at n=%d t=%d\n", proto.ID, proto.Title, proto.Condition, n, t)
 	fmt.Println("strategy: targeted-withhold — seed-chosen attacker, victim, and reveal round")
 	fmt.Println()
 
-	campaign := expensive.NewCampaign("floodset", factory, rounds, n, t,
+	campaign, err := expensive.NewCampaignFor(proto, params,
 		expensive.StrategyTargetedWithhold(), expensive.SeedRange{From: 0, To: 64})
-	campaign.Validity = expensive.CheckWeakValidity
+	if err != nil {
+		return err
+	}
 	campaign.Shrink = true
-	campaign.New = newAt // lets the shrinker reduce n too
 	campaign.MaxViolations = 1
 
 	report, err := campaign.Run()
@@ -68,12 +72,8 @@ func run() error {
 
 	// Nothing on faith: replay the minimal plan from scratch and re-check
 	// the execution guarantees, the fault budget, machine conformance, and
-	// the violation itself.
-	opts := expensive.ShrinkOptions{
-		Factory: factory, Rounds: rounds, N: n, T: t,
-		New: newAt, Validity: expensive.CheckWeakValidity,
-	}
-	if err := expensive.RecheckViolation(v, opts); err != nil {
+	// the violation itself — with the campaign's own recheck options.
+	if err := expensive.RecheckViolation(v, campaign.RecheckOptions()); err != nil {
 		return fmt.Errorf("certificate failed independent validation: %w", err)
 	}
 	fmt.Println("  certificate independently re-validated ✓")

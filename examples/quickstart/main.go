@@ -24,7 +24,17 @@ func run() error {
 
 	// Phase-King: unauthenticated strong consensus (n > 4t) — and binary
 	// strong validity implies weak validity, so this is weak consensus too.
-	factory, rounds := expensive.NewWeakConsensusPhaseKing(n, t)
+	// Protocols are first-class catalog values: look one up by ID and
+	// build it with centrally validated parameters.
+	proto, ok := expensive.LookupProtocol("weak-phase-king")
+	if !ok {
+		return fmt.Errorf("weak-phase-king is not in the catalog")
+	}
+	fmt.Printf("protocol: %s — %s (%s, %s)\n\n", proto.ID, proto.Title, proto.Model, proto.Condition)
+	factory, rounds, err := proto.Build(expensive.DefaultProtocolParams(n, t))
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
 
 	proposals := []expensive.Value{
 		expensive.One, expensive.Zero, expensive.One, expensive.One, expensive.Zero,

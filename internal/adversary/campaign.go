@@ -11,6 +11,7 @@ import (
 	"expensive/internal/omission"
 	"expensive/internal/proc"
 	"expensive/internal/sim"
+	"expensive/internal/validity"
 )
 
 // SeedRange is the half-open seed interval [From, To) a campaign sweeps.
@@ -31,51 +32,37 @@ func (r SeedRange) Count() int {
 // proposal vector, the correct set, and the correct processes' common
 // decision. A non-nil error is a validity violation. Termination and
 // Agreement are checked by the campaign itself before validity runs.
-type ValidityFunc func(proposals []msg.Value, correct proc.Set, decision msg.Value) error
+//
+// The concrete checks live in package validity (next to the problem
+// formalism they verdict) so that protocol packages can attach their
+// validity property to catalog specs without importing this layer; the
+// names below are kept as the campaign-facing vocabulary.
+type ValidityFunc = validity.Check
+
+// AgreementFunc optionally replaces the strict equal-decision Agreement
+// check with a pairwise compatibility relation (validity.Compat) for
+// protocols whose correct outputs legitimately differ, like graded
+// broadcast. When set, the validity property is checked against every
+// correct decision instead of the (then ill-defined) common one.
+type AgreementFunc = validity.Compat
 
 // StrongValidity is the strong consensus property: whenever the correct
 // processes' proposals are unanimous — faulty or not — that value must be
-// the decision. Use it only against protocols that claim strong validity
-// (Phase-King); minimum-style protocols like FloodSet legitimately adopt
-// a faulty process's value.
+// the decision (validity.StrongCheck).
 func StrongValidity(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
-	members := correct.Members()
-	if len(members) == 0 {
-		return nil
-	}
-	u := proposals[members[0]]
-	for _, id := range members[1:] {
-		if proposals[id] != u {
-			return nil
-		}
-	}
-	if decision != u {
-		return fmt.Errorf("correct processes unanimously proposed %q but decided %q", u, decision)
-	}
-	return nil
+	return validity.StrongCheck(proposals, correct, decision)
 }
 
-// WeakValidity is the paper's Weak Validity: in a *fully correct*
-// execution with unanimous proposals, the decision must be that value.
-// With any fault present it imposes nothing.
+// WeakValidity is the paper's Weak Validity: vacuous under any fault
+// (validity.WeakCheck).
 func WeakValidity(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
-	if correct.Len() != len(proposals) {
-		return nil // a process is faulty; Weak Validity is vacuous
-	}
-	return StrongValidity(proposals, correct, decision)
+	return validity.WeakCheck(proposals, correct, decision)
 }
 
 // SenderValidity returns the broadcast validity check: when the designated
-// sender stays correct, the decision must be its proposal.
-func SenderValidity(sender proc.ID) ValidityFunc {
-	return func(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
-		if correct.Contains(sender) && decision != proposals[sender] {
-			return fmt.Errorf("correct sender %s proposed %q but the correct processes decided %q",
-				sender, proposals[sender], decision)
-		}
-		return nil
-	}
-}
+// sender stays correct, the decision must be its proposal
+// (validity.SenderCheck).
+func SenderValidity(sender proc.ID) ValidityFunc { return validity.SenderCheck(sender) }
 
 // Violation is a protocol failure found by a campaign probe, carrying
 // everything needed to replay, shrink, and independently re-check it.
@@ -113,11 +100,62 @@ func (v *Violation) String() string {
 // violationIn checks Termination, Agreement, and the validity property on
 // a recorded execution and returns the first violation found (scanning
 // correct processes in ID order, so the verdict is deterministic).
-func violationIn(e *sim.Execution, proposals []msg.Value, validity ValidityFunc) *Violation {
+//
+// With a nil compat relation, Agreement is strict decision equality and
+// validity is checked once against the common decision. With a compat
+// relation, Agreement is the relation over all correct pairs and validity
+// is checked against every correct decision.
+func violationIn(e *sim.Execution, proposals []msg.Value, validity ValidityFunc, compat AgreementFunc) *Violation {
 	correct := e.Correct()
-	var common msg.Value
-	var first proc.ID = -1
-	for _, id := range correct.Members() {
+	members := correct.Members()
+	if compat == nil {
+		// Strict path: Termination and Agreement interleave in member
+		// order, so the first anomaly in ID order is the verdict (an
+		// agreement split at a low ID is reported even when a higher ID is
+		// also undecided — the historical, determinism-pinned precedence).
+		var common msg.Value
+		var first proc.ID = -1
+		for _, id := range members {
+			d, ok := e.Decision(id)
+			if !ok {
+				return &Violation{
+					Kind:     "termination",
+					Witness2: id,
+					Detail:   fmt.Sprintf("correct %s undecided after %d rounds", id, e.Rounds),
+				}
+			}
+			if first < 0 {
+				common, first = d, id
+			} else if d != common {
+				return &Violation{
+					Kind:     "agreement",
+					Witness1: first,
+					D1:       common,
+					Witness2: id,
+					D2:       d,
+					Detail:   fmt.Sprintf("correct %s decided %q, correct %s decided %q", first, common, id, d),
+				}
+			}
+		}
+		if first < 0 {
+			return nil // no correct processes to violate anything
+		}
+		if validity != nil {
+			if err := validity(proposals, correct, common); err != nil {
+				return &Violation{
+					Kind:     "validity",
+					Witness2: first,
+					D2:       common,
+					Detail:   err.Error(),
+				}
+			}
+		}
+		return nil
+	}
+	// Relational path: the pairwise relation needs every decision, so
+	// Termination is established first.
+	decisions := make([]msg.Value, len(members))
+	for i, id := range members {
 		d, ok := e.Decision(id)
 		if !ok {
 			return &Violation{
@@ -126,29 +164,32 @@ func violationIn(e *sim.Execution, proposals []msg.Value, validity ValidityFunc)
 				Detail:   fmt.Sprintf("correct %s undecided after %d rounds", id, e.Rounds),
 			}
 		}
-		if first < 0 {
-			common, first = d, id
-		} else if d != common {
-			return &Violation{
-				Kind:     "agreement",
-				Witness1: first,
-				D1:       common,
-				Witness2: id,
-				D2:       d,
-				Detail:   fmt.Sprintf("correct %s decided %q, correct %s decided %q", first, common, id, d),
+		decisions[i] = d
+	}
+	for i := range members {
+		for j := i + 1; j < len(members); j++ {
+			if err := compat(decisions[i], decisions[j]); err != nil {
+				return &Violation{
+					Kind:     "agreement",
+					Witness1: members[i],
+					D1:       decisions[i],
+					Witness2: members[j],
+					D2:       decisions[j],
+					Detail: fmt.Sprintf("correct %s decided %q, correct %s decided %q: %v",
+						members[i], decisions[i], members[j], decisions[j], err),
+				}
 			}
 		}
 	}
-	if first < 0 {
-		return nil // no correct processes to violate anything
-	}
 	if validity != nil {
-		if err := validity(proposals, correct, common); err != nil {
-			return &Violation{
-				Kind:     "validity",
-				Witness2: first,
-				D2:       common,
-				Detail:   err.Error(),
+		for i, id := range members {
+			if err := validity(proposals, correct, decisions[i]); err != nil {
+				return &Violation{
+					Kind:     "validity",
+					Witness2: id,
+					D2:       decisions[i],
+					Detail:   err.Error(),
+				}
 			}
 		}
 	}
@@ -230,6 +271,9 @@ type Campaign struct {
 	// Validity is the optional validity property checked after Termination
 	// and Agreement.
 	Validity ValidityFunc
+	// Agreement optionally replaces strict equal-decision Agreement with a
+	// pairwise compatibility relation (graded broadcast).
+	Agreement AgreementFunc
 	// Shrink minimizes every recorded violation after the sweep.
 	Shrink bool
 	// New optionally rebuilds the protocol at a different system size,
@@ -420,16 +464,25 @@ func (c *Campaign) Run() (*CampaignReport, error) {
 	return report, nil
 }
 
+// RecheckOptions returns the configuration for independently re-checking
+// (or further shrinking) violations this campaign found — the same
+// factory, validity property, rebuild hook and resolved horizon the
+// campaign itself used, without rebuilding anything.
+func (c *Campaign) RecheckOptions() ShrinkOptions {
+	return c.shrinkOptions(c.env())
+}
+
 // shrinkOptions derives the shrinker configuration from the campaign.
 func (c *Campaign) shrinkOptions(env Env) ShrinkOptions {
 	return ShrinkOptions{
-		Factory:  c.Factory,
-		Rounds:   c.Rounds,
-		N:        c.N,
-		T:        c.T,
-		Horizon:  env.Horizon,
-		New:      c.New,
-		Validity: c.Validity,
+		Factory:   c.Factory,
+		Rounds:    c.Rounds,
+		N:         c.N,
+		T:         c.T,
+		Horizon:   env.Horizon,
+		New:       c.New,
+		Validity:  c.Validity,
+		Agreement: c.Agreement,
 	}
 }
 
@@ -455,7 +508,7 @@ func (c *Campaign) probe(seed int64, env Env) (probeResult, error) {
 	}
 
 	res := probeResult{messages: e.CorrectMessages(), rounds: e.Rounds}
-	if v := violationIn(e, proposals, c.Validity); v != nil {
+	if v := violationIn(e, proposals, c.Validity, c.Agreement); v != nil {
 		v.Seed = seed
 		v.Proposals = proposals
 		// Materialize the exercised plan for replay and shrinking. Foreign

@@ -6,12 +6,9 @@ import (
 	"fmt"
 	"testing"
 
-	"expensive/internal/crypto/sig"
 	"expensive/internal/protocols/floodset"
 	"expensive/internal/protocols/phaseking"
 	"expensive/internal/sim"
-	"expensive/internal/solve"
-	"expensive/internal/validity"
 )
 
 // floodsetCampaign is the canonical hunt: the targeted withholding attack
@@ -94,7 +91,7 @@ func TestCampaignFindsAndShrinksFloodSetSplit(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return violationIn(e, sh.Proposals, c.Validity) != nil
+		return violationIn(e, sh.Proposals, c.Validity, c.Agreement) != nil
 	}
 	if !stillViolates(sh.Plan) {
 		t.Fatal("shrunk plan does not violate on replay")
@@ -174,29 +171,9 @@ func TestCampaignSoundProtocols(t *testing.T) {
 	}
 }
 
-// TestForProblem hunts a derived protocol and checks the problem's own
-// validity property on every probe.
-func TestForProblem(t *testing.T) {
-	p := validity.Weak(4, 1)
-	d, err := solve.Authenticated(p, sig.NewIdeal("adversary-problem"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	c, err := ForProblem(p, d, Chaos(), SeedRange{From: 0, To: 15})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep, err := c.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep.Broken() {
-		t.Fatalf("derived weak consensus broken under chaos: %v", rep.Violations[0])
-	}
-	if rep.Protocol != "weak-consensus/authenticated-ic" {
-		t.Fatalf("unexpected protocol label %q", rep.Protocol)
-	}
-}
+// The problem-derived hunt lifecycle (formerly TestForProblem here) lives
+// in internal/solve/campaign_test.go: HuntCampaign moved to package solve
+// so the adversary layer stays below the protocol catalog.
 
 // TestCampaignMaxViolations caps the recorded violations while counting
 // all of them.

@@ -1,0 +1,51 @@
+package adversary
+
+// The named attack library. This used to be a hand-written table inside
+// cmd/baexp; it lives here so every registry-driven surface — `baexp
+// hunt`, `baexp matrix`, the catalog matrix engine — derives its strategy
+// offerings from one place.
+
+// Named couples a short, stable library ID with a strategy. The
+// Strategy.Name carries the full parameterization (e.g. the omission
+// bias); the ID is what CLIs and matrix grids key on.
+type Named struct {
+	ID       string
+	Strategy Strategy
+}
+
+// Library returns the named attack library in ID order; biasPct
+// parameterizes the random-omission family (and the storm union).
+func Library(biasPct int) []Named {
+	return []Named{
+		{"chaos", Chaos()},
+		{"equivocate", Equivocate()},
+		{"random-omission", RandomOmission(biasPct)},
+		{"random-receive-omission", RandomReceiveOmission(biasPct)},
+		{"random-send-omission", RandomSendOmission(biasPct)},
+		{"sender-isolation", SenderIsolation()},
+		{"silent-crash", SilentCrash()},
+		{"storm", Union(RandomOmission(biasPct), Chaos())},
+		{"targeted-withhold", TargetedWithhold()},
+		{"two-faced", TwoFaced()},
+	}
+}
+
+// LibraryIDs lists the library's strategy IDs in order.
+func LibraryIDs() []string {
+	lib := Library(0)
+	out := make([]string, len(lib))
+	for i, e := range lib {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// FromLibrary resolves one library strategy by ID.
+func FromLibrary(id string, biasPct int) (Strategy, bool) {
+	for _, e := range Library(biasPct) {
+		if e.ID == id {
+			return e.Strategy, true
+		}
+	}
+	return Strategy{}, false
+}

@@ -1,63 +1,24 @@
 package adversary
 
 import (
-	"fmt"
-
 	"expensive/internal/msg"
-	"expensive/internal/proc"
-	"expensive/internal/solve"
 	"expensive/internal/validity"
 )
 
-// ForProblem builds a campaign that hunts a problem's derived protocol:
-// the adversary attacks the Algorithm 2 synthesis while every probe
-// checks Termination, Agreement, and the problem's own validity property
-// (the decision must be admissible under the correct processes' input
-// configuration). Proposals are drawn seed-deterministically from the
-// problem's input domain.
-func ForProblem(p validity.Problem, d *solve.Derived, strategy Strategy, seeds SeedRange) (*Campaign, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+// DomainProposals returns the seed-deterministic proposal generator that
+// draws every process's input uniformly from the given domain — the
+// generator problem-derived hunts use (see solve.HuntCampaign).
+func DomainProposals(inputs []msg.Value) func(seed int64, env Env) []msg.Value {
+	return func(seed int64, env Env) []msg.Value {
+		r := rng(seed, "problem-proposals")
+		out := make([]msg.Value, env.N)
+		for i := range out {
+			out[i] = inputs[r.Intn(len(inputs))]
+		}
+		return out
 	}
-	if d == nil || d.Factory == nil {
-		return nil, fmt.Errorf("adversary: problem %s has no derived protocol", p.Name)
-	}
-	return &Campaign{
-		Protocol: p.Name + "/" + d.Mode,
-		Factory:  d.Factory,
-		Rounds:   d.Rounds,
-		N:        p.N,
-		T:        p.T,
-		Strategy: strategy,
-		Seeds:    seeds,
-		Proposals: func(seed int64, env Env) []msg.Value {
-			r := rng(seed, "problem-proposals")
-			out := make([]msg.Value, env.N)
-			for i := range out {
-				out[i] = p.Inputs[r.Intn(len(p.Inputs))]
-			}
-			return out
-		},
-		Validity: ProblemValidity(p),
-	}, nil
 }
 
-// ProblemValidity checks a decision against a problem's validity property:
-// it rebuilds the input configuration of the correct processes and
-// requires the decision to be admissible under it.
-func ProblemValidity(p validity.Problem) ValidityFunc {
-	return func(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
-		assign := make(map[proc.ID]msg.Value, correct.Len())
-		for _, id := range correct.Members() {
-			assign[id] = proposals[id]
-		}
-		c, err := validity.NewConfig(p.N, assign)
-		if err != nil {
-			return fmt.Errorf("rebuild input configuration: %w", err)
-		}
-		if !p.Admissible(c, decision) {
-			return fmt.Errorf("decided %q, which is not admissible under %v", decision, c)
-		}
-		return nil
-	}
-}
+// ProblemValidity checks a decision against a problem's validity property
+// (validity.AdmissibleCheck).
+func ProblemValidity(p validity.Problem) ValidityFunc { return validity.AdmissibleCheck(p) }

@@ -24,6 +24,9 @@ type ShrinkOptions struct {
 	New func(n, t int) (sim.Factory, int, error)
 	// Validity is the property the original campaign checked.
 	Validity ValidityFunc
+	// Agreement is the campaign's pairwise compatibility relation, when it
+	// replaced strict equal-decision Agreement.
+	Agreement AgreementFunc
 }
 
 // ShrinkResult is a minimized counterexample: an explicit fault plan from
@@ -99,7 +102,7 @@ func (s *shrinker) replay(plan ExplicitPlan, n int, factory sim.Factory, horizon
 	if sim.Conforms(e, factory, byzSkip(fp, e.Faulty)) != nil {
 		return nil
 	}
-	v := violationIn(e, proposals, s.opts.Validity)
+	v := violationIn(e, proposals, s.opts.Validity, s.opts.Agreement)
 	if v != nil {
 		v.Proposals = proposals
 	}
@@ -304,7 +307,7 @@ func Recheck(v *Violation, opts ShrinkOptions) error {
 	if err := sim.Conforms(e, factory, byzSkip(fp, e.Faulty)); err != nil {
 		return fmt.Errorf("recheck: trace does not conform to the protocol: %w", err)
 	}
-	got := violationIn(e, proposals, opts.Validity)
+	got := violationIn(e, proposals, opts.Validity, opts.Agreement)
 	if got == nil {
 		return fmt.Errorf("recheck: replayed execution exhibits no violation")
 	}

@@ -1,0 +1,18 @@
+// Package all links every built-in protocol registration into the
+// importer: protocol packages self-register with the catalog at init, so
+// a consumer that wants the full library (the CLI, the facade, the
+// registry tests) blank-imports this package instead of naming each
+// protocol package.
+package all
+
+import (
+	_ "expensive/internal/protocols/dolevstrong"
+	_ "expensive/internal/protocols/eig"
+	_ "expensive/internal/protocols/external"
+	_ "expensive/internal/protocols/floodset"
+	_ "expensive/internal/protocols/gradecast"
+	_ "expensive/internal/protocols/ic"
+	_ "expensive/internal/protocols/phaseking"
+	_ "expensive/internal/protocols/weak"
+	_ "expensive/internal/solve"
+)

@@ -1,0 +1,247 @@
+// Package matrix is the registry-driven sweep engine on top of the
+// protocol catalog: it fans the full protocol × strategy × (n, t)
+// cross-product out over the experiment runner's worker pool, skipping
+// cells outside a protocol's resilience condition, and emits a
+// deterministic JSON grid report — byte-identical at every parallelism
+// level, exactly like campaign reports and experiment tables. It also
+// carries the campaign/SMR/cluster glue that wires catalog specs into
+// the rest of the library.
+package matrix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"expensive/internal/adversary"
+	"expensive/internal/catalog"
+	"expensive/internal/experiments/runner"
+)
+
+// DefaultBias is the omission percentage the default strategy library
+// uses for its random-omission family.
+const DefaultBias = 40
+
+// Size is one (n, t) grid point.
+type Size struct {
+	N int `json:"n"`
+	T int `json:"t"`
+}
+
+// DefaultSizes returns the canonical grid points: a size below every
+// threshold family (4, 1), the smallest size admitting n > 4t protocols
+// (5, 1), and a two-fault system (8, 2) that excludes the n > 4t and
+// exact-Γ families — so a default grid always demonstrates resilience
+// skipping.
+func DefaultSizes() []Size { return []Size{{4, 1}, {5, 1}, {8, 2}} }
+
+// Matrix sweeps protocols × strategies × sizes. The zero value plus a
+// seed range is runnable: every unset field falls back to the full
+// registry, the full strategy library, and the default sizes.
+type Matrix struct {
+	// Protocols defaults to every registered spec in ID order.
+	Protocols []catalog.Spec
+	// Strategies defaults to adversary.Library(DefaultBias).
+	Strategies []adversary.Named
+	// Sizes defaults to DefaultSizes(); every entry needs n >= 2 and
+	// 1 <= t < n.
+	Sizes []Size
+	// Seeds is the per-cell seed range (required, non-empty).
+	Seeds adversary.SeedRange
+	// Params builds the cell construction parameters at (n, t); default
+	// catalog.DefaultParams, which is what keeps grids reproducible.
+	Params func(n, t int) catalog.Params
+	// MaxViolations caps the violations recorded per cell (0 = 1; every
+	// violating seed is still counted).
+	MaxViolations int
+	// Shrink minimizes recorded violations. Off by default: a matrix is a
+	// breadth instrument; re-hunt one cell with `baexp hunt -shrink` for
+	// depth.
+	Shrink bool
+	// Parallelism is the cell worker count; <= 0 means NumCPU, 1 serial.
+	// Cells are the parallel unit — each cell's campaign runs serially —
+	// so the grid is byte-identical at every level.
+	Parallelism int
+	// Ctx cancels the sweep; nil means context.Background().
+	Ctx context.Context
+}
+
+// Cell is one grid entry: a protocol under a strategy at a size. Skipped
+// cells carry the resilience condition that excluded them; run cells
+// carry the campaign's deterministic statistics.
+type Cell struct {
+	Protocol string `json:"protocol"`
+	Strategy string `json:"strategy"`
+	N        int    `json:"n"`
+	T        int    `json:"t"`
+	// Skipped marks an (n, t) outside the protocol's resilience condition
+	// (or a builder refusal); Reason says why.
+	Skipped bool   `json:"skipped,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	// Probes counts executed seeds; ViolationCount the violating ones.
+	Probes         int `json:"probes,omitempty"`
+	ViolationCount int `json:"violation_count,omitempty"`
+	// Violations records up to MaxViolations violations in seed order.
+	Violations []*adversary.Violation `json:"violations,omitempty"`
+	// Messages and Rounds are the campaign's exact-value histograms.
+	Messages adversary.Histogram `json:"messages"`
+	Rounds   adversary.Histogram `json:"rounds"`
+}
+
+// Broken reports whether the cell found at least one violation.
+func (c *Cell) Broken() bool { return c.ViolationCount > 0 }
+
+// Grid is the deterministic matrix report: everything in the JSON
+// encoding depends only on the matrix inputs, never on scheduling.
+// Wall-clock statistics ride alongside, excluded from the encoding.
+type Grid struct {
+	Protocols  []string            `json:"protocols"`
+	Strategies []string            `json:"strategies"`
+	Sizes      []Size              `json:"sizes"`
+	Seeds      adversary.SeedRange `json:"seeds"`
+	// Cells holds one entry per (protocol, strategy, size), protocol-major
+	// in the order of the Protocols/Strategies/Sizes headers.
+	Cells []Cell `json:"cells"`
+	// Probes totals the executed probes; SkippedCells and ViolatingCells
+	// summarize the grid.
+	Probes         int `json:"probes"`
+	SkippedCells   int `json:"skipped_cells"`
+	ViolatingCells int `json:"violating_cells"`
+
+	// Timing statistics (excluded from the JSON encoding).
+	Wall         time.Duration `json:"-"`
+	WallMS       float64       `json:"-"`
+	ProbesPerSec float64       `json:"-"`
+	Workers      int           `json:"-"`
+}
+
+// Broken reports whether any cell found a violation.
+func (g *Grid) Broken() bool { return g.ViolatingCells > 0 }
+
+// withDefaults resolves the unset fields against the registry.
+func (m *Matrix) withDefaults() (Matrix, error) {
+	r := *m
+	if r.Protocols == nil {
+		r.Protocols = catalog.Protocols()
+	}
+	if r.Strategies == nil {
+		r.Strategies = adversary.Library(DefaultBias)
+	}
+	if r.Sizes == nil {
+		r.Sizes = DefaultSizes()
+	}
+	if r.Params == nil {
+		r.Params = catalog.DefaultParams
+	}
+	if r.MaxViolations <= 0 {
+		r.MaxViolations = 1
+	}
+	switch {
+	case len(r.Protocols) == 0:
+		return r, fmt.Errorf("matrix: no protocols registered")
+	case len(r.Strategies) == 0:
+		return r, fmt.Errorf("matrix: no strategies")
+	case r.Seeds.Count() == 0:
+		return r, fmt.Errorf("matrix: empty seed range [%d, %d)", r.Seeds.From, r.Seeds.To)
+	}
+	for _, s := range r.Sizes {
+		if s.N < 2 || s.T < 1 || s.T >= s.N {
+			return r, fmt.Errorf("matrix: size needs n >= 2 and 1 <= t < n, got n=%d t=%d", s.N, s.T)
+		}
+	}
+	return r, nil
+}
+
+// Run executes the sweep on the worker pool and returns the grid. Errors
+// indicate harness failures (an engine-invalid trace, a non-conformant
+// machine), never protocol-property violations — those land in the cells.
+func (m *Matrix) Run() (*Grid, error) {
+	r, err := m.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	nCells := len(r.Protocols) * len(r.Strategies) * len(r.Sizes)
+	workers := runner.Workers(r.Parallelism)
+	start := time.Now()
+
+	cells, err := runner.Map(r.Ctx, workers, nCells, func(i int) (Cell, error) {
+		zi := i % len(r.Sizes)
+		si := i / len(r.Sizes) % len(r.Strategies)
+		pi := i / len(r.Sizes) / len(r.Strategies)
+		return r.cell(r.Protocols[pi], r.Strategies[si], r.Sizes[zi])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	g := &Grid{
+		Protocols:  make([]string, len(r.Protocols)),
+		Strategies: make([]string, len(r.Strategies)),
+		Sizes:      r.Sizes,
+		Seeds:      r.Seeds,
+		Cells:      cells,
+		Workers:    workers,
+	}
+	for i, s := range r.Protocols {
+		g.Protocols[i] = s.ID
+	}
+	for i, s := range r.Strategies {
+		g.Strategies[i] = s.ID
+	}
+	for i := range cells {
+		c := &cells[i]
+		switch {
+		case c.Skipped:
+			g.SkippedCells++
+		case c.Broken():
+			g.ViolatingCells++
+		}
+		g.Probes += c.Probes
+	}
+	g.Wall = time.Since(start)
+	g.WallMS = float64(g.Wall.Microseconds()) / 1e3
+	if secs := g.Wall.Seconds(); secs > 0 {
+		g.ProbesPerSec = float64(g.Probes) / secs
+	}
+	return g, nil
+}
+
+// cell runs one (protocol, strategy, size) campaign — or skips it when
+// the resilience predicate (or the builder itself) refuses the size.
+func (m *Matrix) cell(spec catalog.Spec, strat adversary.Named, size Size) (Cell, error) {
+	cell := Cell{Protocol: spec.ID, Strategy: strat.ID, N: size.N, T: size.T}
+	if !spec.SupportedAt(size.N, size.T) {
+		cell.Skipped = true
+		cell.Reason = fmt.Sprintf("requires %s", spec.Condition)
+		return cell, nil
+	}
+	c, err := CampaignFor(spec, m.Params(size.N, size.T), strat.Strategy, m.Seeds)
+	if err != nil {
+		// Only a resilience refusal is a legitimate skip. Anything else —
+		// a misconfigured Params hook (ErrBadParams), a derivation
+		// declining a size its Supports predicate claimed — is a harness
+		// failure: silently skipping it would report a clean grid over
+		// cells that never ran.
+		if errors.Is(err, catalog.ErrUnsupported) {
+			cell.Skipped = true
+			cell.Reason = err.Error()
+			return cell, nil
+		}
+		return cell, fmt.Errorf("matrix cell %s × %s n=%d t=%d: %w", spec.ID, strat.ID, size.N, size.T, err)
+	}
+	c.Shrink = m.Shrink
+	c.MaxViolations = m.MaxViolations
+	c.Parallelism = 1 // cells are the parallel unit; see Matrix.Parallelism
+	c.Ctx = m.Ctx
+	rep, err := c.Run()
+	if err != nil {
+		return cell, fmt.Errorf("matrix cell %s × %s n=%d t=%d: %w", spec.ID, strat.ID, size.N, size.T, err)
+	}
+	cell.Probes = rep.Probes
+	cell.ViolationCount = rep.ViolationCount
+	cell.Violations = rep.Violations
+	cell.Messages = rep.Messages
+	cell.Rounds = rep.RoundsHist
+	return cell, nil
+}

@@ -1,0 +1,76 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var registry = struct {
+	mu   sync.RWMutex
+	byID map[string]Spec
+}{byID: make(map[string]Spec)}
+
+// Register adds a spec to the catalog. Protocol packages call it from
+// init; it panics on a structurally invalid spec or a duplicate ID — all
+// programmer errors at link time, exactly like the experiment registry.
+func Register(s Spec) {
+	switch {
+	case s.ID == "" || s.Title == "":
+		panic("catalog: Register needs an ID and a Title")
+	case s.Rounds == nil || s.New == nil:
+		panic(fmt.Sprintf("catalog: %s registered without Rounds or New", s.ID))
+	case s.Condition == "":
+		panic(fmt.Sprintf("catalog: %s registered without a resilience condition", s.ID))
+	case s.Model != Authenticated && s.Model != Unauthenticated && s.Model != CrashOnly:
+		panic(fmt.Sprintf("catalog: %s registered with unknown model %q", s.ID, s.Model))
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.byID[s.ID]; dup {
+		panic(fmt.Sprintf("catalog: protocol %s registered twice", s.ID))
+	}
+	registry.byID[s.ID] = s
+}
+
+// Protocols returns every registered spec sorted by ID — a deterministic
+// order independent of package-init sequencing, so listings and matrix
+// grids are reproducible.
+func Protocols() []Spec {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]Spec, 0, len(registry.byID))
+	for _, s := range registry.byID {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs lists the registered protocol IDs in sorted order.
+func IDs() []string {
+	specs := Protocols()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// Lookup returns the spec registered under id.
+func Lookup(id string) (Spec, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	s, ok := registry.byID[id]
+	return s, ok
+}
+
+// Get returns the spec registered under id or the canonical
+// unknown-protocol error naming the available IDs.
+func Get(id string) (Spec, error) {
+	s, ok := Lookup(id)
+	if !ok {
+		return Spec{}, fmt.Errorf("unknown protocol %q (have %v)", id, IDs())
+	}
+	return s, nil
+}

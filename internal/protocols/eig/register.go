@@ -1,0 +1,27 @@
+package eig
+
+import (
+	"expensive/internal/catalog"
+	"expensive/internal/protocols/ic"
+	"expensive/internal/sim"
+	"expensive/internal/validity"
+)
+
+// The catalog entry: unauthenticated interactive consistency by
+// exponential information gathering — the n > 3t solvability frontier.
+func init() {
+	catalog.Register(catalog.Spec{
+		ID:           "eig",
+		Title:        "unauthenticated interactive consistency (EIG)",
+		Model:        catalog.Unauthenticated,
+		Condition:    "n > 3t",
+		NeedsDefault: true,
+		Supports:     func(n, t int) bool { return n > 3*t },
+		Rounds:       func(n, t int) int { return RoundBound(t) },
+		New: func(p catalog.Params) (sim.Factory, error) {
+			return New(Config{N: p.N, T: p.T, Default: p.Default}), nil
+		},
+		Decode:   ic.DecodeDecision,
+		Validity: func(catalog.Params) validity.Check { return validity.VectorCheck },
+	})
+}

@@ -1,0 +1,42 @@
+package external
+
+import (
+	"fmt"
+
+	"expensive/internal/catalog"
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/sim"
+	"expensive/internal/validity"
+)
+
+// The catalog entry: agreement with External Validity (§4.3). The
+// authority is derived from the params' scheme; the fallback is the
+// params' default value. The validity property is the blockchain one: the
+// decision must be a correctly client-signed transaction, or the
+// well-known fallback when no proposal validates.
+func init() {
+	catalog.Register(catalog.Spec{
+		ID:           "external",
+		Title:        "agreement with External Validity (client-signed transactions)",
+		Model:        catalog.Authenticated,
+		Condition:    "t < n",
+		NeedsScheme:  true,
+		NeedsDefault: true,
+		Rounds:       func(n, t int) int { return RoundBound(t) },
+		New: func(p catalog.Params) (sim.Factory, error) {
+			cfg := Config{N: p.N, T: p.T, Scheme: p.Scheme, Authority: NewAuthority(p.Scheme), Fallback: p.Default}
+			return New(cfg), nil
+		},
+		Validity: func(p catalog.Params) validity.Check {
+			authority := NewAuthority(p.Scheme)
+			fallback := p.Default
+			return func(_ []msg.Value, _ proc.Set, decision msg.Value) error {
+				if decision == fallback || authority.Valid(decision) {
+					return nil
+				}
+				return fmt.Errorf("decision %q is neither a valid transaction nor the fallback %q", decision, fallback)
+			}
+		},
+	})
+}

@@ -1,0 +1,78 @@
+package gradecast
+
+import (
+	"fmt"
+
+	"expensive/internal/catalog"
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+	"expensive/internal/sim"
+	"expensive/internal/validity"
+)
+
+// Compat is the graded-broadcast agreement relation: two correct outputs
+// are compatible when their grades differ by at most one (G2: a grade-2
+// output forces everyone to grade >= 1) and, whenever both grades are
+// >= 1, their values match (G3). Identical outputs are NOT promised —
+// neighboring grades are legitimate under a Byzantine sender — which is
+// why the catalog entry replaces strict Agreement with this relation.
+func Compat(a, b msg.Value) error {
+	ga, va, err := Parse(a)
+	if err != nil {
+		return fmt.Errorf("output %q is not graded: %w", a, err)
+	}
+	gb, vb, err := Parse(b)
+	if err != nil {
+		return fmt.Errorf("output %q is not graded: %w", b, err)
+	}
+	if ga-gb > 1 || gb-ga > 1 {
+		return fmt.Errorf("grades %d and %d differ by more than one (G2)", ga, gb)
+	}
+	if ga >= 1 && gb >= 1 && va != vb {
+		return fmt.Errorf("grade >= 1 outputs carry different values %q and %q (G3)", va, vb)
+	}
+	return nil
+}
+
+// The catalog entry: Feldman–Micali graded broadcast. The validity
+// property is G1 — a correct sender's value must be output by every
+// correct process with grade 2; Agreement is the Compat relation above.
+func init() {
+	catalog.Register(catalog.Spec{
+		ID:          "gradecast",
+		Title:       "Feldman–Micali graded broadcast, designated sender, 3 rounds",
+		Model:       catalog.Unauthenticated,
+		Condition:   "n > 3t",
+		NeedsSender: true,
+		Supports:    func(n, t int) bool { return n > 3*t },
+		Rounds:      func(n, t int) int { return RoundBound() },
+		New: func(p catalog.Params) (sim.Factory, error) {
+			return New(Config{N: p.N, T: p.T, Sender: p.Sender}), nil
+		},
+		Agreement: Compat,
+		Decode: func(v msg.Value) (string, error) {
+			grade, val, err := Parse(v)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("grade=%d value=%s", grade, val), nil
+		},
+		Validity: func(p catalog.Params) validity.Check {
+			sender := p.Sender
+			return func(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
+				if !correct.Contains(sender) {
+					return nil // G1 binds only while the sender is correct
+				}
+				grade, v, err := Parse(decision)
+				if err != nil {
+					return fmt.Errorf("decision %q is not a graded output: %w", decision, err)
+				}
+				if grade != 2 || v != proposals[sender] {
+					return fmt.Errorf("correct sender %s proposed %q but correct processes output grade %d value %q",
+						sender, proposals[sender], grade, v)
+				}
+				return nil
+			}
+		},
+	})
+}

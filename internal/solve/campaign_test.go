@@ -1,0 +1,45 @@
+package solve
+
+import (
+	"testing"
+
+	"expensive/internal/adversary"
+	"expensive/internal/crypto/sig"
+	"expensive/internal/validity"
+)
+
+// TestHuntCampaign hunts a derived protocol and checks the problem's own
+// validity property on every probe (moved here from package adversary
+// when ForProblem became solve.HuntCampaign).
+func TestHuntCampaign(t *testing.T) {
+	p := validity.Weak(4, 1)
+	d, err := Authenticated(p, sig.NewIdeal("adversary-problem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := HuntCampaign(p, d, adversary.Chaos(), adversary.SeedRange{From: 0, To: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Broken() {
+		t.Fatalf("derived weak consensus broken under chaos: %v", rep.Violations[0])
+	}
+	if rep.Protocol != "weak-consensus/authenticated-ic" {
+		t.Fatalf("unexpected protocol label %q", rep.Protocol)
+	}
+}
+
+// TestHuntCampaignRejectsBroken rejects problems without derivations.
+func TestHuntCampaignRejectsBroken(t *testing.T) {
+	p := validity.Weak(4, 1)
+	if _, err := HuntCampaign(p, nil, adversary.Chaos(), adversary.SeedRange{From: 0, To: 1}); err == nil {
+		t.Fatal("expected error for nil derivation")
+	}
+	if _, err := HuntCampaign(p, &Derived{}, adversary.Chaos(), adversary.SeedRange{From: 0, To: 1}); err == nil {
+		t.Fatal("expected error for derivation without factory")
+	}
+}

@@ -1,0 +1,60 @@
+package solve
+
+import (
+	"expensive/internal/catalog"
+	"expensive/internal/protocols/ic"
+	"expensive/internal/sim"
+	"expensive/internal/validity"
+)
+
+// SpecForProblem is the adapter from the validity-property formalism to
+// the protocol catalog: it wraps a problem family (n, t) -> Problem as a
+// catalog spec whose builder runs the Algorithm 2 derivation at build
+// time and whose campaign validity property is the problem's own
+// admissibility predicate. The exact finite-domain checkers enumerate
+// input configurations, so adapted specs must cap n via supports — the
+// registered derived protocols use n <= 6.
+func SpecForProblem(id, title, condition string, supports func(n, t int) bool, rounds func(n, t int) int, problem func(n, t int) validity.Problem) catalog.Spec {
+	return catalog.Spec{
+		ID:          id,
+		Title:       title,
+		Model:       catalog.Authenticated,
+		Condition:   condition,
+		NeedsScheme: true,
+		Supports:    supports,
+		Rounds:      rounds,
+		New: func(p catalog.Params) (sim.Factory, error) {
+			d, err := Authenticated(problem(p.N, p.T), p.Scheme)
+			if err != nil {
+				return nil, err
+			}
+			return d.Factory, nil
+		},
+		Validity: func(p catalog.Params) validity.Check {
+			return validity.AdmissibleCheck(problem(p.N, p.T))
+		},
+	}
+}
+
+// The catalog entries: protocols that exist only because Theorem 4 says
+// they must — synthesized from their validity property through the
+// containment condition and interactive consistency, then hunted and
+// matrixed exactly like the hand-written protocols.
+func init() {
+	catalog.Register(SpecForProblem(
+		"derived-weak",
+		"weak consensus derived from its validity property (Theorem 4 / Algorithm 2)",
+		"t < n, n ≤ 6 (exact Γ)",
+		func(n, t int) bool { return n <= 6 },
+		func(n, t int) int { return ic.RoundBound(t) },
+		validity.Weak,
+	))
+	catalog.Register(SpecForProblem(
+		"derived-strong",
+		"strong consensus derived from its validity property (Theorem 5 frontier)",
+		"n > 2t, n ≤ 6 (exact Γ)",
+		func(n, t int) bool { return n > 2*t && n <= 6 },
+		func(n, t int) int { return ic.RoundBound(t) },
+		validity.Strong,
+	))
+}

@@ -1,0 +1,109 @@
+package validity
+
+import (
+	"fmt"
+
+	"expensive/internal/msg"
+	"expensive/internal/proc"
+)
+
+// Check is a pluggable per-execution validity property: given the
+// proposal vector, the correct set, and the correct processes' common
+// decision, a non-nil error is a validity violation. Termination and
+// Agreement are checked by the caller (the campaign engine) before a
+// Check runs.
+//
+// The concrete checks below are the runtime counterparts of the
+// admissibility predicates in this package: problems state validity over
+// input configurations; checks verdict one recorded execution.
+type Check func(proposals []msg.Value, correct proc.Set, decision msg.Value) error
+
+// Compat is a pairwise decision-compatibility relation replacing strict
+// Agreement equality for protocols whose correct outputs legitimately
+// differ — graded broadcast guarantees G2/G3 (neighboring grades, equal
+// values for grades >= 1), not identical outputs. It must be symmetric;
+// a non-nil error means the two correct decisions conflict.
+type Compat func(a, b msg.Value) error
+
+// StrongCheck is the strong consensus property: whenever the correct
+// processes' proposals are unanimous — faulty or not — that value must be
+// the decision. Use it only against protocols that claim strong validity
+// (Phase-King); minimum-style protocols like FloodSet legitimately adopt
+// a faulty process's value.
+func StrongCheck(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
+	members := correct.Members()
+	if len(members) == 0 {
+		return nil
+	}
+	u := proposals[members[0]]
+	for _, id := range members[1:] {
+		if proposals[id] != u {
+			return nil
+		}
+	}
+	if decision != u {
+		return fmt.Errorf("correct processes unanimously proposed %q but decided %q", u, decision)
+	}
+	return nil
+}
+
+// WeakCheck is the paper's Weak Validity: in a *fully correct* execution
+// with unanimous proposals, the decision must be that value. With any
+// fault present it imposes nothing.
+func WeakCheck(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
+	if correct.Len() != len(proposals) {
+		return nil // a process is faulty; Weak Validity is vacuous
+	}
+	return StrongCheck(proposals, correct, decision)
+}
+
+// SenderCheck returns the broadcast validity property: when the
+// designated sender stays correct, the decision must be its proposal.
+func SenderCheck(sender proc.ID) Check {
+	return func(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
+		if correct.Contains(sender) && decision != proposals[sender] {
+			return fmt.Errorf("correct sender %s proposed %q but the correct processes decided %q",
+				sender, proposals[sender], decision)
+		}
+		return nil
+	}
+}
+
+// VectorCheck is interactive consistency's IC-Validity: the decision is
+// an encoded n-vector whose entry for every correct process must be that
+// process's actual proposal.
+func VectorCheck(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
+	vec, err := msg.DecodeVector(decision)
+	if err != nil {
+		return fmt.Errorf("decision %q is not an IC vector: %w", decision, err)
+	}
+	if len(vec) != len(proposals) {
+		return fmt.Errorf("decided vector has %d entries, want %d", len(vec), len(proposals))
+	}
+	for _, id := range correct.Members() {
+		if vec[id] != proposals[id] {
+			return fmt.Errorf("correct %s proposed %q but the decided vector carries %q", id, proposals[id], vec[id])
+		}
+	}
+	return nil
+}
+
+// AdmissibleCheck checks a decision against a problem's own validity
+// property: it rebuilds the input configuration of the correct processes
+// and requires the decision to be admissible under it.
+func AdmissibleCheck(p Problem) Check {
+	return func(proposals []msg.Value, correct proc.Set, decision msg.Value) error {
+		assign := make(map[proc.ID]msg.Value, correct.Len())
+		for _, id := range correct.Members() {
+			assign[id] = proposals[id]
+		}
+		c, err := NewConfig(p.N, assign)
+		if err != nil {
+			return fmt.Errorf("rebuild input configuration: %w", err)
+		}
+		if !p.Admissible(c, decision) {
+			return fmt.Errorf("decided %q, which is not admissible under %v", decision, c)
+		}
+		return nil
+	}
+}
