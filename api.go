@@ -44,9 +44,13 @@ type (
 	Outgoing = sim.Outgoing
 	// RunConfig parameterizes a simulated run.
 	RunConfig = sim.Config
+	// Recording selects the trace tier of a run (RecordFull's Appendix
+	// A.1.6 message slices vs RecordDecisions' decisions and counts).
+	Recording = sim.Recording
 	// FaultPlan is the static adversary of a simulated run.
 	FaultPlan = sim.FaultPlan
-	// Execution is a fully recorded run (the Appendix A.1.6 object).
+	// Execution is a recorded run (at RecordFull, the Appendix A.1.6
+	// object; at RecordDecisions, decisions plus per-round counts).
 	Execution = sim.Execution
 	// Scheme is a signature scheme (authenticated algorithms, §5.1).
 	Scheme = sig.Scheme
@@ -159,6 +163,18 @@ func NewIdealScheme(seed string) Scheme { return sig.NewIdeal(seed) }
 func NewEd25519Scheme(seed string, n int, extraIDs ...ProcessID) Scheme {
 	return sig.NewEd25519(seed, n, extraIDs...)
 }
+
+// Recording tiers for RunConfig.Recording. RecordFull (the default) keeps
+// the complete Appendix A.1.6 trace; RecordDecisions runs the engine's
+// allocation-free lean loop recording only decisions and per-round message
+// counts — the tier the probe loops (campaigns, matrix, falsifier) sweep
+// at, deterministically re-running violating configurations at RecordFull
+// for evidence. Full-trace APIs (ValidateExecution, Conforms, swap/merge,
+// Shrink) reject lean executions.
+const (
+	RecordFull      = sim.RecordFull
+	RecordDecisions = sim.RecordDecisions
+)
 
 // RunProtocol executes a protocol under a fault plan in the synchronous
 // simulator and returns the recorded execution.

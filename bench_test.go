@@ -137,8 +137,12 @@ func uniformProposals(n int, v msg.Value) []msg.Value {
 }
 
 func benchProtocol(b *testing.B, factory sim.Factory, n, t, rounds int) {
+	benchProtocolAt(b, factory, n, t, rounds, sim.RecordFull)
+}
+
+func benchProtocolAt(b *testing.B, factory sim.Factory, n, t, rounds int, rec sim.Recording) {
 	b.Helper()
-	cfg := sim.Config{N: n, T: t, Proposals: uniformProposals(n, msg.Zero), MaxRounds: rounds + 2}
+	cfg := sim.Config{N: n, T: t, Proposals: uniformProposals(n, msg.Zero), MaxRounds: rounds + 2, Recording: rec}
 	b.ReportAllocs()
 	var msgs int
 	for i := 0; i < b.N; i++ {
@@ -321,11 +325,21 @@ func BenchmarkCheckCC(b *testing.B) {
 }
 
 func BenchmarkEngineRound(b *testing.B) {
-	// Raw engine throughput: phase-king at n=64 (quadratic fan-out).
+	// Raw engine throughput: phase-king at n=64 (quadratic fan-out), at
+	// the full Appendix A.1.6 recording tier.
 	n := 64
 	t := (n - 1) / 4
 	f := phaseking.New(phaseking.Config{N: n, T: t})
 	benchProtocol(b, f, n, t, phaseking.RoundBound(t))
+}
+
+func BenchmarkEngineRoundLean(b *testing.B) {
+	// Same run at RecordDecisions: the pooled, allocation-free round loop
+	// the probe sweeps ride on.
+	n := 64
+	t := (n - 1) / 4
+	f := phaseking.New(phaseking.Config{N: n, T: t})
+	benchProtocolAt(b, f, n, t, phaseking.RoundBound(t), sim.RecordDecisions)
 }
 
 func BenchmarkMemClusterRound(b *testing.B) {

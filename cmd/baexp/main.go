@@ -264,6 +264,7 @@ func runHunt(args []string) error {
 	parallel := fs.Int("parallel", 0, "probe worker count (0 = NumCPU, 1 = serial)")
 	jsonOut := fs.Bool("json", false, "emit the deterministic JSON report")
 	shrink := fs.Bool("shrink", true, "minimize found violations")
+	full := fs.Bool("full", false, "record full traces and validate every probe (default: lean probes, full replay of violating seeds only; reports are byte-identical either way)")
 	keep := fs.Int("keep", 3, "record at most this many violations (0 = all)")
 	bias := fs.Int("bias", 40, "omission percentage for the random strategies")
 	verbose := fs.Bool("v", false, "render the first shrunk counterexample's timeline")
@@ -296,6 +297,7 @@ func runHunt(args []string) error {
 		return err
 	}
 	campaign.Shrink = *shrink
+	campaign.RecordFull = *full
 	campaign.MaxViolations = *keep
 	campaign.Parallelism = *parallel
 	report, err := campaign.Run()
@@ -376,6 +378,7 @@ func runMatrix(args []string) error {
 	parallel := fs.Int("parallel", 0, "cell worker count (0 = NumCPU, 1 = serial)")
 	jsonOut := fs.Bool("json", false, "emit the deterministic JSON grid report")
 	shrink := fs.Bool("shrink", false, "minimize recorded violations")
+	full := fs.Bool("full", false, "record full traces and validate every probe in every cell (default: lean probes, full replay of violating seeds only)")
 	keep := fs.Int("keep", 1, "violations recorded per cell")
 	bias := fs.Int("bias", cmatrix.DefaultBias, "omission percentage for the random strategies")
 	list := fs.Bool("list", false, "list protocols and strategies and exit")
@@ -397,6 +400,7 @@ func runMatrix(args []string) error {
 		Seeds:         seeds,
 		Parallelism:   *parallel,
 		Shrink:        *shrink,
+		RecordFull:    *full,
 		MaxViolations: *keep,
 	}
 	if *protoFlag != "" {

@@ -102,15 +102,18 @@
 // so campaigns replay bit-for-bit and reports are byte-identical at every
 // parallelism level (tested, like the experiment tables).
 //
-// Every probe is fully checked: the five Appendix A.1.6 execution
-// guarantees, honest-machine conformance (sim.Conforms), Termination,
-// Agreement, and a pluggable validity property (CheckWeakValidity,
-// CheckStrongValidity, CheckSenderValidity, or a Problem's own
-// admissibility via NewProblemCampaign). Violations are materialized as
-// explicit, JSON-serializable fault plans; Shrink reduces them —
+// Every probe is checked for Termination, Agreement, and a pluggable
+// validity property (CheckWeakValidity, CheckStrongValidity,
+// CheckSenderValidity, or a Problem's own admissibility via
+// NewProblemCampaign); every violating probe additionally passes the full
+// evidence pipeline — the five Appendix A.1.6 execution guarantees,
+// honest-machine conformance (sim.Conforms), and extraction of an
+// explicit, JSON-serializable fault plan. Shrink reduces violations —
 // fewer corrupted processes, fewer omitted messages, smaller n — and
 // RecheckViolation re-validates the final certificate from scratch,
-// exactly like the falsifier's CheckViolation.
+// exactly like the falsifier's CheckViolation. (Set Campaign.RecordFull
+// to run the evidence pipeline on every probe, violating or not — see
+// the recording tiers below.)
 //
 // The same engine backs the CLI:
 //
@@ -159,4 +162,39 @@
 //	baexp matrix                       # the same sweep from the CLI
 //	baexp matrix -json -parallel 8     # deterministic grid for tooling
 //	baexp matrix -list                 # registry + strategy library
+//
+// # Performance: recording tiers
+//
+// Every result in this library is bought with probe volume — the
+// falsifier families, hunt campaigns and matrix sweeps run sim.Run
+// millions of rounds — so the engine records at two tiers
+// (RunConfig.Recording):
+//
+//   - RecordFull (default): the complete Appendix A.1.6 trace, four
+//     message slices per process per round. Required by everything that
+//     reads message identities: ValidateExecution, sim.Conforms, the
+//     omission machinery (swap, merge, isolation checks), Shrink and
+//     RecheckViolation.
+//   - RecordDecisions: per-process decisions and per-round message
+//     counts, no message slices, produced by a pooled, allocation-free
+//     round loop. Enough for Termination/Agreement/validity verdicts,
+//     round counts and the paper's message-complexity metric
+//     (Execution.CorrectMessages reads the lean counts directly).
+//
+// The probe loops combine them CheckViolation-style: campaigns, the
+// matrix and the falsifier probe at RecordDecisions, and any probe that
+// violates a property — or whose analysis needs message identities (a
+// Lemma 2 swap candidate, a merge input) — is deterministically re-run at
+// RecordFull, where the full validation pipeline runs before the trace
+// becomes evidence. The engine is deterministic, so the replay reproduces
+// the lean probe exactly, and every report (CampaignReport, Grid,
+// experiment tables) is byte-identical between tiers and at every
+// parallelism level — enforced by TestCampaignTierEquivalence across the
+// whole protocol registry. Full-trace APIs reject lean executions with a
+// descriptive error rather than misreading absent slices as silence.
+//
+// scripts/bench.sh records the perf trajectory: it runs the tracked
+// benchmark set (hunt campaign throughput, matrix sweeps, the falsifier,
+// raw engine rounds) and emits a committed BENCH_<date>.json of ns/op,
+// allocs/op and probes/s.
 package expensive

@@ -282,6 +282,15 @@ type Campaign struct {
 	// MaxViolations caps the violations recorded in the report (0 = all).
 	// Probes beyond the cap are still counted in ViolationCount.
 	MaxViolations int
+	// RecordFull forces full Appendix A.1.6 trace recording plus the
+	// per-probe trace validation and conformance re-execution on every
+	// seed (the pre-tiered behavior). By default the campaign probes at
+	// sim.RecordDecisions — an allocation-free engine loop recording only
+	// decisions and message counts — and deterministically re-runs just
+	// the violating seeds at sim.RecordFull, where the full validation
+	// pipeline runs before the evidence (ExplicitPlan, shrink input) is
+	// extracted. Reports are byte-identical at both settings.
+	RecordFull bool
 	// Parallelism is the probe worker count; <= 0 means NumCPU, 1 serial.
 	Parallelism int
 	// Ctx cancels the sweep; nil means context.Background().
@@ -486,38 +495,85 @@ func (c *Campaign) shrinkOptions(env Env) ShrinkOptions {
 	}
 }
 
-// probe executes one seed: build the plan, run the protocol, validate the
-// trace against the Appendix A.1.6 guarantees, re-run every honest
-// machine against its recorded inputs, and check the protocol properties.
+// probe executes one seed. At the default lean tier it runs the engine at
+// sim.RecordDecisions — enough to read decisions, rounds and message
+// counts — and only a seed whose probe violates a property pays for the
+// full pipeline: a deterministic re-run at sim.RecordFull, trace
+// validation against the Appendix A.1.6 guarantees, conformance
+// re-execution of every honest machine, and evidence extraction. With
+// RecordFull set, every seed runs that pipeline (the pre-tiered behavior).
 func (c *Campaign) probe(seed int64, env Env) (probeResult, error) {
 	plan := c.Strategy.Build(seed, env)
 	proposals := c.proposalsFor(seed, env)
-	cfg := sim.Config{N: c.N, T: c.T, Proposals: proposals, MaxRounds: env.Horizon}
+	rec := sim.RecordDecisions
+	if c.RecordFull {
+		rec = sim.RecordFull
+	}
+	cfg := sim.Config{N: c.N, T: c.T, Proposals: proposals, MaxRounds: env.Horizon, Recording: rec}
 	e, err := sim.Run(cfg, c.Factory, plan)
 	if err != nil {
 		return probeResult{}, fmt.Errorf("seed %d: %w", seed, err)
 	}
-	// Every engine-produced trace must satisfy the execution model, and
-	// every honest machine must conform to its recording — failures here
-	// are engine or protocol-determinism bugs, not protocol violations.
-	if err := omission.Validate(e); err != nil {
-		return probeResult{}, fmt.Errorf("seed %d: invalid trace: %w", seed, err)
-	}
-	if err := sim.Conforms(e, c.Factory, byzSkip(plan, e.Faulty)); err != nil {
-		return probeResult{}, fmt.Errorf("seed %d: conformance: %w", seed, err)
+	if c.RecordFull {
+		// Every engine-produced trace must satisfy the execution model, and
+		// every honest machine must conform to its recording — failures here
+		// are engine or protocol-determinism bugs, not protocol violations.
+		if err := omission.Validate(e); err != nil {
+			return probeResult{}, fmt.Errorf("seed %d: invalid trace: %w", seed, err)
+		}
+		if err := sim.Conforms(e, c.Factory, byzSkip(plan, e.Faulty)); err != nil {
+			return probeResult{}, fmt.Errorf("seed %d: conformance: %w", seed, err)
+		}
 	}
 
 	res := probeResult{messages: e.CorrectMessages(), rounds: e.Rounds}
-	if v := violationIn(e, proposals, c.Validity, c.Agreement); v != nil {
-		v.Seed = seed
-		v.Proposals = proposals
-		// Materialize the exercised plan for replay and shrinking. Foreign
-		// Byzantine machines are the only non-replayable case; the violation
-		// is still reported, just without a plan.
-		if ep, err := Extract(e, plan); err == nil {
-			v.Plan = ep
-		}
-		res.v = v
+	v := violationIn(e, proposals, c.Validity, c.Agreement)
+	if v == nil {
+		return res, nil
 	}
+	if !c.RecordFull {
+		e, plan, err = c.replayFull(seed, env, proposals, v)
+		if err != nil {
+			return probeResult{}, err
+		}
+	}
+	v.Seed = seed
+	v.Proposals = proposals
+	// Materialize the exercised plan for replay and shrinking. Foreign
+	// Byzantine machines are the only non-replayable case; the violation
+	// is still reported, just without a plan.
+	if ep, err := Extract(e, plan); err == nil {
+		v.Plan = ep
+	}
+	res.v = v
 	return res, nil
+}
+
+// replayFull re-runs a violating seed at sim.RecordFull: a fresh plan
+// (Byzantine machines are stateful), the same proposals, the same horizon.
+// The engine is deterministic, so the replay reproduces the lean probe's
+// execution exactly — now with the message slices the validation pipeline
+// and the evidence extraction need. The replayed trace is held to the same
+// standard the pre-tiered campaign held every probe to, and the replayed
+// violation must match the lean verdict; any divergence is an engine or
+// protocol-determinism bug.
+func (c *Campaign) replayFull(seed int64, env Env, proposals []msg.Value, lean *Violation) (*sim.Execution, sim.FaultPlan, error) {
+	plan := c.Strategy.Build(seed, env)
+	cfg := sim.Config{N: c.N, T: c.T, Proposals: proposals, MaxRounds: env.Horizon}
+	e, err := sim.Run(cfg, c.Factory, plan)
+	if err != nil {
+		return nil, nil, fmt.Errorf("seed %d: full replay: %w", seed, err)
+	}
+	if err := omission.Validate(e); err != nil {
+		return nil, nil, fmt.Errorf("seed %d: invalid trace: %w", seed, err)
+	}
+	if err := sim.Conforms(e, c.Factory, byzSkip(plan, e.Faulty)); err != nil {
+		return nil, nil, fmt.Errorf("seed %d: conformance: %w", seed, err)
+	}
+	full := violationIn(e, proposals, c.Validity, c.Agreement)
+	if full == nil || full.Kind != lean.Kind || full.Witness1 != lean.Witness1 ||
+		full.Witness2 != lean.Witness2 || full.D1 != lean.D1 || full.D2 != lean.D2 {
+		return nil, nil, fmt.Errorf("seed %d: full replay does not reproduce the lean probe's %s violation — engine or protocol nondeterminism", seed, lean.Kind)
+	}
+	return e, plan, nil
 }

@@ -2,7 +2,7 @@ package adversary
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"expensive/internal/msg"
 	"expensive/internal/proc"
@@ -36,15 +36,14 @@ func (p *ExplicitPlan) String() string {
 // sortKeys orders message identities deterministically (round, sender,
 // receiver), in place, and returns them.
 func sortKeys(ks []msg.Key) []msg.Key {
-	sort.Slice(ks, func(i, j int) bool {
-		a, b := ks[i], ks[j]
+	slices.SortFunc(ks, func(a, b msg.Key) int {
 		if a.Round != b.Round {
-			return a.Round < b.Round
+			return a.Round - b.Round
 		}
 		if a.Sender != b.Sender {
-			return a.Sender < b.Sender
+			return int(a.Sender) - int(b.Sender)
 		}
-		return a.Receiver < b.Receiver
+		return int(a.Receiver) - int(b.Receiver)
 	})
 	return ks
 }

@@ -59,6 +59,11 @@ type Matrix struct {
 	// breadth instrument; re-hunt one cell with `baexp hunt -shrink` for
 	// depth.
 	Shrink bool
+	// RecordFull forces every cell's campaign to record full traces and
+	// validate every probe (adversary.Campaign.RecordFull). Off by
+	// default: cells probe at the lean sim.RecordDecisions tier and replay
+	// only violating seeds at full — grids are byte-identical either way.
+	RecordFull bool
 	// Parallelism is the cell worker count; <= 0 means NumCPU, 1 serial.
 	// Cells are the parallel unit — each cell's campaign runs serially —
 	// so the grid is byte-identical at every level.
@@ -231,6 +236,7 @@ func (m *Matrix) cell(spec catalog.Spec, strat adversary.Named, size Size) (Cell
 		return cell, fmt.Errorf("matrix cell %s × %s n=%d t=%d: %w", spec.ID, strat.ID, size.N, size.T, err)
 	}
 	c.Shrink = m.Shrink
+	c.RecordFull = m.RecordFull
 	c.MaxViolations = m.MaxViolations
 	c.Parallelism = 1 // cells are the parallel unit; see Matrix.Parallelism
 	c.Ctx = m.Ctx

@@ -1,0 +1,114 @@
+package matrix_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"expensive/internal/adversary"
+	"expensive/internal/catalog"
+	_ "expensive/internal/catalog/all" // register every protocol
+	"expensive/internal/catalog/matrix"
+)
+
+// supportedSize finds a grid size the spec's resilience predicate accepts.
+func supportedSize(s catalog.Spec) (int, int, bool) {
+	for _, size := range []matrix.Size{{N: 4, T: 1}, {N: 5, T: 1}, {N: 8, T: 2}, {N: 9, T: 2}} {
+		if s.SupportedAt(size.N, size.T) {
+			return size.N, size.T, true
+		}
+	}
+	return 0, 0, false
+}
+
+// TestCampaignTierEquivalence sweeps every registered protocol under a
+// seeded strategy sample at both recording tiers and asserts the
+// CampaignReports are byte-identical: same decisions, round counts and
+// message-complexity histograms, and — for the protocols the strategies
+// break — violation replay reproducing the exact evidence (plan, witnesses,
+// details) the full tier records.
+func TestCampaignTierEquivalence(t *testing.T) {
+	strategies := []adversary.Named{
+		{ID: "targeted-withhold", Strategy: adversary.TargetedWithhold()},
+		{ID: "random-omission", Strategy: adversary.RandomOmission(40)},
+		{ID: "chaos", Strategy: adversary.Chaos()},
+	}
+	sawViolation := false
+	for _, spec := range catalog.Protocols() {
+		n, tf, ok := supportedSize(spec)
+		if !ok {
+			t.Errorf("%s: no supported size in the sample grid", spec.ID)
+			continue
+		}
+		for _, strat := range strategies {
+			t.Run(spec.ID+"/"+strat.ID, func(t *testing.T) {
+				run := func(recordFull bool) *adversary.CampaignReport {
+					c, err := matrix.CampaignFor(spec, catalog.DefaultParams(n, tf), strat.Strategy,
+						adversary.SeedRange{From: 0, To: 12})
+					if err != nil {
+						t.Fatalf("campaign: %v", err)
+					}
+					c.RecordFull = recordFull
+					c.Parallelism = 1
+					rep, err := c.Run()
+					if err != nil {
+						t.Fatalf("run (full=%v): %v", recordFull, err)
+					}
+					return rep
+				}
+				full, lean := run(true), run(false)
+				fj, err := json.Marshal(full)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lj, err := json.Marshal(lean)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(fj) != string(lj) {
+					t.Fatalf("reports differ between tiers:\nfull: %s\nlean: %s", fj, lj)
+				}
+				if lean.Broken() {
+					sawViolation = true
+					for _, v := range lean.Violations {
+						if v.Plan == nil && len(v.Proposals) == 0 {
+							t.Fatalf("violation at seed %d carries no evidence", v.Seed)
+						}
+					}
+				}
+			})
+		}
+	}
+	if !sawViolation {
+		t.Fatal("no strategy broke any protocol — the violation-replay path was never exercised")
+	}
+}
+
+// TestMatrixTierEquivalence runs the canonical small matrix with and
+// without forced full recording and asserts byte-identical grids.
+func TestMatrixTierEquivalence(t *testing.T) {
+	lean := smallMatrix(1)
+	g1, err := lean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullM := smallMatrix(1)
+	fullM.RecordFull = true
+	g2, err := fullM.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := json.Marshal(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("grids differ between tiers:\nlean: %s\nfull: %s", j1, j2)
+	}
+	if !g1.Broken() {
+		t.Fatal("expected the small matrix to find the FloodSet split at both tiers")
+	}
+}

@@ -26,6 +26,8 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"expensive/internal/proc"
 )
@@ -48,9 +50,27 @@ type Scheme interface {
 // Ideal is the idealized HMAC-backed signature oracle. Each process id has
 // an independent secret key derived from the master seed; a signature is
 // valid iff it was produced with that key over exactly that data.
+//
+// The oracle memoizes derived keys and signatures: authenticated probe
+// sweeps sign the same small universe of (id, data) pairs millions of
+// times, and HMAC construction dominated their machine cost. Signatures
+// are deterministic, so cached and fresh results are identical. The cache
+// is concurrency-safe (one scheme instance is shared across a campaign's
+// workers) and capped — an adversary signing unbounded distinct data past
+// the cap simply stops populating it.
 type Ideal struct {
 	seed []byte
+	keys sync.Map // proc.ID -> []byte
+	sigs sync.Map // sigCacheKey -> Signature
+	nsig atomic.Int64
 }
+
+type sigCacheKey struct {
+	id   proc.ID
+	data string
+}
+
+const sigCacheCap = 1 << 15
 
 var _ Scheme = (*Ideal)(nil)
 
@@ -63,19 +83,33 @@ func NewIdeal(seed string) *Ideal {
 }
 
 func (s *Ideal) key(id proc.ID) []byte {
+	if k, ok := s.keys.Load(id); ok {
+		return k.([]byte)
+	}
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(int64(id)))
 	mac := hmac.New(sha256.New, s.seed)
 	mac.Write([]byte("key|"))
 	mac.Write(buf[:])
-	return mac.Sum(nil)
+	k, _ := s.keys.LoadOrStore(id, mac.Sum(nil))
+	return k.([]byte)
 }
 
 // Sign implements Scheme.
 func (s *Ideal) Sign(id proc.ID, data []byte) (Signature, error) {
+	ck := sigCacheKey{id: id, data: string(data)}
+	if v, ok := s.sigs.Load(ck); ok {
+		return v.(Signature), nil
+	}
 	mac := hmac.New(sha256.New, s.key(id))
 	mac.Write(data)
-	return Signature(hex.EncodeToString(mac.Sum(nil))), nil
+	out := Signature(hex.EncodeToString(mac.Sum(nil)))
+	if s.nsig.Load() < sigCacheCap {
+		if _, loaded := s.sigs.LoadOrStore(ck, out); !loaded {
+			s.nsig.Add(1)
+		}
+	}
+	return out, nil
 }
 
 // Verify implements Scheme.

@@ -77,7 +77,8 @@ func E12(n, t int) (*Table, error) {
 }
 
 func latencyOf(factory sim.Factory, n, t, bound int, proposals []msg.Value, plan sim.FaultPlan, correct proc.Set) (int, error) {
-	cfg := sim.Config{N: n, T: t, Proposals: proposals, MaxRounds: bound + 1}
+	// Decision rounds are part of the lean record — no full trace needed.
+	cfg := sim.Config{N: n, T: t, Proposals: proposals, MaxRounds: bound + 1, Recording: sim.RecordDecisions}
 	e, err := sim.Run(cfg, factory, plan)
 	if err != nil {
 		return 0, err
@@ -88,12 +89,9 @@ func latencyOf(factory sim.Factory, n, t, bound int, proposals []msg.Value, plan
 	maxR := 0
 	for _, id := range correct.Members() {
 		b := e.Behavior(id)
-		r := len(b.Fragments) + 1
-		for i, fr := range b.Fragments {
-			if fr.Decided {
-				r = i + 1
-				break
-			}
+		r := b.DecisionRound()
+		if r == 0 {
+			r = b.RoundsRecorded() + 1
 		}
 		if r > maxR {
 			maxR = r

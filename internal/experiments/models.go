@@ -54,7 +54,8 @@ func E10(n, t int) (*Table, error) {
 	}
 	tolerates := map[string]string{"floodset": "crash", "phase-king": "byzantine (n > 4t)"}
 	for _, tr := range trials {
-		cfg := sim.Config{N: n, T: t, Proposals: proposals, MaxRounds: tr.rounds + 2}
+		// Each trial reads only the correct group's common decision — lean tier.
+		cfg := sim.Config{N: n, T: t, Proposals: proposals, MaxRounds: tr.rounds + 2, Recording: sim.RecordDecisions}
 		e, err := sim.Run(cfg, tr.factory, tr.plan)
 		if err != nil {
 			return nil, fmt.Errorf("E10 %s/%s: %w", tr.protocol, tr.model, err)
@@ -179,7 +180,7 @@ func E11() (*Table, error) {
 		for j := range proposals {
 			proposals[j] = "x"
 		}
-		e, err := sim.Run(sim.Config{N: 7, T: 2, Proposals: proposals, MaxRounds: dolevstrong.RoundBound(2) + 1},
+		e, err := sim.Run(sim.Config{N: 7, T: 2, Proposals: proposals, MaxRounds: dolevstrong.RoundBound(2) + 1, Recording: sim.RecordDecisions},
 			dolevstrong.New(cfg), adv)
 		if err != nil {
 			return nil, err
@@ -202,7 +203,7 @@ func E11() (*Table, error) {
 		cfg := phaseking.Config{N: 5, T: 1, PhasesOverride: phases}
 		adv := sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{0: &splitKing{n: 5, t: 1, id: 0}}}
 		proposals := []msg.Value{"0", "0", "0", "1", "1"}
-		e, err := sim.Run(sim.Config{N: 5, T: 1, Proposals: proposals, MaxRounds: 2*phases + 2},
+		e, err := sim.Run(sim.Config{N: 5, T: 1, Proposals: proposals, MaxRounds: 2*phases + 2, Recording: sim.RecordDecisions},
 			phaseking.New(cfg), adv)
 		if err != nil {
 			return nil, err
@@ -233,7 +234,7 @@ func E11() (*Table, error) {
 	badSpec.C1 = zeros // the ablation: c1 no longer contains a config excluding v0
 	for i, spec := range []reduction.Alg1Spec{badSpec, goodSpec} {
 		wrapped := reduction.WeakFromAgreement(pk, spec)
-		e, err := sim.Run(sim.Config{N: 5, T: 1, Proposals: ones, MaxRounds: phaseking.RoundBound(1) + 2},
+		e, err := sim.Run(sim.Config{N: 5, T: 1, Proposals: ones, MaxRounds: phaseking.RoundBound(1) + 2, Recording: sim.RecordDecisions},
 			wrapped, sim.NoFaults{})
 		if err != nil {
 			return nil, err

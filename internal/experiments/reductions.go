@@ -25,7 +25,8 @@ func uniformVals(n int, v msg.Value) []msg.Value {
 }
 
 func countRun(factory sim.Factory, n, t, rounds int, proposals []msg.Value) (int, msg.Value, error) {
-	cfg := sim.Config{N: n, T: t, Proposals: proposals, MaxRounds: rounds + 2}
+	// Callers read the common decision and the message count only — lean tier.
+	cfg := sim.Config{N: n, T: t, Proposals: proposals, MaxRounds: rounds + 2, Recording: sim.RecordDecisions}
 	e, err := sim.Run(cfg, factory, sim.NoFaults{})
 	if err != nil {
 		return 0, msg.NoDecision, err

@@ -91,7 +91,8 @@ func scalingRow(name string, factory sim.Factory, n, t, bound int) ([]string, er
 	for i := range proposals {
 		proposals[i] = msg.Zero
 	}
-	cfg := sim.Config{N: n, T: t, Proposals: proposals, MaxRounds: bound + 2}
+	// The row reads decisions and message counts only — lean tier.
+	cfg := sim.Config{N: n, T: t, Proposals: proposals, MaxRounds: bound + 2, Recording: sim.RecordDecisions}
 	e, err := sim.Run(cfg, factory, sim.NoFaults{})
 	if err != nil {
 		return nil, fmt.Errorf("E9 %s n=%d: %w", name, n, err)

@@ -196,19 +196,60 @@ func (f *falsifier) uniform(v msg.Value) []msg.Value {
 type probe = runner.Promise[*sim.Execution]
 
 // fullFetch builds the compute step of the fully-correct execution with
-// unanimous proposal v. Fetches are pure — safe to run concurrently.
-func (f *falsifier) fullFetch(v msg.Value) func() (*sim.Execution, error) {
+// unanimous proposal v at the given recording tier. Fetches are pure —
+// safe to run concurrently.
+func (f *falsifier) fullFetch(v msg.Value, rec sim.Recording) func() (*sim.Execution, error) {
 	return func() (*sim.Execution, error) {
-		cfg := sim.Config{N: f.n, T: f.t, Proposals: f.uniform(v), MaxRounds: f.horizon}
+		cfg := sim.Config{N: f.n, T: f.t, Proposals: f.uniform(v), MaxRounds: f.horizon, Recording: rec}
 		return sim.Run(cfg, f.factory, sim.NoFaults{})
 	}
 }
 
-// isolatedFetch builds the compute step of E_group(k)_v.
-func (f *falsifier) isolatedFetch(group proc.Set, k int, v msg.Value) func() (*sim.Execution, error) {
+// isolatedFetch builds the compute step of E_group(k)_v at the given
+// recording tier.
+func (f *falsifier) isolatedFetch(group proc.Set, k int, v msg.Value, rec sim.Recording) func() (*sim.Execution, error) {
 	return func() (*sim.Execution, error) {
-		return omission.RunIsolated(f.n, f.t, f.factory, v, group, k, f.horizon)
+		return omission.RunIsolatedAt(f.n, f.t, f.factory, v, group, k, f.horizon, rec)
 	}
+}
+
+// ensureFullIsolated upgrades a lean isolated probe to a full trace by
+// re-running the same deterministic configuration at sim.RecordFull —
+// which also runs the Appendix A.1.6 and Definition 1 validation the lean
+// probe skipped. Executions that already carry full traces pass through.
+func (f *falsifier) ensureFullIsolated(e *sim.Execution, group proc.Set, k int) (*sim.Execution, error) {
+	if e.Recording == sim.RecordFull {
+		return e, nil
+	}
+	return f.isolatedFetch(group, k, e.Behaviors[0].Proposal, sim.RecordFull)()
+}
+
+// leanNeedsFull reports whether analyzing the lean isolated probe e can
+// require message identities: a correct process undecided or disagreeing
+// (the violation certificate must be a full trace), or an isolated group
+// member whose decision differs from the correct processes' common one (a
+// Lemma 2 swap candidate, which needs the receive-omission sets). When it
+// returns false, correctDecision and lemma2 provably touch only decisions.
+func (f *falsifier) leanNeedsFull(e *sim.Execution, group proc.Set) bool {
+	var common msg.Value
+	first := true
+	for _, id := range e.Correct().Members() {
+		d, ok := e.Decision(id)
+		if !ok {
+			return true
+		}
+		if first {
+			common, first = d, false
+		} else if d != common {
+			return true
+		}
+	}
+	for _, p := range group.Members() {
+		if d, ok := e.Decision(p); !ok || d != common {
+			return true
+		}
+	}
+	return false
 }
 
 // inlineProbe wraps a single fetch as a lazily evaluated probe (no
@@ -219,13 +260,27 @@ func (f *falsifier) inlineProbe(fetch func() (*sim.Execution, error)) *probe {
 }
 
 // runFull consumes the fully-correct execution with unanimous proposal v
-// and checks Weak Validity and Termination on it.
+// and checks Weak Validity and Termination on it. Probes arrive lean; a
+// probe that is about to become a certificate is deterministically re-run
+// at sim.RecordFull first, so every Violation.Exec is a full trace.
 func (f *falsifier) runFull(v msg.Value, pr *probe) (*sim.Execution, error) {
 	e, err := pr.Wait()
 	if err != nil {
 		return nil, fmt.Errorf("run E_%s: %w", v, err)
 	}
 	f.observe(fmt.Sprintf("E_%s (fully correct, unanimous %s)", v, v), e)
+	if e.Recording != sim.RecordFull {
+		violates := false
+		for i := 0; i < f.n && !violates; i++ {
+			d, ok := e.Decision(proc.ID(i))
+			violates = !ok || d != v
+		}
+		if violates {
+			if e, err = f.fullFetch(v, sim.RecordFull)(); err != nil {
+				return nil, fmt.Errorf("run E_%s: full replay: %w", v, err)
+			}
+		}
+	}
 	for i := 0; i < f.n; i++ {
 		d, ok := e.Decision(proc.ID(i))
 		if !ok {
@@ -252,16 +307,14 @@ func (f *falsifier) runFull(v msg.Value, pr *probe) (*sim.Execution, error) {
 }
 
 // decisionRound returns the first round by which every process of e has
-// decided.
+// decided. It reads only decision trajectories, so it works at both
+// recording tiers.
 func decisionRound(e *sim.Execution) int {
 	maxR := 1
 	for _, b := range e.Behaviors {
-		r := len(b.Fragments)
-		for i, frag := range b.Fragments {
-			if frag.Decided {
-				r = i + 1
-				break
-			}
+		r := b.DecisionRound()
+		if r == 0 {
+			r = b.RoundsRecorded()
 		}
 		if r > maxR {
 			maxR = r
@@ -274,12 +327,24 @@ func decisionRound(e *sim.Execution) int {
 // tries the direct Lemma 2 argument on the isolated group, and returns
 // the execution plus the correct processes' common decision. A nil
 // execution with nil error means a violation was recorded.
-func (f *falsifier) probeIsolated(label string, group proc.Set, pr *probe) (*sim.Execution, msg.Value, error) {
+//
+// Probes arrive lean (decisions and counts only). When every correct
+// process and every isolated member decide one common value — the
+// overwhelmingly common case for the protocols the construction grinds
+// through — the analysis below provably never touches a message, and the
+// lean trace suffices. Otherwise the probe is deterministically re-run at
+// sim.RecordFull first (k is the isolation round, needed for the re-run).
+func (f *falsifier) probeIsolated(label string, group proc.Set, k int, pr *probe) (*sim.Execution, msg.Value, error) {
 	e, err := pr.Wait()
 	if err != nil {
 		return nil, msg.NoDecision, fmt.Errorf("probe %s: %w", label, err)
 	}
 	f.observe(label, e)
+	if e.Recording != sim.RecordFull && f.leanNeedsFull(e, group) {
+		if e, err = f.ensureFullIsolated(e, group, k); err != nil {
+			return nil, msg.NoDecision, fmt.Errorf("probe %s: full replay: %w", label, err)
+		}
+	}
 	bX, viol := f.correctDecision(e, label)
 	if viol != nil {
 		f.report.Violation = viol
@@ -398,11 +463,14 @@ func (f *falsifier) run() error {
 	workers := runner.Workers(f.opts.Parallelism)
 
 	// Wave 1: the four probes of Steps 1-2 have no mutual dependencies.
+	// All probe waves run at the lean tier; consumers upgrade to full
+	// traces (deterministic re-runs) only when a certificate, a Lemma 2
+	// candidate, or a merge input demands message identities.
 	wave1 := []func() (*sim.Execution, error){
-		f.fullFetch(msg.Zero),
-		f.fullFetch(msg.One),
-		f.isolatedFetch(part.B, 1, msg.Zero),
-		f.isolatedFetch(part.C, 1, msg.One),
+		f.fullFetch(msg.Zero, sim.RecordDecisions),
+		f.fullFetch(msg.One, sim.RecordDecisions),
+		f.isolatedFetch(part.B, 1, msg.Zero, sim.RecordDecisions),
+		f.isolatedFetch(part.C, 1, msg.One, sim.RecordDecisions),
 	}
 	p1, cancel1 := runner.Prefetch(f.opts.context(), workers, len(wave1), func(i int) (*sim.Execution, error) {
 		return wave1[i]()
@@ -420,11 +488,11 @@ func (f *falsifier) run() error {
 	}
 
 	// Step 2: the default bit (Lemma 3 on E_B(1)_0 and E_C(1)_1).
-	eB1, dB, err := f.probeIsolated("E_B(1)_0", part.B, p1[2])
+	eB1, dB, err := f.probeIsolated("E_B(1)_0", part.B, 1, p1[2])
 	if err != nil || f.report.Violation != nil {
 		return err
 	}
-	eC1, dC, err := f.probeIsolated("E_C(1)_1", part.C, p1[3])
+	eC1, dC, err := f.probeIsolated("E_C(1)_1", part.C, 1, p1[3])
 	if err != nil || f.report.Violation != nil {
 		return err
 	}
@@ -461,11 +529,11 @@ func (f *falsifier) run() error {
 	f.logf("all processes decide by round %d in E_%s", rMax, v)
 
 	pB, cancelB := runner.Prefetch(f.opts.context(), workers, rMax+1, func(i int) (*sim.Execution, error) {
-		return f.isolatedFetch(part.B, i+1, v)()
+		return f.isolatedFetch(part.B, i+1, v, sim.RecordDecisions)()
 	})
 	defer cancelB()
 
-	prev, prevDecision, err := f.probeIsolated(fmt.Sprintf("E_B(1)_%s", v), part.B, pB[0])
+	prev, prevDecision, err := f.probeIsolated(fmt.Sprintf("E_B(1)_%s", v), part.B, 1, pB[0])
 	if err != nil || f.report.Violation != nil {
 		return err
 	}
@@ -480,7 +548,7 @@ func (f *falsifier) run() error {
 	critical := -1
 	var eBR, eBR1 *sim.Execution
 	for k := 2; k <= rMax+1; k++ {
-		cur, curDecision, err := f.probeIsolated(fmt.Sprintf("E_B(%d)_%s", k, v), part.B, pB[k-1])
+		cur, curDecision, err := f.probeIsolated(fmt.Sprintf("E_B(%d)_%s", k, v), part.B, k, pB[k-1])
 		if err != nil || f.report.Violation != nil {
 			return err
 		}
@@ -501,8 +569,8 @@ func (f *falsifier) run() error {
 
 	// Step 4: run E_C(R)_v and merge with E_B(R+1)_v (Lemma 5). This probe
 	// depends on the critical round, so it cannot be prefetched.
-	eCR, dCR, err := f.probeIsolated(fmt.Sprintf("E_C(%d)_%s", critical, v), part.C,
-		f.inlineProbe(f.isolatedFetch(part.C, critical, v)))
+	eCR, dCR, err := f.probeIsolated(fmt.Sprintf("E_C(%d)_%s", critical, v), part.C, critical,
+		f.inlineProbe(f.isolatedFetch(part.C, critical, v, sim.RecordDecisions)))
 	if err != nil || f.report.Violation != nil {
 		return err
 	}
@@ -512,8 +580,17 @@ func (f *falsifier) run() error {
 }
 
 // mergeAndExtract builds the merged execution and extracts the Lemma 2
-// violation from whichever isolated group disagrees with group A.
+// violation from whichever isolated group disagrees with group A. Merging
+// splices message-level traces, so lean inputs are first upgraded to full
+// ones by deterministic re-runs.
 func (f *falsifier) mergeAndExtract(part proc.Partition, eB *sim.Execution, kB int, eC *sim.Execution, kC int) error {
+	var err error
+	if eB, err = f.ensureFullIsolated(eB, part.B, kB); err != nil {
+		return fmt.Errorf("falsify %s: upgrade E_B(%d): %w", f.name, kB, err)
+	}
+	if eC, err = f.ensureFullIsolated(eC, part.C, kC); err != nil {
+		return fmt.Errorf("falsify %s: upgrade E_C(%d): %w", f.name, kC, err)
+	}
 	merged, err := omission.Merge(omission.MergeSpec{Part: part, EB: eB, KB: kB, EC: eC, KC: kC}, f.factory, f.horizon)
 	if err != nil {
 		return fmt.Errorf("falsify %s: merge: %w", f.name, err)

@@ -14,7 +14,9 @@ package msg
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"expensive/internal/proc"
 )
@@ -90,17 +92,17 @@ func (m Message) Key() Key {
 }
 
 // Sort orders messages deterministically (round, sender, receiver) in
-// place and returns the slice.
+// place and returns the slice. Message keys are unique within an inbox or
+// trace, so the order is total and the (non-stable) sort deterministic.
 func Sort(ms []Message) []Message {
-	sort.Slice(ms, func(i, j int) bool {
-		a, b := ms[i], ms[j]
+	slices.SortFunc(ms, func(a, b Message) int {
 		if a.Round != b.Round {
-			return a.Round < b.Round
+			return a.Round - b.Round
 		}
 		if a.Sender != b.Sender {
-			return a.Sender < b.Sender
+			return int(a.Sender) - int(b.Sender)
 		}
-		return a.Receiver < b.Receiver
+		return int(a.Receiver) - int(b.Receiver)
 	})
 	return ms
 }
@@ -155,6 +157,47 @@ func Decode(payload string, out any) error {
 // decided by interactive consistency).
 func EncodeVector(vec []Value) Value {
 	return Value(Encode(vec))
+}
+
+// decodeCacheCap bounds each CachedDecoder's memo. Honest payload
+// universes are tiny; only an adversary flooding unbounded distinct
+// payloads ever reaches the cap, after which misses decode uncached.
+const decodeCacheCap = 1 << 14
+
+// CachedDecoder returns a process-wide memoizing decoder for payloads of
+// type T. Probe sweeps decode the same small universe of payload strings
+// millions of times; the memo turns those repeats into a map lookup.
+//
+// The returned value is shared between all callers that present the same
+// payload string: treat it as immutable. ok=false marks a payload that
+// does not decode as T (a Byzantine sender's garbage) — that verdict is
+// memoized too.
+func CachedDecoder[T any]() func(payload string) (*T, bool) {
+	type entry struct {
+		val *T
+		ok  bool
+	}
+	var (
+		cache sync.Map // string -> entry
+		size  atomic.Int64
+	)
+	return func(payload string) (*T, bool) {
+		if e, hit := cache.Load(payload); hit {
+			en := e.(entry)
+			return en.val, en.ok
+		}
+		v := new(T)
+		en := entry{}
+		if err := Decode(payload, v); err == nil {
+			en = entry{val: v, ok: true}
+		}
+		if size.Load() < decodeCacheCap {
+			if _, loaded := cache.LoadOrStore(payload, en); !loaded {
+				size.Add(1)
+			}
+		}
+		return en.val, en.ok
+	}
 }
 
 // DecodeVector parses a vector encoded by EncodeVector.

@@ -60,6 +60,10 @@ func Merge(spec MergeSpec, factory sim.Factory, horizon int) (*sim.Execution, er
 	if err := part.Validate(); err != nil {
 		return nil, fmt.Errorf("merge: %w", err)
 	}
+	if spec.EB.Recording != sim.RecordFull || spec.EC.Recording != sim.RecordFull {
+		return nil, fmt.Errorf("merge: requires full traces, got EB=%q EC=%q — re-run the configurations at sim.RecordFull",
+			spec.EB.Recording, spec.EC.Recording)
+	}
 	if !spec.EB.Faulty.Equal(part.B) {
 		return nil, fmt.Errorf("merge: EB faulty set %v != B %v", spec.EB.Faulty, part.B)
 	}

@@ -23,6 +23,9 @@ import (
 // and Omission-validity. It returns a descriptive error naming the first
 // violated guarantee.
 func Validate(e *sim.Execution) error {
+	if e.Recording != sim.RecordFull {
+		return fmt.Errorf("validate: requires a full trace, got recording level %q — re-run the configuration at sim.RecordFull", e.Recording)
+	}
 	// Faulty processes: F is a set of at most t processes within Π.
 	if e.Faulty.Len() > e.T {
 		return fmt.Errorf("faulty-processes: |F|=%d exceeds t=%d", e.Faulty.Len(), e.T)
@@ -58,10 +61,12 @@ func Validate(e *sim.Execution) error {
 		for _, f := range b.Fragments {
 			// Receive-validity: everything received or receive-omitted was
 			// successfully sent in the same round with the same payload.
-			for _, m := range append(append([]msg.Message{}, f.Received...), f.ReceiveOmitted...) {
-				got, ok := sent[m.Key()]
-				if !ok || got != m {
-					return fmt.Errorf("receive-validity: %s holds %v which was never sent", b.ID, m)
+			for _, in := range [2][]msg.Message{f.Received, f.ReceiveOmitted} {
+				for _, m := range in {
+					got, ok := sent[m.Key()]
+					if !ok || got != m {
+						return fmt.Errorf("receive-validity: %s holds %v which was never sent", b.ID, m)
+					}
 				}
 			}
 			// Omission-validity: omissions only at faulty processes.
@@ -92,36 +97,40 @@ func validateBehavior(b *sim.Behavior) error {
 		}
 		// Fragment conditions (3)-(10) of Appendix A.1.4.
 		receivers := make(map[proc.ID]bool)
-		for _, m := range append(append([]msg.Message{}, f.Sent...), f.SendOmitted...) {
-			if m.Round != f.Round {
-				return fmt.Errorf("round %d: outgoing %v has wrong round", f.Round, m)
+		for _, out := range [2][]msg.Message{f.Sent, f.SendOmitted} {
+			for _, m := range out {
+				if m.Round != f.Round {
+					return fmt.Errorf("round %d: outgoing %v has wrong round", f.Round, m)
+				}
+				if m.Sender != b.ID {
+					return fmt.Errorf("round %d: outgoing %v has sender != %s", f.Round, m, b.ID)
+				}
+				if m.Receiver == b.ID {
+					return fmt.Errorf("round %d: self-message %v", f.Round, m)
+				}
+				if receivers[m.Receiver] {
+					return fmt.Errorf("round %d: two messages to %s", f.Round, m.Receiver)
+				}
+				receivers[m.Receiver] = true
 			}
-			if m.Sender != b.ID {
-				return fmt.Errorf("round %d: outgoing %v has sender != %s", f.Round, m, b.ID)
-			}
-			if m.Receiver == b.ID {
-				return fmt.Errorf("round %d: self-message %v", f.Round, m)
-			}
-			if receivers[m.Receiver] {
-				return fmt.Errorf("round %d: two messages to %s", f.Round, m.Receiver)
-			}
-			receivers[m.Receiver] = true
 		}
 		senders := make(map[proc.ID]bool)
-		for _, m := range append(append([]msg.Message{}, f.Received...), f.ReceiveOmitted...) {
-			if m.Round != f.Round {
-				return fmt.Errorf("round %d: incoming %v has wrong round", f.Round, m)
+		for _, in := range [2][]msg.Message{f.Received, f.ReceiveOmitted} {
+			for _, m := range in {
+				if m.Round != f.Round {
+					return fmt.Errorf("round %d: incoming %v has wrong round", f.Round, m)
+				}
+				if m.Receiver != b.ID {
+					return fmt.Errorf("round %d: incoming %v has receiver != %s", f.Round, m, b.ID)
+				}
+				if m.Sender == b.ID {
+					return fmt.Errorf("round %d: self-message %v", f.Round, m)
+				}
+				if senders[m.Sender] {
+					return fmt.Errorf("round %d: two messages from %s", f.Round, m.Sender)
+				}
+				senders[m.Sender] = true
 			}
-			if m.Receiver != b.ID {
-				return fmt.Errorf("round %d: incoming %v has receiver != %s", f.Round, m, b.ID)
-			}
-			if m.Sender == b.ID {
-				return fmt.Errorf("round %d: self-message %v", f.Round, m)
-			}
-			if senders[m.Sender] {
-				return fmt.Errorf("round %d: two messages from %s", f.Round, m.Sender)
-			}
-			senders[m.Sender] = true
 		}
 		// Behavior condition (6): decisions are stable.
 		if decided {

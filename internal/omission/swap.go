@@ -20,6 +20,9 @@ import (
 // 15's precondition); this function only performs the transformation and
 // structural checks.
 func SwapOmission(e *sim.Execution, pi proc.ID) (*sim.Execution, error) {
+	if e.Recording != sim.RecordFull {
+		return nil, fmt.Errorf("swap_omission: requires a full trace, got recording level %q — re-run the configuration at sim.RecordFull", e.Recording)
+	}
 	if n := len(e.Behavior(pi).AllSendOmitted()); n > 0 {
 		return nil, fmt.Errorf("swap_omission: %s commits %d send-omission faults", pi, n)
 	}

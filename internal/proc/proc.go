@@ -30,9 +30,20 @@ type Set struct {
 
 // NewSet returns a set containing exactly the given IDs.
 func NewSet(ids ...ID) Set {
-	var s Set
+	maxID := ID(-1)
 	for _, id := range ids {
-		s = s.Add(id)
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if maxID < 0 {
+		return Set{}
+	}
+	s := Set{words: make([]uint64, int(maxID)/wordBits+1)}
+	for _, id := range ids {
+		if id >= 0 {
+			s.words[int(id)/wordBits] |= 1 << uint(int(id)%wordBits)
+		}
 	}
 	return s
 }
@@ -40,9 +51,15 @@ func NewSet(ids ...ID) Set {
 // Range returns the set {lo, lo+1, ..., hi-1}. An empty range yields the
 // empty set.
 func Range(lo, hi ID) Set {
-	var s Set
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return Set{}
+	}
+	s := Set{words: make([]uint64, (int(hi)-1)/wordBits+1)}
 	for id := lo; id < hi; id++ {
-		s = s.Add(id)
+		s.words[int(id)/wordBits] |= 1 << uint(int(id)%wordBits)
 	}
 	return s
 }

@@ -69,6 +69,11 @@ type Payload struct {
 	Items []Item
 }
 
+// decodePayload memoizes payload decoding (msg.CachedDecoder): relayed
+// item sets recur across rounds, probes and seeds. Decoded payloads are
+// shared and read-only — chains are copied before extension (chainFor).
+var decodePayload = msg.CachedDecoder[Payload]()
+
 // SignedData is the byte string each chain signature covers.
 func SignedData(tag string, v msg.Value) []byte {
 	return []byte(tag + "\x00" + string(v))
@@ -166,8 +171,8 @@ func (m *machine) Step(round int, received []msg.Message) []sim.Outgoing {
 	}
 	var newlyAccepted []msg.Value
 	for _, rm := range received {
-		var p Payload
-		if err := msg.Decode(rm.Payload, &p); err != nil {
+		p, ok := decodePayload(rm.Payload)
+		if !ok {
 			continue // garbage from a Byzantine peer
 		}
 		for _, it := range p.Items {
@@ -226,8 +231,8 @@ func (m *machine) Step(round int, received []msg.Message) []sim.Outgoing {
 // chainFor recovers the valid chain that caused v's acceptance this round.
 func (m *machine) chainFor(v msg.Value, received []msg.Message, round int) []Link {
 	for _, rm := range received {
-		var p Payload
-		if err := msg.Decode(rm.Payload, &p); err != nil {
+		p, ok := decodePayload(rm.Payload)
+		if !ok {
 			continue
 		}
 		for _, it := range p.Items {

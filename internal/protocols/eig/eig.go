@@ -83,6 +83,11 @@ type payload struct {
 	P []pair
 }
 
+// decodePayload memoizes payload decoding (msg.CachedDecoder): level
+// relays repeat the same bodies across probes. Decoded payloads are
+// shared and read-only — labels are copied before extension.
+var decodePayload = msg.CachedDecoder[payload]()
+
 func key(label []int) string {
 	parts := make([]string, len(label))
 	for i, x := range label {
@@ -163,8 +168,8 @@ func (m *machine) Step(round int, received []msg.Message) []sim.Outgoing {
 		return nil
 	}
 	for _, rm := range received {
-		var p payload
-		if err := msg.Decode(rm.Payload, &p); err != nil {
+		p, ok := decodePayload(rm.Payload)
+		if !ok {
 			continue
 		}
 		for _, pr := range p.P {

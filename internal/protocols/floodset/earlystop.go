@@ -22,7 +22,7 @@ import (
 func NewEarlyStopping(cfg Config) sim.Factory {
 	return func(id proc.ID, proposal msg.Value) sim.Machine {
 		return &earlyMachine{
-			machine: machine{cfg: cfg, id: id, seen: map[msg.Value]bool{proposal: true}},
+			machine: machine{cfg: cfg, id: id, seen: map[msg.Value]bool{proposal: true}, dirty: true},
 		}
 	}
 }
@@ -43,12 +43,15 @@ func (m *earlyMachine) Step(round int, received []msg.Message) []sim.Outgoing {
 	var heard proc.Set
 	for _, rm := range received {
 		heard = heard.Add(rm.Sender)
-		var p payload
-		if err := msg.Decode(rm.Payload, &p); err != nil {
+		w, ok := decodeW(rm.Payload)
+		if !ok {
 			continue
 		}
-		for _, v := range p.W {
-			m.seen[v] = true
+		for _, v := range w {
+			if !m.seen[v] {
+				m.seen[v] = true
+				m.dirty = true
+			}
 		}
 	}
 

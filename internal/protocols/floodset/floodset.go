@@ -32,7 +32,7 @@ func RoundBound(t int) int { return t + 1 }
 // New returns the honest-machine factory.
 func New(cfg Config) sim.Factory {
 	return func(id proc.ID, proposal msg.Value) sim.Machine {
-		return &machine{cfg: cfg, id: id, seen: map[msg.Value]bool{proposal: true}}
+		return &machine{cfg: cfg, id: id, seen: map[msg.Value]bool{proposal: true}, dirty: true}
 	}
 }
 
@@ -40,10 +40,29 @@ type payload struct {
 	W []msg.Value
 }
 
+// decodePayload memoizes payload decoding (msg.CachedDecoder): probe
+// sweeps run FloodSet millions of rounds over a tiny payload universe
+// (subsets of the proposal values, usually {0, 1}), so nearly every
+// decode is a repeat. Decoded sets are shared and read-only.
+var decodePayload = msg.CachedDecoder[payload]()
+
+func decodeW(body string) ([]msg.Value, bool) {
+	p, ok := decodePayload(body)
+	if !ok {
+		return nil, false
+	}
+	return p.W, true
+}
+
 type machine struct {
 	cfg  Config
 	id   proc.ID
 	seen map[msg.Value]bool
+
+	// encoded caches the broadcast body; it is rebuilt only when seen
+	// changed since the last encode (after round 1 it rarely does).
+	encoded string
+	dirty   bool
 
 	decided  bool
 	decision msg.Value
@@ -62,11 +81,14 @@ func (m *machine) sorted() []msg.Value {
 }
 
 func (m *machine) broadcast() []sim.Outgoing {
-	body := msg.Encode(payload{W: m.sorted()})
+	if m.dirty {
+		m.encoded = msg.Encode(payload{W: m.sorted()})
+		m.dirty = false
+	}
 	out := make([]sim.Outgoing, 0, m.cfg.N-1)
 	for p := proc.ID(0); p < proc.ID(m.cfg.N); p++ {
 		if p != m.id {
-			out = append(out, sim.Outgoing{To: p, Payload: body})
+			out = append(out, sim.Outgoing{To: p, Payload: m.encoded})
 		}
 	}
 	return out
@@ -81,12 +103,15 @@ func (m *machine) Step(round int, received []msg.Message) []sim.Outgoing {
 		return nil
 	}
 	for _, rm := range received {
-		var p payload
-		if err := msg.Decode(rm.Payload, &p); err != nil {
+		w, ok := decodeW(rm.Payload)
+		if !ok {
 			continue
 		}
-		for _, v := range p.W {
-			m.seen[v] = true
+		for _, v := range w {
+			if !m.seen[v] {
+				m.seen[v] = true
+				m.dirty = true
+			}
 		}
 	}
 	if round >= RoundBound(m.cfg.T) {

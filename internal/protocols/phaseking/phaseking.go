@@ -74,6 +74,30 @@ type payload struct {
 	V msg.Value
 }
 
+// The honest protocol only ever exchanges the two binary payloads;
+// pre-encoding them (and string-matching on decode) keeps the probe-loop
+// hot path free of JSON work. Bytes are identical to msg.Encode output.
+var (
+	bodyZero = msg.Encode(payload{V: msg.Zero})
+	bodyOne  = msg.Encode(payload{V: msg.One})
+)
+
+// decodeV parses a payload into a binary value; non-binary or malformed
+// payloads (a Byzantine sender's) report ok=false.
+func decodeV(body string) (msg.Value, bool) {
+	switch body {
+	case bodyZero:
+		return msg.Zero, true
+	case bodyOne:
+		return msg.One, true
+	}
+	var p payload
+	if err := msg.Decode(body, &p); err != nil || !msg.IsBit(p.V) {
+		return msg.NoDecision, false
+	}
+	return p.V, true
+}
+
 type machine struct {
 	cfg  Config
 	id   proc.ID
@@ -90,7 +114,15 @@ type machine struct {
 var _ sim.Machine = (*machine)(nil)
 
 func (m *machine) broadcast(v msg.Value) []sim.Outgoing {
-	body := msg.Encode(payload{V: v})
+	var body string
+	switch v {
+	case msg.Zero:
+		body = bodyZero
+	case msg.One:
+		body = bodyOne
+	default:
+		body = msg.Encode(payload{V: v})
+	}
 	out := make([]sim.Outgoing, 0, m.cfg.N-1)
 	for p := proc.ID(0); p < proc.ID(m.cfg.N); p++ {
 		if p != m.id {
@@ -124,11 +156,11 @@ func (m *machine) Step(round int, received []msg.Message) []sim.Outgoing {
 		// End of the exchange round: tally preferences (own included).
 		counts := map[msg.Value]int{m.pref: 1}
 		for _, rm := range received {
-			var p payload
-			if err := msg.Decode(rm.Payload, &p); err != nil || !msg.IsBit(p.V) {
+			v, ok := decodeV(rm.Payload)
+			if !ok {
 				continue
 			}
-			counts[p.V]++
+			counts[v]++
 		}
 		if counts[msg.Zero] >= counts[msg.One] {
 			m.maj, m.mult = msg.Zero, counts[msg.Zero]
@@ -149,9 +181,8 @@ func (m *machine) Step(round int, received []msg.Message) []sim.Outgoing {
 			if rm.Sender != king(phase) {
 				continue
 			}
-			var p payload
-			if err := msg.Decode(rm.Payload, &p); err == nil && msg.IsBit(p.V) {
-				kingValue = p.V
+			if v, ok := decodeV(rm.Payload); ok {
+				kingValue = v
 			}
 		}
 	}

@@ -1,23 +1,36 @@
 // Package sim implements the synchronous computational model of §2 and
 // Appendix A.1: n deterministic state machines advancing in lock-step
 // rounds, a static adversary that corrupts up to t processes before the
-// run, and full per-round trace recording.
+// run, and per-round trace recording.
 //
-// The engine produces an Execution — the exact object Appendix A.1.6
-// defines: a faulty set plus one Behavior per process, where a Behavior is
-// a sequence of Fragments (state, sent, send-omitted, received,
-// receive-omitted per round). Everything downstream — the omission-model
-// validator, swap_omission, merge, and the lower-bound falsifier — operates
-// on these traces.
+// Recording is tiered. At RecordFull (the default) the engine produces an
+// Execution — the exact object Appendix A.1.6 defines: a faulty set plus
+// one Behavior per process, where a Behavior is a sequence of Fragments
+// (state, sent, send-omitted, received, receive-omitted per round).
+// Everything downstream — the omission-model validator, swap_omission,
+// merge, and the lower-bound falsifier — operates on these traces. At
+// RecordDecisions the engine records only what the probe loops actually
+// read — per-process decisions and per-round message counts — and runs an
+// allocation-free round loop whose scratch buffers are pooled across Run
+// calls. Probe sweeps (hunt campaigns, the protocol × strategy matrix, the
+// falsifier families) probe lean and deterministically re-run the rare
+// violating configuration at RecordFull to reconstruct the full evidence
+// object.
 //
 // Determinism contract: a Machine's outputs may depend only on its inputs
-// (proposal, round number, received messages). The engine sorts received
-// messages by sender before every Step, so identical views yield identical
-// behavior — the indistinguishability property the paper's proofs rely on.
+// (proposal, round number, received messages). The engine delivers received
+// messages sorted by sender before every Step, so identical views yield
+// identical behavior — the indistinguishability property the paper's proofs
+// rely on. (Engine inboxes are filled in ascending sender order within a
+// single round, so they are born sorted; Conforms still sorts explicitly
+// because it replays recorded traces of arbitrary origin.) The received
+// slice passed to Step is only valid for the duration of the call: machines
+// must not retain it.
 package sim
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"expensive/internal/msg"
@@ -32,6 +45,35 @@ var runCount atomic.Int64
 // started so far in this process.
 func Runs() int64 { return runCount.Load() }
 
+// Recording selects how much of an execution the engine records.
+type Recording int
+
+const (
+	// RecordFull records the complete Appendix A.1.6 trace: four message
+	// slices per process per round. This is the zero value and the
+	// historical behavior — output is bit-for-bit identical to the
+	// pre-tiered engine.
+	RecordFull Recording = iota
+	// RecordDecisions is the lean tier: per-process decisions plus
+	// per-round sent/omitted/received counts, no message slices. APIs that
+	// need the messages themselves (Conforms, omission.Validate, swap,
+	// merge, shrinking) reject lean executions; callers re-run the same
+	// deterministic configuration at RecordFull when they need evidence.
+	RecordDecisions
+)
+
+// String renders the recording level.
+func (r Recording) String() string {
+	switch r {
+	case RecordFull:
+		return "full"
+	case RecordDecisions:
+		return "decisions"
+	default:
+		return fmt.Sprintf("Recording(%d)", int(r))
+	}
+}
+
 // Outgoing is a message a machine asks the engine to send in the next
 // round. The engine stamps sender and round.
 type Outgoing struct {
@@ -43,10 +85,13 @@ type Outgoing struct {
 //
 // Init returns the messages sent in round 1 (they depend only on the
 // initial state). Step consumes the messages received in round r and
-// returns the messages to send in round r+1. Decision exposes the
-// decision-bit component of the state; once set it must never change.
-// Quiescent reports that the machine will never send again regardless of
-// future inputs — the engine uses it for sound early termination.
+// returns the messages to send in round r+1; the received slice is only
+// valid for the duration of the call — at the lean recording tier it is
+// backing-store the engine reuses — so machines must copy anything they
+// keep. Decision exposes the decision-bit component of the state; once
+// set it must never change. Quiescent reports that the machine will never
+// send again regardless of future inputs — the engine uses it for sound
+// early termination.
 type Machine interface {
 	Init() []Outgoing
 	Step(round int, received []msg.Message) []Outgoing
@@ -157,6 +202,9 @@ type Config struct {
 	// all machines are quiescent. The lower-bound machinery uses it so all
 	// probe executions share one horizon.
 	DisableEarlyStop bool
+	// Recording selects the trace tier. The zero value, RecordFull, is the
+	// historical full Appendix A.1.6 trace.
+	Recording Recording
 }
 
 func (c Config) validate() error {
@@ -169,6 +217,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("config: need %d proposals, got %d", c.N, len(c.Proposals))
 	case c.MaxRounds <= 0:
 		return fmt.Errorf("config: MaxRounds must be positive, got %d", c.MaxRounds)
+	case c.Recording != RecordFull && c.Recording != RecordDecisions:
+		return fmt.Errorf("config: unknown recording level %d", int(c.Recording))
 	}
 	return nil
 }
@@ -187,16 +237,35 @@ type Fragment struct {
 	Decision       msg.Value
 }
 
+// LeanBehavior is the RecordDecisions-tier record of one process: per-round
+// message counts (parallel slices indexed by round-1) plus the decision
+// trajectory. The message identities themselves are not retained.
+type LeanBehavior struct {
+	Sent           []int
+	SendOmitted    []int
+	Received       []int
+	ReceiveOmitted []int
+	Decided        bool
+	Decision       msg.Value
+	// DecidedRound is the first round (1-based) at whose end the process
+	// had decided, 0 when it never decided within the recorded prefix.
+	DecidedRound int
+}
+
 // Behavior is the Appendix A.1.5 full per-process record: proposal plus
-// one fragment per round.
+// one fragment per round. Lean-tier behaviors carry counts instead of
+// fragments (Lean non-nil, Fragments nil).
 type Behavior struct {
 	ID        proc.ID
 	Proposal  msg.Value
 	Fragments []Fragment
+	// Lean holds the RecordDecisions-tier record; nil on full traces.
+	Lean *LeanBehavior
 }
 
 // Frag returns the fragment of round r (1-based), or an empty fragment if
 // the behavior is shorter (the process is silent past its recorded end).
+// Lean behaviors have no fragments; Frag reports every round empty.
 func (b *Behavior) Frag(r int) Fragment {
 	if r < 1 || r > len(b.Fragments) {
 		return Fragment{Round: r}
@@ -204,8 +273,23 @@ func (b *Behavior) Frag(r int) Fragment {
 	return b.Fragments[r-1]
 }
 
+// RoundsRecorded returns the number of rounds this behavior records, at
+// either tier.
+func (b *Behavior) RoundsRecorded() int {
+	if b.Lean != nil {
+		return len(b.Lean.Sent)
+	}
+	return len(b.Fragments)
+}
+
 // FinalDecision returns the process's decision at the end of the behavior.
 func (b *Behavior) FinalDecision() (msg.Value, bool) {
+	if b.Lean != nil {
+		if !b.Lean.Decided {
+			return msg.NoDecision, false
+		}
+		return b.Lean.Decision, true
+	}
 	if len(b.Fragments) == 0 {
 		return msg.NoDecision, false
 	}
@@ -216,18 +300,65 @@ func (b *Behavior) FinalDecision() (msg.Value, bool) {
 	return f.Decision, true
 }
 
-// AllSent returns every message the process (successfully) sent.
+// DecisionRound returns the first round (1-based) at whose end the process
+// had decided, or 0 when it never decided within the recorded prefix. It
+// works at both recording tiers.
+func (b *Behavior) DecisionRound() int {
+	if b.Lean != nil {
+		return b.Lean.DecidedRound
+	}
+	for i := range b.Fragments {
+		if b.Fragments[i].Decided {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// sentCount returns the number of messages the process successfully sent,
+// at either tier.
+func (b *Behavior) sentCount() int {
+	total := 0
+	if b.Lean != nil {
+		for _, c := range b.Lean.Sent {
+			total += c
+		}
+		return total
+	}
+	for i := range b.Fragments {
+		total += len(b.Fragments[i].Sent)
+	}
+	return total
+}
+
+// AllSent returns every message the process (successfully) sent. Lean
+// behaviors record no message identities and return nil.
 func (b *Behavior) AllSent() []msg.Message {
-	var out []msg.Message
+	total := 0
+	for i := range b.Fragments {
+		total += len(b.Fragments[i].Sent)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]msg.Message, 0, total)
 	for _, f := range b.Fragments {
 		out = append(out, f.Sent...)
 	}
 	return out
 }
 
-// AllSendOmitted returns every message the process send-omitted.
+// AllSendOmitted returns every message the process send-omitted. Lean
+// behaviors record no message identities and return nil.
 func (b *Behavior) AllSendOmitted() []msg.Message {
-	var out []msg.Message
+	total := 0
+	for i := range b.Fragments {
+		total += len(b.Fragments[i].SendOmitted)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]msg.Message, 0, total)
 	for _, f := range b.Fragments {
 		out = append(out, f.SendOmitted...)
 	}
@@ -235,8 +366,16 @@ func (b *Behavior) AllSendOmitted() []msg.Message {
 }
 
 // AllReceiveOmitted returns every message the process receive-omitted.
+// Lean behaviors record no message identities and return nil.
 func (b *Behavior) AllReceiveOmitted() []msg.Message {
-	var out []msg.Message
+	total := 0
+	for i := range b.Fragments {
+		total += len(b.Fragments[i].ReceiveOmitted)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]msg.Message, 0, total)
 	for _, f := range b.Fragments {
 		out = append(out, f.ReceiveOmitted...)
 	}
@@ -256,6 +395,10 @@ type Execution struct {
 	// Quiesced reports that the run ended because every machine was
 	// quiescent (so the recorded prefix determines the infinite execution).
 	Quiesced bool
+	// Recording is the tier the execution was recorded at. Constructed
+	// executions (swap, merge) carry full traces and inherit the zero
+	// value, RecordFull.
+	Recording Recording
 }
 
 // Behavior returns the behavior of process id.
@@ -292,12 +435,12 @@ func (e *Execution) CommonDecision(group proc.Set) (msg.Value, error) {
 }
 
 // MessagesSentBy counts messages successfully sent by processes in group.
+// On lean traces it reads the recorded per-round counts — no message
+// slices are needed.
 func (e *Execution) MessagesSentBy(group proc.Set) int {
 	total := 0
 	for _, id := range group.Members() {
-		for _, f := range e.Behaviors[id].Fragments {
-			total += len(f.Sent)
-		}
+		total += e.Behaviors[id].sentCount()
 	}
 	return total
 }
@@ -313,6 +456,53 @@ func (e *Execution) Proposals() []msg.Value {
 		out[i] = b.Proposal
 	}
 	return out
+}
+
+// scratch holds the engine's per-run working set. The round loop is the
+// hot path of every probe sweep — falsifier families, hunt campaigns, the
+// protocol × strategy matrix all run it millions of rounds — so the
+// routing tables, the per-round fragment staging area and the
+// duplicate-receiver check are pooled and reused across Run calls.
+type scratch struct {
+	inboxes [][]msg.Message
+	frags   []Fragment
+	pending [][]Outgoing
+	seen    []int // generation-stamped duplicate-receiver check
+	gen     int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// grow readies the scratch for a run with n processes. Slices keep their
+// backing arrays across runs; entries are reset lazily per round.
+func (s *scratch) grow(n int) {
+	for len(s.inboxes) < n {
+		s.inboxes = append(s.inboxes, nil)
+	}
+	for len(s.frags) < n {
+		s.frags = append(s.frags, Fragment{})
+	}
+	for len(s.pending) < n {
+		s.pending = append(s.pending, nil)
+	}
+	for len(s.seen) < n {
+		s.seen = append(s.seen, 0)
+	}
+}
+
+// release returns the scratch to the pool, dropping references into the
+// run's output (fragment slices, machine-owned pending slices, message
+// payload strings left in the inboxes) so pooled scratch never pins a
+// finished execution in memory.
+func (s *scratch) release() {
+	clear(s.frags)
+	clear(s.pending)
+	for i := range s.inboxes {
+		full := s.inboxes[i][:cap(s.inboxes[i])]
+		clear(full)
+		s.inboxes[i] = full[:0]
+	}
+	scratchPool.Put(s)
 }
 
 // Run executes the protocol under the fault plan and returns the recorded
@@ -334,6 +524,7 @@ func Run(cfg Config, factory Factory, plan FaultPlan) (*Execution, error) {
 	}
 
 	machines := make([]Machine, cfg.N)
+	behArr := make([]Behavior, cfg.N)
 	behaviors := make([]*Behavior, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		id := proc.ID(i)
@@ -345,55 +536,74 @@ func Run(cfg Config, factory Factory, plan FaultPlan) (*Execution, error) {
 		} else {
 			machines[i] = factory(id, cfg.Proposals[i])
 		}
-		behaviors[i] = &Behavior{ID: id, Proposal: cfg.Proposals[i]}
+		behArr[i] = Behavior{ID: id, Proposal: cfg.Proposals[i]}
+		behaviors[i] = &behArr[i]
 	}
 
+	sc := scratchPool.Get().(*scratch)
+	sc.grow(cfg.N)
+	defer sc.release()
+
 	// Outgoing messages for the next round, per process.
-	pending := make([][]Outgoing, cfg.N)
+	pending := sc.pending
 	for i := range machines {
 		pending[i] = machines[i].Init()
 	}
 
-	// Scratch buffers reused across rounds: per-round message routing is
-	// the engine's hot path, and the probe loops above it (falsifier
-	// sweeps, experiment grids) run it millions of rounds. Fragment slices
-	// (Sent, Received, …) are NOT reused — each round's fragment is
-	// appended to a behavior and must own its backing arrays — but the
-	// routing tables and the duplicate-receiver check are.
-	inboxes := make([][]msg.Message, cfg.N)
-	frags := make([]Fragment, cfg.N)
-	seen := make([]int, cfg.N) // generation-stamped duplicate-receiver check
-	gen := 0
+	e := &Execution{
+		N:         cfg.N,
+		T:         cfg.T,
+		Faulty:    faulty,
+		Behaviors: behaviors,
+		Recording: cfg.Recording,
+	}
+	var err error
+	if cfg.Recording == RecordDecisions {
+		err = runLean(cfg, e, machines, pending, plan, faulty, sc)
+	} else {
+		err = runFull(cfg, e, machines, pending, plan, faulty, sc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
 
-	rounds := 0
-	quiesced := false
+// runFull is the RecordFull round loop: the historical engine, recording
+// the four message slices per process per round. Its output is bit-for-bit
+// identical to the pre-tiered engine.
+func runFull(cfg Config, e *Execution, machines []Machine, pending [][]Outgoing, plan FaultPlan, faulty proc.Set, sc *scratch) error {
+	inboxes, frags, seen := sc.inboxes, sc.frags, sc.seen
+
+	for i := 0; i < cfg.N; i++ {
+		e.Behaviors[i].Fragments = make([]Fragment, 0, cfg.MaxRounds)
+	}
+
 	for r := 1; r <= cfg.MaxRounds; r++ {
-		rounds = r
-		for i := range inboxes {
+		e.Rounds = r
+		for i := 0; i < cfg.N; i++ {
 			inboxes[i] = inboxes[i][:0]
-		}
-		for i := range frags {
 			frags[i] = Fragment{Round: r}
 		}
 
 		// Send phase.
 		for i := 0; i < cfg.N; i++ {
-			gen++
+			sc.gen++
 			for _, out := range pending[i] {
 				if out.To == proc.ID(i) {
-					return nil, fmt.Errorf("round %d: %s sent to itself", r, proc.ID(i))
+					return fmt.Errorf("round %d: %s sent to itself", r, proc.ID(i))
 				}
 				if out.To < 0 || int(out.To) >= cfg.N {
-					return nil, fmt.Errorf("round %d: %s sent to unknown process %d", r, proc.ID(i), out.To)
+					return fmt.Errorf("round %d: %s sent to unknown process %d", r, proc.ID(i), out.To)
 				}
-				if seen[out.To] == gen {
-					return nil, fmt.Errorf("round %d: %s sent twice to %s", r, proc.ID(i), out.To)
+				if seen[out.To] == sc.gen {
+					return fmt.Errorf("round %d: %s sent twice to %s", r, proc.ID(i), out.To)
 				}
-				seen[out.To] = gen
+				seen[out.To] = sc.gen
 				m := msg.Message{Sender: proc.ID(i), Receiver: out.To, Round: r, Payload: out.Payload}
 				if plan.SendOmit(m) {
 					if !faulty.Contains(m.Sender) {
-						return nil, fmt.Errorf("round %d: plan send-omits message of correct %s", r, m.Sender)
+						return fmt.Errorf("round %d: plan send-omits message of correct %s", r, m.Sender)
 					}
 					frags[i].SendOmitted = append(frags[i].SendOmitted, m)
 					continue
@@ -403,13 +613,16 @@ func Run(cfg Config, factory Factory, plan FaultPlan) (*Execution, error) {
 			}
 		}
 
-		// Receive phase.
+		// Receive phase. Inboxes are already in delivery order: the send
+		// phase visits senders in ascending ID order within one round, and
+		// each sender contributes at most one message per inbox, so every
+		// inbox is born sorted by (round, sender, receiver) — no sort
+		// needed here.
 		for j := 0; j < cfg.N; j++ {
-			msg.Sort(inboxes[j])
 			for _, m := range inboxes[j] {
 				if plan.ReceiveOmit(m) {
 					if !faulty.Contains(m.Receiver) {
-						return nil, fmt.Errorf("round %d: plan receive-omits message of correct %s", r, m.Receiver)
+						return fmt.Errorf("round %d: plan receive-omits message of correct %s", r, m.Receiver)
 					}
 					frags[j].ReceiveOmitted = append(frags[j].ReceiveOmitted, m)
 					continue
@@ -429,26 +642,133 @@ func Run(cfg Config, factory Factory, plan FaultPlan) (*Execution, error) {
 			if decided {
 				frags[i].Decided, frags[i].Decision = true, v
 			}
-			behaviors[i].Fragments = append(behaviors[i].Fragments, frags[i])
+			e.Behaviors[i].Fragments = append(e.Behaviors[i].Fragments, frags[i])
 			if len(pending[i]) > 0 || !machines[i].Quiescent() || !decided {
 				allQuiet = false
 			}
 		}
 
 		if allQuiet && !cfg.DisableEarlyStop {
-			quiesced = true
+			e.Quiesced = true
 			break
 		}
 	}
+	return nil
+}
 
-	return &Execution{
-		N:         cfg.N,
-		T:         cfg.T,
-		Faulty:    faulty,
-		Behaviors: behaviors,
-		Rounds:    rounds,
-		Quiesced:  quiesced,
-	}, nil
+// runLean is the RecordDecisions round loop: identical machine schedule
+// and fault-plan consultation order to runFull, but the engine only counts
+// messages instead of retaining them. The only per-run allocations are the
+// output object itself (one flat count array carved into per-behavior
+// slices) — all routing scratch comes from the pool, and receive-omission
+// filtering happens in place inside the pooled inboxes.
+func runLean(cfg Config, e *Execution, machines []Machine, pending [][]Outgoing, plan FaultPlan, faulty proc.Set, sc *scratch) error {
+	inboxes, seen := sc.inboxes, sc.seen
+
+	// One flat backing array for the 4·n per-round count series.
+	counts := make([]int, 4*cfg.N*cfg.MaxRounds)
+	leans := make([]LeanBehavior, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		off := 4 * i * cfg.MaxRounds
+		leans[i] = LeanBehavior{
+			Sent:           counts[off : off : off+cfg.MaxRounds],
+			SendOmitted:    counts[off+cfg.MaxRounds : off+cfg.MaxRounds : off+2*cfg.MaxRounds],
+			Received:       counts[off+2*cfg.MaxRounds : off+2*cfg.MaxRounds : off+3*cfg.MaxRounds],
+			ReceiveOmitted: counts[off+3*cfg.MaxRounds : off+3*cfg.MaxRounds : off+4*cfg.MaxRounds],
+		}
+		e.Behaviors[i].Lean = &leans[i]
+	}
+
+	for r := 1; r <= cfg.MaxRounds; r++ {
+		e.Rounds = r
+		for i := 0; i < cfg.N; i++ {
+			inboxes[i] = inboxes[i][:0]
+			l := &leans[i]
+			l.Sent = append(l.Sent, 0)
+			l.SendOmitted = append(l.SendOmitted, 0)
+			l.Received = append(l.Received, 0)
+			l.ReceiveOmitted = append(l.ReceiveOmitted, 0)
+		}
+
+		// Send phase: same validation and plan-consultation order as
+		// runFull, counting instead of recording.
+		for i := 0; i < cfg.N; i++ {
+			sc.gen++
+			l := &leans[i]
+			for _, out := range pending[i] {
+				if out.To == proc.ID(i) {
+					return fmt.Errorf("round %d: %s sent to itself", r, proc.ID(i))
+				}
+				if out.To < 0 || int(out.To) >= cfg.N {
+					return fmt.Errorf("round %d: %s sent to unknown process %d", r, proc.ID(i), out.To)
+				}
+				if seen[out.To] == sc.gen {
+					return fmt.Errorf("round %d: %s sent twice to %s", r, proc.ID(i), out.To)
+				}
+				seen[out.To] = sc.gen
+				m := msg.Message{Sender: proc.ID(i), Receiver: out.To, Round: r, Payload: out.Payload}
+				if plan.SendOmit(m) {
+					if !faulty.Contains(m.Sender) {
+						return fmt.Errorf("round %d: plan send-omits message of correct %s", r, m.Sender)
+					}
+					l.SendOmitted[r-1]++
+					continue
+				}
+				l.Sent[r-1]++
+				inboxes[out.To] = append(inboxes[out.To], m)
+			}
+		}
+
+		// Receive phase: filter receive-omitted messages out of the inbox
+		// in place (the inbox is not recorded, so it can be compacted).
+		for j := 0; j < cfg.N; j++ {
+			l := &leans[j]
+			kept := inboxes[j][:0]
+			for _, m := range inboxes[j] {
+				if plan.ReceiveOmit(m) {
+					if !faulty.Contains(m.Receiver) {
+						return fmt.Errorf("round %d: plan receive-omits message of correct %s", r, m.Receiver)
+					}
+					l.ReceiveOmitted[r-1]++
+					continue
+				}
+				kept = append(kept, m)
+			}
+			inboxes[j] = kept
+			l.Received[r-1] = len(kept)
+		}
+
+		// Compute phase: identical early-stop rule to runFull.
+		allQuiet := true
+		for i := 0; i < cfg.N; i++ {
+			pending[i] = machines[i].Step(r, inboxes[i])
+			v, decided := machines[i].Decision()
+			l := &leans[i]
+			if decided {
+				// DecidedRound mirrors full-tier DecisionRound(): the first
+				// round ever decided, even if a (buggy) machine un-decides
+				// later — so it is stamped once and never reset.
+				if l.DecidedRound == 0 {
+					l.DecidedRound = r
+				}
+				l.Decided, l.Decision = true, v
+			} else {
+				// Mirror full-tier FinalDecision semantics: it reads the last
+				// round's state, so a machine that un-decides is recorded as
+				// undecided here too.
+				l.Decided, l.Decision = false, msg.NoDecision
+			}
+			if len(pending[i]) > 0 || !machines[i].Quiescent() || !decided {
+				allQuiet = false
+			}
+		}
+
+		if allQuiet && !cfg.DisableEarlyStop {
+			e.Quiesced = true
+			break
+		}
+	}
+	return nil
 }
 
 // Conforms re-runs the honest machine of every process not in skip against
@@ -456,8 +776,18 @@ func Run(cfg Config, factory Factory, plan FaultPlan) (*Execution, error) {
 // behavior (sent ∪ send-omitted) matches the machine's output exactly, and
 // that recorded decisions match the machine's decisions. This is the
 // independent validity check for constructed executions: it proves the
-// trace is genuinely generated by the protocol's state machines.
+// trace is genuinely generated by the protocol's state machines. It
+// requires a full trace: lean executions carry no message identities to
+// replay against.
 func Conforms(e *Execution, factory Factory, skip proc.Set) error {
+	if e.Recording != RecordFull {
+		return fmt.Errorf("conforms: requires a full trace, got recording level %q — re-run the configuration at RecordFull", e.Recording)
+	}
+	// Scratch reused across processes and rounds: Conforms runs once per
+	// campaign probe at the full tier, and rebuilding three slices per
+	// process per round dominated its allocation profile.
+	var outgoing, received []msg.Message
+	byTo := make(map[proc.ID]string)
 	for i := 0; i < e.N; i++ {
 		id := proc.ID(i)
 		if skip.Contains(id) {
@@ -468,10 +798,12 @@ func Conforms(e *Execution, factory Factory, skip proc.Set) error {
 		out := machine.Init()
 		for r := 1; r <= len(b.Fragments); r++ {
 			f := b.Frag(r)
-			if err := sameOutgoing(id, r, out, append(append([]msg.Message{}, f.Sent...), f.SendOmitted...)); err != nil {
+			outgoing = append(outgoing[:0], f.Sent...)
+			outgoing = append(outgoing, f.SendOmitted...)
+			if err := sameOutgoing(id, r, out, outgoing, byTo); err != nil {
 				return err
 			}
-			received := append([]msg.Message{}, f.Received...)
+			received = append(received[:0], f.Received...)
 			msg.Sort(received)
 			out = machine.Step(r, received)
 			v, ok := machine.Decision()
@@ -484,12 +816,14 @@ func Conforms(e *Execution, factory Factory, skip proc.Set) error {
 	return nil
 }
 
-func sameOutgoing(id proc.ID, round int, out []Outgoing, recorded []msg.Message) error {
+// sameOutgoing checks the machine's emitted messages against the trace's
+// recorded ones. byTo is caller-provided scratch, cleared on entry.
+func sameOutgoing(id proc.ID, round int, out []Outgoing, recorded []msg.Message, byTo map[proc.ID]string) error {
 	if len(out) != len(recorded) {
 		return fmt.Errorf("%s round %d: machine emits %d messages, trace records %d",
 			id, round, len(out), len(recorded))
 	}
-	byTo := make(map[proc.ID]string, len(out))
+	clear(byTo)
 	for _, o := range out {
 		byTo[o.To] = o.Payload
 	}

@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# bench.sh — record the repo's performance trajectory.
+#
+# Runs the tracked benchmark set and emits BENCH_<date>.json mapping each
+# benchmark to ns/op, B/op, allocs/op and any custom metrics it reports
+# (probes/s, msgs, replays, ...). Commit the output next to the previous
+# BENCH_*.json files so every perf PR has a recorded before/after.
+#
+# Usage:
+#   scripts/bench.sh                    # tracked set, 3 iterations each
+#   scripts/bench.sh 'BenchmarkMatrix'  # custom -bench regex
+#   BENCHTIME=10x scripts/bench.sh      # custom -benchtime
+#   OUT=custom.json scripts/bench.sh    # custom output path
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-BenchmarkHuntCampaign|BenchmarkMatrix|BenchmarkE1Falsifier|BenchmarkEngineRound|BenchmarkShrink|BenchmarkE9Protocols}"
+BENCHTIME="${BENCHTIME:-3x}"
+OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running: go test . -run '^$' -bench '$PATTERN' -benchtime $BENCHTIME -benchmem" >&2
+go test . -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem | tee "$RAW" >&2
+
+awk -v date="$(date +%Y-%m-%d)" -v gover="$(go env GOVERSION)" -v benchtime="$BENCHTIME" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": {\n", date, gover, benchtime
+    first = 1
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    line = ""
+    # fields come in (value, unit) pairs after the iteration count
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_", unit)
+        if (line != "") line = line ", "
+        line = line sprintf("\"%s\": %s", unit, $i)
+    }
+    if (line == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "    \"%s\": {%s}", name, line
+}
+END { printf "\n  }\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
