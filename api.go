@@ -2,6 +2,7 @@ package expensive
 
 import (
 	"expensive/internal/adversary"
+	"expensive/internal/adversary/fuzz"
 	"expensive/internal/catalog"
 	_ "expensive/internal/catalog/all" // link every protocol registration
 	"expensive/internal/catalog/matrix"
@@ -119,6 +120,17 @@ type (
 	ProtocolParamsError = catalog.ParamsError
 	// NamedStrategy couples a short stable ID with an attack strategy.
 	NamedStrategy = adversary.Named
+	// Fuzzer is a coverage-guided adaptive hunt: plan mutation over a
+	// replayable corpus, steered by a lean-tier novelty signal.
+	Fuzzer = fuzz.Fuzzer
+	// FuzzReport is a fuzzing run's deterministic, JSON-serializable
+	// outcome (byte-identical at every parallelism level).
+	FuzzReport = fuzz.Report
+	// FuzzCorpus is the persisted, replayable population of a fuzzing run.
+	FuzzCorpus = fuzz.Corpus
+	// FuzzEntry is one corpus member: plan, proposals, coverage hash and
+	// mutation provenance.
+	FuzzEntry = fuzz.Entry
 	// Matrix sweeps protocol × strategy × (n, t) over the worker pool.
 	Matrix = matrix.Matrix
 	// MatrixSize is one (n, t) grid point of a matrix sweep.
@@ -428,6 +440,45 @@ func ShrinkOptionsFor(p Protocol, params ProtocolParams) (ShrinkOptions, error) 
 // StrategyLibrary returns the named attack library in ID order; biasPct
 // parameterizes the random-omission family.
 func StrategyLibrary(biasPct int) []NamedStrategy { return adversary.Library(biasPct) }
+
+// Adaptive fuzzing: coverage-guided plan mutation over the lean-probe
+// engine (see internal/adversary/fuzz). Where a campaign sweeps fresh
+// seeds blindly, a fuzzer mutates a corpus of explicit fault plans and
+// keeps every probe that exercises novel engine behavior, so the search
+// concentrates on the rare corner cases the lower bound lives in.
+
+// NewFuzzer builds a coverage-guided hunt against a protocol: n and t fix
+// the system, factory/rounds the target, seed the strategy whose plans
+// populate generation 0, and budget the total number of candidate probes.
+// Tune the returned fuzzer (Validity, Shrink, Corpus, StopOnViolation,
+// Parallelism, New for n-shrinking) before calling Run.
+func NewFuzzer(protocol string, factory Factory, rounds, n, t int, seed AttackStrategy, budget int) *Fuzzer {
+	return &Fuzzer{
+		Protocol: protocol,
+		Factory:  factory,
+		Rounds:   rounds,
+		N:        n,
+		T:        t,
+		Seed:     seed,
+		Budget:   budget,
+	}
+}
+
+// NewFuzzerFor builds a coverage-guided hunt against a cataloged
+// protocol: the factory, round bound, validity property and n-shrinking
+// rebuild hook all come from the catalog handle, with central Params
+// validation.
+func NewFuzzerFor(p Protocol, params ProtocolParams, seed AttackStrategy, budget int) (*Fuzzer, error) {
+	return matrix.FuzzerFor(p, params, seed, budget)
+}
+
+// NewFuzzCorpus returns an empty corpus for the given target, ready to be
+// attached to a Fuzzer and persisted with Save.
+func NewFuzzCorpus(protocol string, n, t int) *FuzzCorpus { return fuzz.NewCorpus(protocol, n, t) }
+
+// LoadFuzzCorpus reads a corpus saved by FuzzCorpus.Save, for resuming a
+// hunt or replaying its entries.
+func LoadFuzzCorpus(path string) (*FuzzCorpus, error) { return fuzz.LoadCorpus(path) }
 
 // NewMatrix builds a registry-driven sweep of every registered protocol ×
 // every library strategy × the default (n, t) grid over the given seed

@@ -2,6 +2,7 @@ package expensive_test
 
 import (
 	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -475,6 +476,54 @@ func TestFacadeCampaignFor(t *testing.T) {
 	opts.Horizon = report.Horizon
 	if err := expensive.RecheckViolation(report.Violations[0], opts); err != nil {
 		t.Fatalf("recheck: %v", err)
+	}
+}
+
+// TestFacadeFuzzer drives the coverage-guided hunt through the public
+// surface: build from a catalog handle, run to the FloodSet split,
+// recheck the certificate, persist and reload the corpus.
+func TestFacadeFuzzer(t *testing.T) {
+	fs, ok := expensive.LookupProtocol("floodset")
+	if !ok {
+		t.Fatal("floodset not registered")
+	}
+	params := expensive.DefaultProtocolParams(4, 3)
+	fuzzer, err := expensive.NewFuzzerFor(fs, params, expensive.StrategyRandomSendOmission(40), 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuzzer.StopOnViolation = true
+	fuzzer.MaxViolations = 1
+	report, err := fuzzer.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Broken() {
+		t.Fatalf("adaptive fuzzing should split FloodSet at t=n-1 within budget (probes %d, corpus %d)",
+			report.Probes, report.CorpusSize)
+	}
+	if err := expensive.RecheckViolation(report.Violations[0], fuzzer.ShrinkOptions()); err != nil {
+		t.Fatalf("recheck: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	if err := fuzzer.Corpus.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := expensive.LoadFuzzCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != fuzzer.Corpus.Size() {
+		t.Fatalf("corpus round-trip lost entries: %d -> %d", fuzzer.Corpus.Size(), loaded.Size())
+	}
+
+	// The raw constructor mirrors NewCampaign: unchecked, tune-then-run.
+	factory, rounds := expensive.NewFloodSet(4, 3)
+	raw := expensive.NewFuzzer("floodset", factory, rounds, 4, 3, expensive.StrategyRandomSendOmission(40), 64)
+	raw.Validity = expensive.CheckWeakValidity
+	if _, err := raw.Run(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -271,6 +271,43 @@ func BenchmarkMatrix(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) { benchMatrix(b, 0) })
 }
 
+// benchFuzz runs the coverage-guided fuzzer to its first FloodSet split
+// at t = n-1 — the adaptive counterpart of benchCampaign's blind sweep.
+func benchFuzz(b *testing.B, parallelism int) {
+	b.Helper()
+	b.ReportAllocs()
+	probes := 0
+	firstViolation := 0
+	for i := 0; i < b.N; i++ {
+		proto, _ := expensive.LookupProtocol("floodset")
+		f, err := expensive.NewFuzzerFor(proto, expensive.DefaultProtocolParams(4, 3),
+			expensive.StrategyRandomSendOmission(40), 2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.StopOnViolation = true
+		f.Parallelism = parallelism
+		rep, err := f.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Broken() {
+			b.Fatal("fuzzer found no FloodSet split within budget")
+		}
+		probes += rep.Probes
+		firstViolation = rep.FirstViolationProbe
+	}
+	b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/s")
+	b.ReportMetric(float64(firstViolation), "probes-to-violation")
+}
+
+func BenchmarkFuzz(b *testing.B) {
+	// Adaptive-hunt throughput and probes-to-first-violation, serial vs
+	// full-width worker pool.
+	b.Run("serial", func(b *testing.B) { benchFuzz(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchFuzz(b, 0) })
+}
+
 func BenchmarkShrink(b *testing.B) {
 	// Minimization cost of one found FloodSet counterexample.
 	n, tf := 8, 2

@@ -6,6 +6,8 @@
 //	baexp falsify ...       run the Theorem 2 falsifier on one protocol
 //	baexp hunt ...          run a seeded adversary campaign and shrink
 //	                        whatever it finds to a minimal counterexample
+//	baexp fuzz ...          run a coverage-guided adaptive hunt that mutates
+//	                        fault plans from a replayable corpus
 //	baexp matrix ...        sweep the full protocol × strategy × (n, t)
 //	                        cross-product from the registry
 //	baexp solve ...         evaluate Theorem 4 for a standard problem
@@ -18,6 +20,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +28,7 @@ import (
 	"strings"
 
 	"expensive/internal/adversary"
+	"expensive/internal/adversary/fuzz"
 	"expensive/internal/catalog"
 	_ "expensive/internal/catalog/all" // link every protocol registration
 	cmatrix "expensive/internal/catalog/matrix"
@@ -62,6 +66,8 @@ func run(args []string) error {
 		return runFalsify(args[1:])
 	case "hunt":
 		return runHunt(args[1:])
+	case "fuzz":
+		return runFuzz(args[1:])
 	case "matrix":
 		return runMatrix(args[1:])
 	case "solve":
@@ -86,6 +92,8 @@ subcommands:
   falsify        run the Theorem 2 falsifier against a weak consensus protocol
   hunt           run a seeded adversary campaign against a cataloged protocol
                  and shrink whatever it finds to a minimal counterexample
+  fuzz           run a coverage-guided adaptive hunt: mutate fault plans from
+                 a replayable corpus instead of sweeping fresh seeds
   matrix         sweep the full protocol × strategy × (n, t) cross-product
                  from the registry into a deterministic grid report
   solve          evaluate the Theorem 4 solvability verdict for a problem
@@ -238,8 +246,10 @@ func parseSeedRange(s string) (adversary.SeedRange, error) {
 	if !ok {
 		return r, fmt.Errorf("seed range %q is not FROM:TO", s)
 	}
-	if r.Count() == 0 {
-		return r, fmt.Errorf("seed range %q is empty", s)
+	// Err also rejects widths that used to wrap Count negative and panic
+	// the worker pool (e.g. 0:9223372036854775807).
+	if err := r.Err(); err != nil {
+		return r, err
 	}
 	return r, nil
 }
@@ -347,6 +357,109 @@ func runHunt(args []string) error {
 				}
 			}
 		}
+	}
+	return nil
+}
+
+func runFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+	protoName := fs.String("proto", "floodset", "cataloged protocol to fuzz")
+	strategyName := fs.String("strategy", "random-send-omission", "seed strategy for generation 0")
+	n := fs.Int("n", 4, "system size")
+	t := fs.Int("t", 3, "fault budget")
+	budget := fs.Int("budget", 2048, "total candidate probes")
+	genSize := fs.Int("gen", 0, "candidates per mutation generation (0 = default 64)")
+	fuzzSeed := fs.Int64("seed", 0, "master seed for the deterministic search")
+	corpusPath := fs.String("corpus", "", "corpus file: loaded if present, saved after the run")
+	parallel := fs.Int("parallel", 0, "probe worker count (0 = NumCPU, 1 = serial)")
+	jsonOut := fs.Bool("json", false, "emit the deterministic JSON report")
+	shrink := fs.Bool("shrink", true, "minimize found violations")
+	stop := fs.Bool("stop", false, "stop after the first generation that found a violation")
+	keep := fs.Int("keep", 3, "record at most this many violations (0 = all)")
+	bias := fs.Int("bias", 40, "omission percentage for the random seed strategies")
+	list := fs.Bool("list", false, "list protocols and strategies and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bias < 0 || *bias > 100 {
+		return fmt.Errorf("bias must be a percentage within 0..100, got %d", *bias)
+	}
+	if *list {
+		printCatalog(*bias)
+		return nil
+	}
+	spec, err := catalog.Get(*protoName)
+	if err != nil {
+		return err
+	}
+	strategy, err := lookupStrategy(*strategyName, *bias)
+	if err != nil {
+		return err
+	}
+	params := catalog.DefaultParams(*n, *t)
+	fuzzer, err := cmatrix.FuzzerFor(spec, params, strategy, *budget)
+	if err != nil {
+		return err
+	}
+	fuzzer.GenSize = *genSize
+	fuzzer.FuzzSeed = *fuzzSeed
+	fuzzer.Shrink = *shrink
+	fuzzer.StopOnViolation = *stop
+	fuzzer.MaxViolations = *keep
+	fuzzer.Parallelism = *parallel
+	if *corpusPath != "" {
+		// Only a genuinely absent file means "start fresh": any other
+		// load failure must abort, or the final Save would overwrite an
+		// existing corpus the run silently failed to resume from.
+		corpus, err := fuzz.LoadCorpus(*corpusPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+		case err != nil:
+			return fmt.Errorf("-corpus: %w", err)
+		default:
+			fuzzer.Corpus = corpus
+		}
+	}
+	report, err := fuzzer.Run()
+	if err != nil {
+		return err
+	}
+	if *corpusPath != "" {
+		if err := fuzzer.Corpus.Save(*corpusPath); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+
+	fmt.Printf("fuzz %s vs %s: n=%d t=%d budget %d\n",
+		report.SeedStrategy, report.Protocol, report.N, report.T, report.Budget)
+	fmt.Printf("  %d probes over %d generations; corpus %d (+%d novel), %d violating probes\n",
+		report.Probes, report.Generations, report.CorpusSize, report.NewCoverage, report.ViolationCount)
+	fmt.Printf("  messages %d..%d, rounds %d..%d\n",
+		report.Messages.Min, report.Messages.Max, report.RoundsHist.Min, report.RoundsHist.Max)
+	fmt.Printf("  [%.1f ms wall, %.0f probes/sec, %d workers]\n", report.WallMS, report.ProbesPerSec, report.Workers)
+	if !report.Broken() {
+		fmt.Println("VERDICT: no violation — the protocol survived every probe")
+		return nil
+	}
+	fmt.Printf("VERDICT: first violation at probe %d of %d\n", report.FirstViolationProbe, report.Probes)
+	opts := fuzzer.ShrinkOptions()
+	for _, v := range report.Violations {
+		fmt.Printf("VERDICT: %v\n", v)
+		if v.Plan != nil {
+			fmt.Printf("  found plan: %v\n", v.Plan)
+		}
+		if v.Shrunk != nil {
+			fmt.Printf("  shrunk: %v\n", v.Shrunk)
+		}
+		if err := adversary.Recheck(v, opts); err != nil {
+			return fmt.Errorf("certificate failed independent recheck: %w", err)
+		}
+		fmt.Println("  certificate independently re-validated: execution guarantees, fault budget, machine conformance all hold")
 	}
 	return nil
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"expensive/internal/adversary"
 )
 
 func TestRunSubcommands(t *testing.T) {
@@ -28,6 +31,11 @@ func TestRunSubcommands(t *testing.T) {
 		{"hunt list", []string{"hunt", "-list"}},
 		{"hunt gradecast", []string{"hunt", "-proto", "gradecast", "-strategy", "two-faced", "-n", "5", "-t", "1", "-seeds", "0:8"}},
 		{"hunt derived", []string{"hunt", "-proto", "derived-weak", "-n", "4", "-t", "1", "-strategy", "chaos", "-seeds", "0:6"}},
+		{"fuzz floodset", []string{"fuzz", "-n", "4", "-t", "3", "-budget", "192", "-shrink=false"}},
+		{"fuzz json", []string{"fuzz", "-n", "4", "-t", "3", "-budget", "128", "-json", "-shrink=false"}},
+		{"fuzz parallel", []string{"fuzz", "-n", "4", "-t", "3", "-budget", "128", "-parallel", "4", "-shrink=false"}},
+		{"fuzz sound protocol", []string{"fuzz", "-proto", "phase-king", "-n", "5", "-t", "1", "-strategy", "chaos", "-budget", "96", "-shrink=false"}},
+		{"fuzz list", []string{"fuzz", "-list"}},
 		{"matrix small", []string{"matrix", "-proto", "floodset", "-sizes", "5:1", "-seeds", "0:4"}},
 		{"matrix json", []string{"matrix", "-proto", "floodset,phase-king", "-strategy", "targeted-withhold,chaos", "-sizes", "4:1,5:1", "-seeds", "0:4", "-json"}},
 		{"matrix parallel", []string{"matrix", "-proto", "floodset,gradecast", "-sizes", "5:1", "-seeds", "0:4", "-parallel", "4"}},
@@ -66,6 +74,13 @@ func TestRunErrors(t *testing.T) {
 		{"hunt unknown strategy", []string{"hunt", "-strategy", "nope"}, "unknown strategy"},
 		{"hunt bad seed range", []string{"hunt", "-seeds", "junk"}, "seed range"},
 		{"hunt empty seed range", []string{"hunt", "-seeds", "5:5"}, "empty"},
+		{"hunt overflowing seed range", []string{"hunt", "-seeds", "0:9223372036854775807"}, "exceeds"},
+		{"fuzz unknown protocol", []string{"fuzz", "-proto", "nope"}, "unknown protocol"},
+		{"fuzz unknown strategy", []string{"fuzz", "-strategy", "nope"}, "unknown strategy"},
+		{"fuzz bad budget", []string{"fuzz", "-n", "4", "-t", "3", "-budget", "0"}, "budget"},
+		{"fuzz bad bias", []string{"fuzz", "-bias", "120"}, "bias"},
+		{"fuzz resilience", []string{"fuzz", "-proto", "phase-king", "-n", "4", "-t", "1"}, "n > 4t"},
+		{"fuzz unreadable corpus", []string{"fuzz", "-n", "4", "-t", "3", "-budget", "32", "-corpus", "main.go"}, "corpus"},
 		{"hunt resilience", []string{"hunt", "-proto", "phase-king", "-n", "4", "-t", "1"}, "n > 4t"},
 		{"matrix unknown protocol", []string{"matrix", "-proto", "nope"}, "unknown protocol"},
 		{"matrix unknown strategy", []string{"matrix", "-strategy", "nope"}, "unknown strategy"},
@@ -88,5 +103,133 @@ func TestRunErrors(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestParseSeedRange covers the FROM:TO parser, including the overflow
+// regression: ranges whose width used to wrap Count() negative must be
+// rejected, not passed through to panic the worker pool.
+func TestParseSeedRange(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    adversary.SeedRange
+		wantErr string
+	}{
+		{in: "0:64", want: adversary.SeedRange{From: 0, To: 64}},
+		{in: "-8:8", want: adversary.SeedRange{From: -8, To: 8}},
+		{in: "junk", wantErr: "not FROM:TO"},
+		{in: "5", wantErr: "not FROM:TO"},
+		{in: "a:b", wantErr: "not FROM:TO"},
+		{in: "1:2:3", wantErr: "not FROM:TO"},
+		{in: "", wantErr: "not FROM:TO"},
+		{in: "5:5", wantErr: "empty"},
+		{in: "9:3", wantErr: "empty"},
+		{in: "0:9223372036854775807", wantErr: "exceeds"},
+		{in: "-9223372036854775808:9223372036854775807", wantErr: "exceeds"},
+		{in: "99999999999999999999:0", wantErr: "not FROM:TO"}, // From overflows int64
+	}
+	for _, tc := range cases {
+		t.Run(tc.in, func(t *testing.T) {
+			got, err := parseSeedRange(tc.in)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("parseSeedRange(%q) = %+v, expected error", tc.in, got)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Errorf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("parseSeedRange(%q) = %+v, want %+v", tc.in, got, tc.want)
+			}
+			if got.Count() <= 0 || got.Count() > adversary.MaxSeeds {
+				t.Errorf("accepted range has out-of-bounds count %d", got.Count())
+			}
+		})
+	}
+}
+
+// TestParseSizes covers the N:T grid-point list parser.
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("4:1, 5:1,8:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].N != 4 || got[0].T != 1 || got[1].N != 5 || got[2].T != 2 {
+		t.Errorf("parseSizes = %+v", got)
+	}
+	for _, in := range []string{"junk", "4", "4:x", "x:1", ""} {
+		if _, err := parseSizes(in); err == nil {
+			t.Errorf("parseSizes(%q): expected error", in)
+		}
+	}
+}
+
+// TestProblemByName covers the solve-subcommand problem table.
+func TestProblemByName(t *testing.T) {
+	for _, name := range []string{"weak", "strong", "broadcast", "correct-source", "interactive", "constant"} {
+		p, err := problemByName(name, 5, 2)
+		if err != nil {
+			t.Fatalf("problemByName(%q): %v", name, err)
+		}
+		if p.Name == "" {
+			t.Errorf("problemByName(%q) returned an unnamed problem", name)
+		}
+	}
+	if _, err := problemByName("nope", 5, 2); err == nil {
+		t.Error("problemByName(nope): expected error")
+	}
+}
+
+// TestLookupStrategy resolves every library ID and rejects unknown ones
+// with the available IDs in the message.
+func TestLookupStrategy(t *testing.T) {
+	for _, id := range adversary.LibraryIDs() {
+		s, err := lookupStrategy(id, 40)
+		if err != nil {
+			t.Fatalf("lookupStrategy(%q): %v", id, err)
+		}
+		if s.Build == nil {
+			t.Errorf("lookupStrategy(%q) returned a strategy without Build", id)
+		}
+	}
+	_, err := lookupStrategy("nope", 40)
+	if err == nil {
+		t.Fatal("lookupStrategy(nope): expected error")
+	}
+	if !strings.Contains(err.Error(), "targeted-withhold") {
+		t.Errorf("error %q does not list the available strategies", err)
+	}
+}
+
+// TestFuzzCorpusFlagRoundTrip pins the -corpus path: a first run writes
+// the corpus, a second run resumes from it.
+func TestFuzzCorpusFlagRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	args := []string{"fuzz", "-n", "4", "-t", "3", "-budget", "96", "-shrink=false", "-corpus", path}
+	if err := run(args); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+}
+
+// TestSeedRangeNoPanic replays the original crash shape end to end: a
+// huge range must surface as an error from the hunt path, never as a
+// panic out of runner.Map.
+func TestSeedRangeNoPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("huge seed range panicked: %v", r)
+		}
+	}()
+	err := run([]string{"hunt", "-proto", "floodset", "-seeds", "-4611686018427387904:4611686018427387904"})
+	if err == nil {
+		t.Fatal("expected an error for a 2^63-wide seed range")
 	}
 }

@@ -122,6 +122,43 @@
 //	baexp hunt -seeds 0:512 -parallel 8 -json   # deterministic JSON report
 //	baexp hunt -list                            # protocols and strategies
 //
+// # Adaptive fuzzing
+//
+// Campaigns sweep fresh seeds blindly; the coverage-guided fuzzer
+// (internal/adversary/fuzz, NewFuzzer/NewFuzzerFor, `baexp fuzz`) hunts
+// adaptively. It grows a corpus of explicit fault plans and mutates them
+// — adding single omissions and round-interval streaks, dropping,
+// retargeting and round-shifting them, promoting omission-faulty
+// processes to Byzantine machines, crossing corpus parents over,
+// re-seeding proposal vectors — and keeps every candidate whose lean
+// RecordDecisions execution hashes to a coverage signature (per-round
+// sent/omitted/received count vectors plus the decision pattern) never
+// seen before. Novel probes enter a persisted, replayable JSON corpus
+// (FuzzCorpus.Save / LoadFuzzCorpus; each entry records plan, proposals,
+// coverage hash and mutation provenance), and violating probes flow into
+// the campaign evidence pipeline unchanged: deterministic RecordFull
+// replay, Appendix A.1.6 validation, machine conformance, plan
+// extraction, shrinking, RecheckViolation.
+//
+// The determinism guarantee carries over: scheduling is
+// generation-batched — candidates are derived sequentially from the
+// corpus as it stood at the start of the generation, probed in parallel
+// on the runner pool, and folded back in slot order — so the FuzzReport
+// and the corpus are byte-identical at every parallelism level, exactly
+// like campaign reports and matrix grids. FuzzReport.FirstViolationProbe
+// (and the matching CampaignReport field) records probes-to-first-
+// violation; scripts/bench.sh compares the two on FloodSet at t = n-1,
+// where blind sweeping essentially never finds the E10 split and the
+// fuzzer reaches it within a few thousand probes:
+//
+//	f, _ := expensive.NewFuzzerFor(proto, params,
+//	    expensive.StrategyRandomSendOmission(40), 2048)
+//	f.Shrink = true
+//	report, _ := f.Run()          // report.Violations[0].Shrunk, corpus in f.Corpus
+//
+//	baexp fuzz -n 4 -t 3 -budget 2048 -stop     # the same hunt from the CLI
+//	baexp fuzz -corpus hunt.json -json          # persist + resume the corpus
+//
 // # The protocol catalog
 //
 // The paper's theorems quantify over every Byzantine agreement protocol;

@@ -1,0 +1,123 @@
+// Fuzz: adaptive hunting finds what blind sweeping cannot afford.
+//
+// The E10 attack that splits crash-tolerant FloodSet under omission
+// faults is a needle: the faulty holder of the uniquely small value must
+// withhold it from everyone for every round and then reveal it to a
+// single victim at the decision round. A blind seeded sweep of random
+// omission plans essentially never produces that pattern at n >= 4 — each
+// probe re-samples the same uninteresting behaviors. The coverage-guided
+// fuzzer reaches it by feedback: it keeps every probe that drives the
+// engine through a novel schedule shape (a hash over per-round message
+// counts and the decision pattern, read off the allocation-free lean
+// recording tier) in a replayable corpus, and mutates those parents —
+// adding and shifting omission streaks, retargeting them, promoting
+// omission-faulty processes to Byzantine machines, crossing plans over —
+// until the search concentrates on the splitting corner of adversary
+// space.
+//
+// This program runs both hunts with the same seed strategy and the same
+// probe budget, then shrinks and independently re-validates what only the
+// fuzzer found, and persists the corpus that found it.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"expensive"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		n      = 4
+		t      = n - 1 // the paper's extreme: all but one process corruptible
+		budget = 2048
+	)
+	proto, ok := expensive.LookupProtocol("floodset")
+	if !ok {
+		return errors.New("floodset is not in the catalog")
+	}
+	params := expensive.DefaultProtocolParams(n, t)
+	seed := expensive.StrategyRandomSendOmission(40)
+
+	fmt.Printf("target: %s (%s) at n=%d t=%d, budget %d probes each\n\n", proto.ID, proto.Title, n, t, budget)
+
+	// The blind control: a campaign sweeping fresh seeds of the same
+	// strategy the fuzzer is seeded with.
+	campaign, err := expensive.NewCampaignFor(proto, params, seed, expensive.SeedRange{From: 0, To: budget})
+	if err != nil {
+		return err
+	}
+	hunt, err := campaign.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("blind hunt:    %d probes, %d violating seeds (first at probe %d)\n",
+		hunt.Probes, hunt.ViolationCount, hunt.FirstViolationProbe)
+
+	// The adaptive hunt: same strategy seeds generation 0, then coverage
+	// feedback takes over.
+	fuzzer, err := expensive.NewFuzzerFor(proto, params, seed, budget)
+	if err != nil {
+		return err
+	}
+	fuzzer.Shrink = true
+	fuzzer.StopOnViolation = true
+	fuzzer.MaxViolations = 1
+	report, err := fuzzer.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adaptive fuzz: %d probes over %d generations, corpus %d entries, %d violating probes (first at probe %d)\n",
+		report.Probes, report.Generations, report.CorpusSize, report.ViolationCount, report.FirstViolationProbe)
+	if !report.Broken() {
+		return errors.New("the fuzzer must reach the FloodSet split within budget")
+	}
+	if hunt.Broken() && hunt.FirstViolationProbe <= report.FirstViolationProbe {
+		return errors.New("blind sweeping beat the fuzzer — the coverage signal is not earning its keep")
+	}
+
+	v := report.Violations[0]
+	fmt.Printf("\nfound: %v\n", v)
+	fmt.Printf("  as-found plan: %v\n", v.Plan)
+	fmt.Printf("  shrunk:        %v\n", v.Shrunk)
+
+	// Nothing on faith, exactly as with campaign violations: replay the
+	// certificate from scratch and re-check everything.
+	if err := expensive.RecheckViolation(v, fuzzer.ShrinkOptions()); err != nil {
+		return fmt.Errorf("certificate failed independent validation: %w", err)
+	}
+	fmt.Println("  certificate independently re-validated ✓")
+
+	// The corpus is the search's memory: persist it and a later run can
+	// resume from the interesting region instead of re-seeding blindly.
+	dir, err := os.MkdirTemp("", "fuzz-corpus-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "floodset.corpus.json")
+	if err := fuzzer.Corpus.Save(path); err != nil {
+		return err
+	}
+	loaded, err := expensive.LoadFuzzCorpus(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncorpus persisted and reloaded: %d replayable entries (protocol %s, n=%d t=%d)\n",
+		loaded.Size(), loaded.Protocol, loaded.N, loaded.T)
+
+	fmt.Println("\nconclusion: the lower bound's corner cases are reachable by feedback, not luck —")
+	fmt.Println("coverage-guided mutation finds the crafted omission pattern orders of magnitude")
+	fmt.Println("sooner than blind seed sweeping at the same probe cost")
+	return nil
+}

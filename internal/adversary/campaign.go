@@ -20,12 +20,37 @@ type SeedRange struct {
 	To   int64 `json:"to"`
 }
 
-// Count returns the number of seeds in the range.
+// MaxSeeds is the largest seed-range width a campaign accepts. The cap
+// exists for arithmetic safety, not policy: 2³¹ probes is days of compute,
+// while a width anywhere near the int64 range used to wrap Count negative,
+// slip past the Count()==0 validation, and panic runner.Map's make.
+const MaxSeeds = 1 << 31
+
+// Count returns the number of seeds in the range. The width is computed
+// in uint64 so a huge To-From cannot wrap negative (From may be negative,
+// making the width exceed MaxInt64); widths beyond MaxSeeds are clamped
+// to MaxSeeds+1 — still over the cap, so Err reports them — rather than
+// truncated into a plausible-looking small count.
 func (r SeedRange) Count() int {
 	if r.To <= r.From {
 		return 0
 	}
+	if w := uint64(r.To) - uint64(r.From); w > MaxSeeds {
+		return MaxSeeds + 1
+	}
 	return int(r.To - r.From)
+}
+
+// Err validates the range: non-empty and within MaxSeeds. Campaign
+// validation and the CLI seed-range parser both go through it.
+func (r SeedRange) Err() error {
+	if r.Count() == 0 {
+		return fmt.Errorf("empty seed range [%d, %d)", r.From, r.To)
+	}
+	if r.Count() > MaxSeeds {
+		return fmt.Errorf("seed range [%d, %d) exceeds %d seeds", r.From, r.To, MaxSeeds)
+	}
+	return nil
 }
 
 // ValidityFunc checks the validity property of one probe outcome: the
@@ -196,6 +221,22 @@ func violationIn(e *sim.Execution, proposals []msg.Value, validity ValidityFunc,
 	return nil
 }
 
+// CheckExecution returns the first Termination/Agreement/validity
+// violation of a recorded execution, in the campaign's deterministic
+// verdict order, or nil when every property holds. It works at both
+// recording tiers and is the probe verdict shared by campaigns and the
+// coverage-guided fuzzer (package fuzz).
+func CheckExecution(e *sim.Execution, proposals []msg.Value, validity ValidityFunc, compat AgreementFunc) *Violation {
+	return violationIn(e, proposals, validity, compat)
+}
+
+// ByzantineSkip returns the processes whose machines the plan replaced —
+// the set sim.Conforms must skip, since no honest machine produced their
+// behavior.
+func ByzantineSkip(plan sim.FaultPlan, faulty proc.Set) proc.Set {
+	return byzSkip(plan, faulty)
+}
+
 // byzSkip returns the processes whose machines the plan replaced — the
 // set sim.Conforms must skip, since no honest machine produced their
 // behavior.
@@ -223,6 +264,11 @@ type Histogram struct {
 	Sum     int      `json:"sum"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
+
+// NewHistogram builds the deterministic exact-value histogram of values —
+// the statistic campaign and fuzz reports carry for message and round
+// counts.
+func NewHistogram(values []int) Histogram { return histogramOf(values) }
 
 func histogramOf(values []int) Histogram {
 	h := Histogram{}
@@ -316,6 +362,10 @@ type CampaignReport struct {
 	// MaxViolations of them in seed order.
 	ViolationCount int          `json:"violation_count"`
 	Violations     []*Violation `json:"violations,omitempty"`
+	// FirstViolationProbe is the 1-based index of the first violating probe
+	// (seed order), 0 when the sweep stayed clean — the probes-to-first-
+	// violation metric the blind-sweep vs adaptive-fuzzing comparison reads.
+	FirstViolationProbe int `json:"first_violation_probe"`
 	// Messages and RoundsHist are exact-value histograms over the probes'
 	// correct-message counts and recorded round counts.
 	Messages   Histogram `json:"messages"`
@@ -342,8 +392,9 @@ func (c *Campaign) validate() error {
 		return fmt.Errorf("campaign: round bound must be positive, got %d", c.Rounds)
 	case c.N < 2 || c.T < 1 || c.T >= c.N:
 		return fmt.Errorf("campaign: need n >= 2 and 1 <= t < n, got n=%d t=%d", c.N, c.T)
-	case c.Seeds.Count() == 0:
-		return fmt.Errorf("campaign: empty seed range [%d, %d)", c.Seeds.From, c.Seeds.To)
+	}
+	if err := c.Seeds.Err(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
 	}
 	return nil
 }
@@ -436,11 +487,14 @@ func (c *Campaign) Run() (*CampaignReport, error) {
 	}
 	messages := make([]int, 0, len(results))
 	rounds := make([]int, 0, len(results))
-	for _, res := range results {
+	for i, res := range results {
 		messages = append(messages, res.messages)
 		rounds = append(rounds, res.rounds)
 		if res.v == nil {
 			continue
+		}
+		if report.FirstViolationProbe == 0 {
+			report.FirstViolationProbe = i + 1
 		}
 		report.ViolationCount++
 		if c.MaxViolations > 0 && len(report.Violations) >= c.MaxViolations {

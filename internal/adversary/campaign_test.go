@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"testing"
 
 	"expensive/internal/protocols/floodset"
@@ -202,6 +203,10 @@ func TestCampaignValidation(t *testing.T) {
 		func(c *Campaign) { c.Rounds = 0 },
 		func(c *Campaign) { c.T = 0 },
 		func(c *Campaign) { c.Seeds = SeedRange{From: 5, To: 5} },
+		// The overflow regression: this width wraps int64 negative, which
+		// used to pass the emptiness check and panic runner.Map's make.
+		func(c *Campaign) { c.Seeds = SeedRange{From: math.MinInt64, To: math.MaxInt64} },
+		func(c *Campaign) { c.Seeds = SeedRange{From: 0, To: math.MaxInt64} },
 	}
 	for i, breakIt := range cases {
 		c := *base
@@ -209,6 +214,42 @@ func TestCampaignValidation(t *testing.T) {
 		if _, err := c.Run(); err == nil {
 			t.Errorf("case %d: expected validation error", i)
 		}
+	}
+}
+
+// TestSeedRangeCount pins Count and Err across the overflow regression
+// cases: reversed, empty, and near-MaxInt64 ranges must report a
+// non-negative count and fail validation instead of wrapping int and
+// panicking the worker pool.
+func TestSeedRangeCount(t *testing.T) {
+	cases := []struct {
+		name  string
+		r     SeedRange
+		count int
+		valid bool
+	}{
+		{"small", SeedRange{From: 0, To: 64}, 64, true},
+		{"negative from", SeedRange{From: -32, To: 32}, 64, true},
+		{"empty", SeedRange{From: 5, To: 5}, 0, false},
+		{"reversed", SeedRange{From: 10, To: -10}, 0, false},
+		{"at cap", SeedRange{From: 0, To: MaxSeeds}, MaxSeeds, true},
+		{"over cap", SeedRange{From: 0, To: MaxSeeds + 1}, MaxSeeds + 1, false},
+		{"near MaxInt64", SeedRange{From: 0, To: math.MaxInt64}, MaxSeeds + 1, false},
+		{"full int64 width", SeedRange{From: math.MinInt64, To: math.MaxInt64}, MaxSeeds + 1, false},
+		{"reversed extremes", SeedRange{From: math.MaxInt64, To: math.MinInt64}, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.r.Count(); got != tc.count {
+				t.Errorf("Count() = %d, want %d", got, tc.count)
+			}
+			if got := tc.r.Count(); got < 0 {
+				t.Errorf("Count() = %d is negative — the overflow the fix removes", got)
+			}
+			if err := tc.r.Err(); (err == nil) != tc.valid {
+				t.Errorf("Err() = %v, want valid=%v", err, tc.valid)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,429 @@
+// Package fuzz implements coverage-guided adaptive hunting over the
+// adversary layer: instead of sweeping fresh seeds blindly (the campaign
+// engine's strategy), it grows a corpus of explicit fault plans and
+// mutates them — adding, dropping, retargeting and round-shifting
+// omissions, promoting omission-faulty processes to Byzantine machines,
+// crossing corpus parents over, re-seeding proposal vectors — steering the
+// search with a coverage signal read off the engine's lean
+// RecordDecisions tier: a novelty hash over per-round
+// sent/omitted/received count vectors plus the decision pattern. Probes
+// that exercise new engine behavior enter a persisted, replayable JSON
+// corpus; probes that violate a property flow into the campaign
+// subsystem's evidence pipeline — deterministic RecordFull replay,
+// Appendix A.1.6 validation, machine conformance, plan extraction,
+// shrinking, and independent recheck.
+//
+// Scheduling is generation-batched on the experiment runner pool: every
+// generation's candidates are derived sequentially from the
+// corpus-at-generation-start, probed in parallel, and folded back into
+// the corpus sequentially in slot order. Corpus growth and the report
+// therefore depend only on the fuzzer's inputs, never on scheduling —
+// reports and corpora are byte-identical at every parallelism level, the
+// repo-wide invariant.
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"expensive/internal/adversary"
+	"expensive/internal/experiments/runner"
+	"expensive/internal/msg"
+	"expensive/internal/omission"
+	"expensive/internal/sim"
+)
+
+// Fuzzer is one coverage-guided hunt: a target protocol, a seed strategy
+// (or a resumed corpus) and a probe budget.
+type Fuzzer struct {
+	// Protocol names the target for reports and corpus compatibility.
+	Protocol string
+	// Factory builds the target's honest machines; Rounds is its
+	// decision-round bound. Both are required.
+	Factory sim.Factory
+	Rounds  int
+	N, T    int
+	// Seed is the strategy whose plans populate generation 0. Required
+	// unless a non-empty Corpus is supplied.
+	Seed adversary.Strategy
+	// Budget is the total number of candidate probes (required, positive).
+	Budget int
+	// SeedProbes sizes generation 0 (default 32); GenSize sizes every
+	// mutation generation (default 64). Both are scheduling-independent.
+	SeedProbes int
+	GenSize    int
+	// FuzzSeed is the master seed every deterministic choice derives from.
+	FuzzSeed int64
+	// Horizon overrides the probe execution length (default Rounds+2).
+	Horizon int
+	// Validity is the optional validity property checked after Termination
+	// and Agreement; Agreement optionally replaces strict equal-decision
+	// Agreement with a pairwise compatibility relation.
+	Validity  adversary.ValidityFunc
+	Agreement adversary.AgreementFunc
+	// Shrink minimizes every recorded violation after the run.
+	Shrink bool
+	// New optionally rebuilds the protocol at a different system size,
+	// enabling the shrinker to reduce n.
+	New func(n, t int) (sim.Factory, int, error)
+	// MaxViolations caps the violations recorded in the report (0 = all).
+	MaxViolations int
+	// StopOnViolation ends the run after the first generation that found a
+	// violation (the whole generation still completes and is folded in, so
+	// the report stays scheduling-independent).
+	StopOnViolation bool
+	// Corpus optionally resumes from a previous run's population (its
+	// protocol/n/t must match). Run appends novel entries to it; when nil,
+	// Run installs a fresh corpus here so the grown population is
+	// available (and persistable) after the run.
+	Corpus *Corpus
+	// Parallelism is the probe worker count; <= 0 means NumCPU, 1 serial.
+	Parallelism int
+	// Ctx cancels the run; nil means context.Background().
+	Ctx context.Context
+}
+
+// Report is the deterministic outcome of a fuzzing run: everything in the
+// JSON encoding depends only on the fuzzer's inputs (including a resumed
+// corpus), never on scheduling — reports are byte-identical at every
+// parallelism level. Wall-clock statistics are carried alongside but
+// excluded from the encoding.
+type Report struct {
+	Protocol     string `json:"protocol"`
+	SeedStrategy string `json:"seed_strategy,omitempty"`
+	N            int    `json:"n"`
+	T            int    `json:"t"`
+	Rounds       int    `json:"round_bound"`
+	Horizon      int    `json:"horizon"`
+	Budget       int    `json:"budget"`
+	// Probes counts executed candidate probes; Generations counts the
+	// processed batches (seeding included).
+	Probes      int `json:"probes"`
+	Generations int `json:"generations"`
+	// CorpusLoaded is the resumed population size; CorpusSize the final
+	// one; NewCoverage the entries this run added (novel coverage hashes).
+	CorpusLoaded int `json:"corpus_loaded"`
+	CorpusSize   int `json:"corpus_size"`
+	NewCoverage  int `json:"new_coverage"`
+	// ViolationCount counts every violating probe; Violations records up
+	// to MaxViolations of them in probe order. A violation's Seed field
+	// carries the 1-based global probe index that found it.
+	ViolationCount int                    `json:"violation_count"`
+	Violations     []*adversary.Violation `json:"violations,omitempty"`
+	// FirstViolationProbe is the 1-based index of the first violating
+	// probe, 0 when the run stayed clean — the probes-to-first-violation
+	// metric the blind-sweep comparison reads.
+	FirstViolationProbe int `json:"first_violation_probe"`
+	// Messages and RoundsHist are exact-value histograms over the probes'
+	// correct-message counts and recorded round counts.
+	Messages   adversary.Histogram `json:"messages"`
+	RoundsHist adversary.Histogram `json:"rounds"`
+
+	// Timing statistics (excluded from the JSON encoding: they vary run to
+	// run while the report above must not).
+	Wall         time.Duration `json:"-"`
+	WallMS       float64       `json:"-"`
+	ProbesPerSec float64       `json:"-"`
+	Workers      int           `json:"-"`
+}
+
+// Broken reports whether the run found at least one violation.
+func (r *Report) Broken() bool { return r.ViolationCount > 0 }
+
+func (f *Fuzzer) validate() error {
+	switch {
+	case f.Factory == nil:
+		return fmt.Errorf("fuzz: nil factory")
+	case f.Rounds <= 0:
+		return fmt.Errorf("fuzz: round bound must be positive, got %d", f.Rounds)
+	case f.N < 2 || f.T < 1 || f.T >= f.N:
+		return fmt.Errorf("fuzz: need n >= 2 and 1 <= t < n, got n=%d t=%d", f.N, f.T)
+	case f.Budget <= 0:
+		return fmt.Errorf("fuzz: probe budget must be positive, got %d", f.Budget)
+	case f.Seed.Build == nil && (f.Corpus == nil || f.Corpus.Size() == 0):
+		return fmt.Errorf("fuzz: need a seed strategy or a non-empty corpus")
+	}
+	if f.Corpus != nil && f.Corpus.Size() > 0 &&
+		(f.Corpus.Protocol != f.Protocol || f.Corpus.N != f.N || f.Corpus.T != f.T) {
+		return fmt.Errorf("fuzz: corpus was grown against %s n=%d t=%d, fuzzing %s n=%d t=%d",
+			f.Corpus.Protocol, f.Corpus.N, f.Corpus.T, f.Protocol, f.N, f.T)
+	}
+	return nil
+}
+
+func (f *Fuzzer) horizon() int {
+	if f.Horizon > 0 {
+		return f.Horizon
+	}
+	return f.Rounds + 2
+}
+
+func (f *Fuzzer) seedCount() int {
+	if f.SeedProbes > 0 {
+		return f.SeedProbes
+	}
+	return 32
+}
+
+func (f *Fuzzer) genSize() int {
+	if f.GenSize > 0 {
+		return f.GenSize
+	}
+	return 64
+}
+
+// ShrinkOptions returns the configuration for shrinking and independently
+// re-checking violations this fuzzer found.
+func (f *Fuzzer) ShrinkOptions() adversary.ShrinkOptions {
+	return adversary.ShrinkOptions{
+		Factory:   f.Factory,
+		Rounds:    f.Rounds,
+		N:         f.N,
+		T:         f.T,
+		Horizon:   f.horizon(),
+		New:       f.New,
+		Validity:  f.Validity,
+		Agreement: f.Agreement,
+	}
+}
+
+// outcome is one probe's deterministic result.
+type outcome struct {
+	cov      uint64
+	messages int
+	rounds   int
+	v        *adversary.Violation
+	// cand carries the probe's replayable form: the candidate itself for
+	// mutants, the extracted explicit plan for seed probes (nil when the
+	// seed plan is not replayable — it is then reported but not grown
+	// from).
+	cand *candidate
+}
+
+// Run executes the hunt and returns the report. Errors indicate harness
+// failures — an invalid fuzzer, an engine-invalid trace, a non-conformant
+// honest machine, a full replay diverging from its lean probe — never mere
+// protocol-property violations, which land in the report.
+func (f *Fuzzer) Run() (*Report, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	horizon := f.horizon()
+	env := adversary.Env{N: f.N, T: f.T, Rounds: f.Rounds, Horizon: horizon, Factory: f.Factory}
+	workers := runner.Workers(f.Parallelism)
+	start := time.Now()
+
+	if f.Corpus == nil {
+		f.Corpus = NewCorpus(f.Protocol, f.N, f.T)
+	}
+	corpus := f.Corpus
+	seen := make(map[uint64]bool, corpus.Size())
+	for _, e := range corpus.Entries {
+		seen[e.Cov] = true
+	}
+
+	report := &Report{
+		Protocol:     f.Protocol,
+		SeedStrategy: f.Seed.Name,
+		N:            f.N,
+		T:            f.T,
+		Rounds:       f.Rounds,
+		Horizon:      horizon,
+		Budget:       f.Budget,
+		CorpusLoaded: corpus.Size(),
+		Workers:      workers,
+	}
+	var messages, rounds []int
+
+	// fold integrates one generation's outcomes into corpus and report, in
+	// slot order — the sequential step that keeps everything
+	// scheduling-independent.
+	fold := func(gen int, results []outcome) {
+		for i, out := range results {
+			probe := report.Probes + i + 1
+			messages = append(messages, out.messages)
+			rounds = append(rounds, out.rounds)
+			if !seen[out.cov] && out.cand != nil {
+				seen[out.cov] = true
+				report.NewCoverage++
+				corpus.add(Entry{
+					Gen:       gen,
+					Parent:    out.cand.parent,
+					Op:        out.cand.op,
+					Cov:       out.cov,
+					Violating: out.v != nil,
+					Plan:      out.cand.plan,
+					Proposals: out.cand.proposals,
+				})
+			}
+			if out.v == nil {
+				continue
+			}
+			if report.FirstViolationProbe == 0 {
+				report.FirstViolationProbe = probe
+			}
+			report.ViolationCount++
+			if f.MaxViolations > 0 && len(report.Violations) >= f.MaxViolations {
+				continue
+			}
+			out.v.Seed = int64(probe)
+			report.Violations = append(report.Violations, out.v)
+		}
+		report.Probes += len(results)
+		report.Generations++
+	}
+
+	// Generation 0 seeds the corpus from the strategy when starting fresh.
+	if corpus.Size() == 0 {
+		k := min(f.seedCount(), f.Budget)
+		results, err := runner.Map(f.Ctx, workers, k, func(i int) (outcome, error) {
+			return f.seedProbe(i, env)
+		})
+		if err != nil {
+			return nil, err
+		}
+		fold(0, results)
+	}
+
+	// Mutation generations: derive sequentially, probe in parallel, fold
+	// sequentially.
+	m := mutator{n: f.N, t: f.T, horizon: horizon}
+	for gen := 1; report.Probes < f.Budget && corpus.Size() > 0; gen++ {
+		if f.StopOnViolation && report.ViolationCount > 0 {
+			break
+		}
+		k := min(f.genSize(), f.Budget-report.Probes)
+		cands := make([]candidate, k)
+		for i := range cands {
+			cands[i] = m.mutate(stream(f.FuzzSeed, fmt.Sprintf("g%d|s%d", gen, i)), corpus)
+		}
+		results, err := runner.Map(f.Ctx, workers, k, func(i int) (outcome, error) {
+			return f.mutantProbe(&cands[i], env)
+		})
+		if err != nil {
+			return nil, err
+		}
+		fold(gen, results)
+	}
+
+	report.CorpusSize = corpus.Size()
+	report.Messages = adversary.NewHistogram(messages)
+	report.RoundsHist = adversary.NewHistogram(rounds)
+
+	if f.Shrink {
+		opts := f.ShrinkOptions()
+		for _, v := range report.Violations {
+			if v.Plan == nil {
+				continue // not replayable (foreign seed machines): report unshrunk
+			}
+			sh, err := adversary.Shrink(v, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fuzz %s probe %d: shrink: %w", f.Protocol, v.Seed, err)
+			}
+			v.Shrunk = sh
+		}
+	}
+
+	report.Wall = time.Since(start)
+	report.WallMS = float64(report.Wall.Microseconds()) / 1e3
+	if secs := report.Wall.Seconds(); secs > 0 {
+		report.ProbesPerSec = float64(report.Probes) / secs
+	}
+	return report, nil
+}
+
+// seedProbe runs one generation-0 probe: the seed strategy's plan at
+// RecordFull (the trace is needed to extract the replayable explicit plan
+// the mutation generations grow from), held to the evidence-grade checks —
+// Appendix A.1.6 validation and machine conformance — on every seed.
+func (f *Fuzzer) seedProbe(i int, env adversary.Env) (outcome, error) {
+	seed := adversary.SubSeed(f.FuzzSeed, fmt.Sprintf("seed|%d", i))
+	plan := f.Seed.Build(seed, env)
+	proposals := f.seedProposals(seed, env)
+	cfg := sim.Config{N: f.N, T: f.T, Proposals: proposals, MaxRounds: env.Horizon}
+	e, err := sim.Run(cfg, f.Factory, plan)
+	if err != nil {
+		return outcome{}, fmt.Errorf("seed probe %d: %w", i, err)
+	}
+	if err := omission.Validate(e); err != nil {
+		return outcome{}, fmt.Errorf("seed probe %d: invalid trace: %w", i, err)
+	}
+	if err := sim.Conforms(e, f.Factory, adversary.ByzantineSkip(plan, e.Faulty)); err != nil {
+		return outcome{}, fmt.Errorf("seed probe %d: conformance: %w", i, err)
+	}
+	out := outcome{cov: coverage(e), messages: e.CorrectMessages(), rounds: e.Rounds}
+	v := adversary.CheckExecution(e, proposals, f.Validity, f.Agreement)
+	ep, eerr := adversary.Extract(e, plan)
+	if eerr == nil {
+		out.cand = &candidate{plan: *ep, proposals: proposals, parent: -1, op: "seed"}
+	}
+	if v != nil {
+		v.Proposals = proposals
+		if eerr == nil {
+			v.Plan = ep
+		}
+		out.v = v
+	}
+	return out, nil
+}
+
+// seedProposals resolves a seed probe's input configuration: the seed
+// strategy's own generator when it has one, else the generic seeded
+// pattern (random bits with an occasional lone dissenter).
+func (f *Fuzzer) seedProposals(seed int64, env adversary.Env) []msg.Value {
+	if f.Seed.Proposals != nil {
+		if out := f.Seed.Proposals(seed, env); len(out) == env.N {
+			return out
+		}
+	}
+	m := mutator{n: f.N, t: f.T, horizon: env.Horizon}
+	return m.reseedProposals(stream(seed, "proposals"))
+}
+
+// mutantProbe runs one mutated candidate at the lean RecordDecisions tier
+// — enough for the coverage hash and the property verdict — and only a
+// violating candidate pays for the full pipeline: a deterministic re-run
+// at RecordFull, trace validation, conformance re-execution, and evidence
+// extraction, exactly as campaign probes do.
+func (f *Fuzzer) mutantProbe(c *candidate, env adversary.Env) (outcome, error) {
+	fp := c.plan.Plan(env)
+	cfg := sim.Config{N: f.N, T: f.T, Proposals: c.proposals, MaxRounds: env.Horizon, Recording: sim.RecordDecisions}
+	e, err := sim.Run(cfg, f.Factory, fp)
+	if err != nil {
+		return outcome{}, fmt.Errorf("mutant (%s of entry %d): %w", c.op, c.parent, err)
+	}
+	out := outcome{cov: coverage(e), messages: e.CorrectMessages(), rounds: e.Rounds, cand: c}
+	lean := adversary.CheckExecution(e, c.proposals, f.Validity, f.Agreement)
+	if lean == nil {
+		return out, nil
+	}
+
+	// Violation: replay at RecordFull (fresh machines — they are stateful)
+	// and run the full evidence pipeline. The engine is deterministic, so
+	// any divergence from the lean verdict is an engine or
+	// protocol-determinism bug, not a protocol violation.
+	fp2 := c.plan.Plan(env)
+	cfg.Recording = sim.RecordFull
+	e2, err := sim.Run(cfg, f.Factory, fp2)
+	if err != nil {
+		return outcome{}, fmt.Errorf("mutant (%s of entry %d): full replay: %w", c.op, c.parent, err)
+	}
+	if err := omission.Validate(e2); err != nil {
+		return outcome{}, fmt.Errorf("mutant (%s of entry %d): invalid trace: %w", c.op, c.parent, err)
+	}
+	if err := sim.Conforms(e2, f.Factory, adversary.ByzantineSkip(fp2, e2.Faulty)); err != nil {
+		return outcome{}, fmt.Errorf("mutant (%s of entry %d): conformance: %w", c.op, c.parent, err)
+	}
+	full := adversary.CheckExecution(e2, c.proposals, f.Validity, f.Agreement)
+	if full == nil || full.Kind != lean.Kind || full.Witness1 != lean.Witness1 ||
+		full.Witness2 != lean.Witness2 || full.D1 != lean.D1 || full.D2 != lean.D2 {
+		return outcome{}, fmt.Errorf("mutant (%s of entry %d): full replay does not reproduce the lean probe's %s violation — engine or protocol nondeterminism", c.op, c.parent, lean.Kind)
+	}
+	full.Proposals = c.proposals
+	if ep, err := adversary.Extract(e2, fp2); err == nil {
+		full.Plan = ep
+	}
+	out.v = full
+	return out, nil
+}

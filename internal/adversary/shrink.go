@@ -164,8 +164,14 @@ func (s *shrinker) minimizeN() {
 		if err != nil {
 			return
 		}
-		// Preserve the campaign's horizon slack (Horizon - Rounds) so a
-		// custom-horizon violation keeps its semantics at the smaller size.
+		// Re-derive the horizon for the rebuilt protocol by preserving the
+		// slack (Horizon - Rounds), never the absolute number: when New
+		// returns a smaller round bound, a defaulted horizon (slack 2)
+		// becomes rounds2+2 and a custom horizon keeps its semantics at
+		// the smaller size. Carrying the original horizon over would
+		// replay a smaller-rounds protocol past (or short of) the window
+		// the violation was defined in — TestShrinkRederivesHorizon pins
+		// this with a rounds-reducing New.
 		horizon2 := rounds2 + (s.horizon - s.rounds)
 		plan2 := s.plan.filterTo(n2)
 		proposals2 := append([]msg.Value(nil), s.proposals[:n2]...)

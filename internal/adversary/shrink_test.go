@@ -106,6 +106,51 @@ func TestShrinkWithoutNReduction(t *testing.T) {
 	}
 }
 
+// TestShrinkRederivesHorizon pins the horizon against staleness: when New
+// rebuilds the protocol at a smaller n with a smaller round bound, a
+// defaulted horizon must be re-derived as rounds+2 from the new bound —
+// never kept from the original, larger-rounds protocol. (The shrinker
+// preserves the Horizon-Rounds slack across rebuilds, which re-derives
+// the rounds+2 default as a special case; this test keeps any future
+// rewrite honest.)
+func TestShrinkRederivesHorizon(t *testing.T) {
+	// A rounds bound that tracks n (max(t+1, n-1)), so shrinking n shrinks
+	// the round bound too. FloodSet itself only needs t+1 rounds, so the
+	// inflated bound is sound — the extra rounds are silent.
+	rebuild := func(n, tf int) (sim.Factory, int, error) {
+		r := floodset.RoundBound(tf)
+		if n-1 > r {
+			r = n - 1
+		}
+		return floodset.New(floodset.Config{N: n, T: tf}), r, nil
+	}
+	v, opts := handmadeFloodSetViolation(t, 8, 2)
+	factory, rounds, err := rebuild(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Factory, opts.Rounds, opts.New = factory, rounds, rebuild
+	opts.Horizon = 0 // defaulted: Shrink derives rounds+2 and must keep re-deriving
+	sh, err := Shrink(v, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.N >= 8 {
+		t.Fatalf("n did not shrink (n=%d): the rounds-reduction path was not exercised", sh.N)
+	}
+	if sh.Rounds >= rounds {
+		t.Fatalf("round bound did not shrink with n: %d -> %d", rounds, sh.Rounds)
+	}
+	if sh.Horizon != sh.Rounds+2 {
+		t.Errorf("stale horizon: got %d at round bound %d, want the re-derived default %d",
+			sh.Horizon, sh.Rounds, sh.Rounds+2)
+	}
+	v.Shrunk = sh
+	if err := Recheck(v, opts); err != nil {
+		t.Fatalf("recheck of rounds-reduced certificate: %v", err)
+	}
+}
+
 // TestShrinkRejectsPlanless refuses violations without replayable plans.
 func TestShrinkRejectsPlanless(t *testing.T) {
 	v, opts := handmadeFloodSetViolation(t, 8, 2)

@@ -46,6 +46,11 @@ func subSeed(seed int64, salt string) int64 {
 	return int64(h.Sum64())
 }
 
+// SubSeed exposes the seed mixer to the fuzz package: campaign seed
+// sweeps and the fuzzer's seed generation must derive their streams the
+// same way, so there is exactly one mixer.
+func SubSeed(seed int64, salt string) int64 { return subSeed(seed, salt) }
+
 // rng returns the deterministic random stream of (seed, salt).
 func rng(seed int64, salt string) *rand.Rand {
 	return rand.New(rand.NewSource(subSeed(seed, salt)))

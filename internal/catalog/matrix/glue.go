@@ -2,6 +2,7 @@ package matrix
 
 import (
 	"expensive/internal/adversary"
+	"expensive/internal/adversary/fuzz"
 	"expensive/internal/catalog"
 	"expensive/internal/msg"
 	"expensive/internal/sim"
@@ -27,6 +28,31 @@ func CampaignFor(s catalog.Spec, p catalog.Params, strategy adversary.Strategy, 
 		T:         p.T,
 		Strategy:  strategy,
 		Seeds:     seeds,
+		Validity:  s.ValidityFor(p),
+		Agreement: s.Agreement,
+		New:       s.Rebuilder(p),
+	}, nil
+}
+
+// FuzzerFor wires a coverage-guided adaptive hunt against a cataloged
+// protocol: like CampaignFor, the factory, round bound, validity property
+// and n-shrinking rebuild hook all come from the spec, so callers pick a
+// protocol, a seed strategy and a probe budget and nothing else. Tune the
+// returned fuzzer (Shrink, Corpus, StopOnViolation, Parallelism) before
+// calling Run.
+func FuzzerFor(s catalog.Spec, p catalog.Params, seed adversary.Strategy, budget int) (*fuzz.Fuzzer, error) {
+	factory, rounds, err := s.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	return &fuzz.Fuzzer{
+		Protocol:  s.ID,
+		Factory:   factory,
+		Rounds:    rounds,
+		N:         p.N,
+		T:         p.T,
+		Seed:      seed,
+		Budget:    budget,
 		Validity:  s.ValidityFor(p),
 		Agreement: s.Agreement,
 		New:       s.Rebuilder(p),

@@ -3,20 +3,26 @@
 #
 # Runs the tracked benchmark set and emits BENCH_<date>.json mapping each
 # benchmark to ns/op, B/op, allocs/op and any custom metrics it reports
-# (probes/s, msgs, replays, ...). Commit the output next to the previous
-# BENCH_*.json files so every perf PR has a recorded before/after.
+# (probes/s, msgs, replays, ...), plus the adaptive-vs-blind hunting
+# comparison: probes to the first FloodSet (t = n-1) violation for
+# `baexp fuzz` and the blind `baexp hunt` sweep at the same seed strategy
+# and probe budget (0 = never found within budget). Commit the output next
+# to the previous BENCH_*.json files so every perf PR has a recorded
+# before/after.
 #
 # Usage:
 #   scripts/bench.sh                    # tracked set, 3 iterations each
 #   scripts/bench.sh 'BenchmarkMatrix'  # custom -bench regex
 #   BENCHTIME=10x scripts/bench.sh      # custom -benchtime
 #   OUT=custom.json scripts/bench.sh    # custom output path
+#   BUDGET=4096 scripts/bench.sh        # custom fuzz-vs-hunt probe budget
 set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-BenchmarkHuntCampaign|BenchmarkMatrix|BenchmarkE1Falsifier|BenchmarkEngineRound|BenchmarkShrink|BenchmarkE9Protocols}"
+PATTERN="${1:-BenchmarkHuntCampaign|BenchmarkMatrix|BenchmarkE1Falsifier|BenchmarkEngineRound|BenchmarkShrink|BenchmarkE9Protocols|BenchmarkFuzz}"
 BENCHTIME="${BENCHTIME:-3x}"
+BUDGET="${BUDGET:-2048}"
 OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -24,7 +30,19 @@ trap 'rm -f "$RAW"' EXIT
 echo "running: go test . -run '^$' -bench '$PATTERN' -benchtime $BENCHTIME -benchmem" >&2
 go test . -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem | tee "$RAW" >&2
 
-awk -v date="$(date +%Y-%m-%d)" -v gover="$(go env GOVERSION)" -v benchtime="$BENCHTIME" '
+# Probes-to-first-violation: the adaptive fuzzer vs the blind seeded sweep,
+# same target (FloodSet at t = n-1), same seed strategy, same budget.
+echo "running: fuzz-vs-hunt comparison (floodset n=4 t=3, budget $BUDGET)" >&2
+FUZZ_FIRST="$(go run ./cmd/baexp fuzz -proto floodset -n 4 -t 3 -strategy random-send-omission \
+    -budget "$BUDGET" -stop -shrink=false -json |
+    sed -n 's/.*"first_violation_probe": *\([0-9]*\).*/\1/p' | head -n 1)"
+HUNT_FIRST="$(go run ./cmd/baexp hunt -proto floodset -n 4 -t 3 -strategy random-send-omission \
+    -seeds "0:$BUDGET" -shrink=false -keep 1 -json |
+    sed -n 's/.*"first_violation_probe": *\([0-9]*\).*/\1/p' | head -n 1)"
+echo "fuzz first violation at probe ${FUZZ_FIRST:-0}, blind hunt at probe ${HUNT_FIRST:-0} (0 = none in budget)" >&2
+
+awk -v date="$(date +%Y-%m-%d)" -v gover="$(go env GOVERSION)" -v benchtime="$BENCHTIME" \
+    -v budget="$BUDGET" -v fuzzfirst="${FUZZ_FIRST:-0}" -v huntfirst="${HUNT_FIRST:-0}" '
 BEGIN {
     printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": {\n", date, gover, benchtime
     first = 1
@@ -45,7 +63,15 @@ BEGIN {
     first = 0
     printf "    \"%s\": {%s}", name, line
 }
-END { printf "\n  }\n}\n" }
+END {
+    printf "\n  },\n"
+    printf "  \"fuzz_vs_hunt\": {\n"
+    printf "    \"target\": \"floodset n=4 t=3 (t = n-1), seed strategy random-send-omission(40%%)\",\n"
+    printf "    \"budget\": %s,\n", budget
+    printf "    \"fuzz_first_violation_probe\": %s,\n", fuzzfirst
+    printf "    \"hunt_first_violation_probe\": %s\n", huntfirst
+    printf "  }\n}\n"
+}
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
