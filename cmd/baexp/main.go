@@ -12,6 +12,7 @@
 //	                        cross-product from the registry
 //	baexp solve ...         evaluate Theorem 4 for a standard problem
 //	baexp run ...           run a protocol live over memnet or TCP
+//	baexp lint ...          run the balint analyzer suite over the module
 //
 // Every protocol offering is derived from the catalog registry
 // (internal/catalog) — there is no hand-maintained protocol table here.
@@ -29,6 +30,8 @@ import (
 
 	"expensive/internal/adversary"
 	"expensive/internal/adversary/fuzz"
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/balint"
 	"expensive/internal/catalog"
 	_ "expensive/internal/catalog/all" // link every protocol registration
 	cmatrix "expensive/internal/catalog/matrix"
@@ -74,6 +77,8 @@ func run(args []string) error {
 		return runSolve(args[1:])
 	case "run":
 		return runLive(args[1:])
+	case "lint":
+		return runLint(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -97,7 +102,10 @@ subcommands:
   matrix         sweep the full protocol × strategy × (n, t) cross-product
                  from the registry into a deterministic grid report
   solve          evaluate the Theorem 4 solvability verdict for a problem
-  run            run a cataloged protocol live over an in-memory or TCP mesh`)
+  run            run a cataloged protocol live over an in-memory or TCP mesh
+  lint [-list] [-v] [-dir D]
+                 run the balint analyzer suite (determinism, lean-tier and
+                 registry contracts) over the module`)
 }
 
 // printListing is the shared registry printer behind `exp -list`,
@@ -134,6 +142,47 @@ func printCatalog(bias int) {
 	}
 	fmt.Println("strategies:")
 	printListing(rows)
+}
+
+// runLint is the `baexp lint` frontend over internal/analysis/balint —
+// the same suite cmd/balint and the CI lint job run. `-list` shares the
+// registry listing convention of `exp -list` and `hunt -list`.
+func runLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the suite's analyzers and exit")
+	verbose := fs.Bool("v", false, "also print suppressed findings with their reasons")
+	dir := fs.String("dir", ".", "module root to lint")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		var rows [][3]string
+		for _, a := range balint.Suite() {
+			rows = append(rows, [3]string{a.Name, a.Summary(), ""})
+		}
+		fmt.Println("analyzers:")
+		printListing(rows)
+		return nil
+	}
+	diags, err := balint.LintModule(*dir)
+	if err != nil {
+		return err
+	}
+	failing := analysis.Unsuppressed(diags)
+	for _, d := range failing {
+		fmt.Printf("%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if *verbose {
+		for _, d := range diags {
+			if d.Suppressed {
+				fmt.Printf("%s:%d:%d: %s: suppressed (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Reason)
+			}
+		}
+	}
+	if len(failing) > 0 {
+		return fmt.Errorf("%d unsuppressed finding(s)", len(failing))
+	}
+	return nil
 }
 
 func runExperiments(args []string) error {

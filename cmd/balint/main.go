@@ -1,0 +1,66 @@
+// Command balint runs the repo's analyzer suite — the five checks that
+// enforce the determinism, lean-tier and registry contracts — over the
+// whole module and exits non-zero on any unsuppressed diagnostic.
+//
+// Usage:
+//
+//	balint [-list] [-v] [dir]
+//
+// dir is the module root (default "."). Unlike a `go vet -vettool`
+// pass, balint loads the entire module into one type universe: the
+// maporder and leantier contracts are whole-program reachability
+// properties, which the per-package unitchecker protocol cannot see.
+// scripts/lint.sh runs balint alongside plain `go vet`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/balint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the registered analyzers and exit")
+	verbose := flag.Bool("v", false, "also print suppressed diagnostics with their reasons")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: balint [-list] [-v] [dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range balint.Suite() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Summary())
+		}
+		return
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	diags, err := balint.LintModule(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "balint:", err)
+		os.Exit(2)
+	}
+
+	failing := analysis.Unsuppressed(diags)
+	for _, d := range failing {
+		fmt.Printf("%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if *verbose {
+		for _, d := range diags {
+			if d.Suppressed {
+				fmt.Printf("%s:%d:%d: %s: suppressed (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Reason)
+			}
+		}
+	}
+	if len(failing) > 0 {
+		fmt.Fprintf(os.Stderr, "balint: %d unsuppressed diagnostic(s)\n", len(failing))
+		os.Exit(1)
+	}
+}

@@ -234,4 +234,22 @@
 // benchmark set (hunt campaign throughput, matrix sweeps, the falsifier,
 // raw engine rounds) and emits a committed BENCH_<date>.json of ns/op,
 // allocs/op and probes/s.
+//
+// # Static analysis
+//
+// The contracts above — byte-identical reports at every parallelism
+// level and recording tier, lean probes never touching full-trace APIs,
+// every protocol discoverable through the registry — are enforced
+// mechanically, not just by tests. The balint suite (internal/analysis,
+// cmd/balint, `baexp lint`) runs five analyzers over the whole module:
+// maporder (no map iteration on report-encoding paths unless the keys
+// are collected and sorted), wallclock (no time.Now/time.Since in probe
+// or fold code outside the runner.Stopwatch wrappers), globalrand (no
+// process-global math/rand), leantier (no full-trace-only API reachable
+// from a RecordDecisions probe loop unless guarded on the recording
+// tier), and regcheck (a package defining a catalog.Spec must Register
+// it at init and be linked into internal/catalog/all). Deliberate
+// exceptions carry a `//balint:allow <analyzer> <reason>` directive —
+// the reason is mandatory, and scripts/lint.sh (run by CI on every
+// push) fails on any unsuppressed finding.
 package expensive

@@ -465,7 +465,7 @@ func (c *Campaign) Run() (*CampaignReport, error) {
 	}
 	env := c.env()
 	workers := runner.Workers(c.Parallelism)
-	start := time.Now()
+	sw := runner.StartWall()
 
 	results, err := runner.Map(c.Ctx, workers, c.Seeds.Count(), func(i int) (probeResult, error) {
 		return c.probe(c.Seeds.From+int64(i), env)
@@ -519,11 +519,7 @@ func (c *Campaign) Run() (*CampaignReport, error) {
 		}
 	}
 
-	report.Wall = time.Since(start)
-	report.WallMS = float64(report.Wall.Microseconds()) / 1e3
-	if secs := report.Wall.Seconds(); secs > 0 {
-		report.ProbesPerSec = float64(report.Probes) / secs
-	}
+	report.Wall, report.WallMS, report.ProbesPerSec = sw.WallStats(report.Probes)
 	return report, nil
 }
 
@@ -572,9 +568,11 @@ func (c *Campaign) probe(seed int64, env Env) (probeResult, error) {
 		// Every engine-produced trace must satisfy the execution model, and
 		// every honest machine must conform to its recording — failures here
 		// are engine or protocol-determinism bugs, not protocol violations.
+		//balint:allow leantier guarded by c.RecordFull: this branch only sees full traces
 		if err := omission.Validate(e); err != nil {
 			return probeResult{}, fmt.Errorf("seed %d: invalid trace: %w", seed, err)
 		}
+		//balint:allow leantier guarded by c.RecordFull: this branch only sees full traces
 		if err := sim.Conforms(e, c.Factory, byzSkip(plan, e.Faulty)); err != nil {
 			return probeResult{}, fmt.Errorf("seed %d: conformance: %w", seed, err)
 		}
@@ -618,9 +616,11 @@ func (c *Campaign) replayFull(seed int64, env Env, proposals []msg.Value, lean *
 	if err != nil {
 		return nil, nil, fmt.Errorf("seed %d: full replay: %w", seed, err)
 	}
+	//balint:allow leantier replayFull records at the default RecordFull tier
 	if err := omission.Validate(e); err != nil {
 		return nil, nil, fmt.Errorf("seed %d: invalid trace: %w", seed, err)
 	}
+	//balint:allow leantier replayFull records at the default RecordFull tier
 	if err := sim.Conforms(e, c.Factory, byzSkip(plan, e.Faulty)); err != nil {
 		return nil, nil, fmt.Errorf("seed %d: conformance: %w", seed, err)
 	}

@@ -118,6 +118,7 @@ func coverage(e *sim.Execution) uint64 {
 				sent, somit = b.Lean.Sent[r-1], b.Lean.SendOmitted[r-1]
 				recv, romit = b.Lean.Received[r-1], b.Lean.ReceiveOmitted[r-1]
 			} else {
+				//balint:allow leantier full-trace branch: lean traces take the b.Lean fast path above
 				f := b.Frag(r)
 				sent, somit = len(f.Sent), len(f.SendOmitted)
 				recv, romit = len(f.Received), len(f.ReceiveOmitted)

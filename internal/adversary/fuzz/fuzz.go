@@ -212,7 +212,7 @@ func (f *Fuzzer) Run() (*Report, error) {
 	horizon := f.horizon()
 	env := adversary.Env{N: f.N, T: f.T, Rounds: f.Rounds, Horizon: horizon, Factory: f.Factory}
 	workers := runner.Workers(f.Parallelism)
-	start := time.Now()
+	sw := runner.StartWall()
 
 	if f.Corpus == nil {
 		f.Corpus = NewCorpus(f.Protocol, f.N, f.T)
@@ -325,11 +325,7 @@ func (f *Fuzzer) Run() (*Report, error) {
 		}
 	}
 
-	report.Wall = time.Since(start)
-	report.WallMS = float64(report.Wall.Microseconds()) / 1e3
-	if secs := report.Wall.Seconds(); secs > 0 {
-		report.ProbesPerSec = float64(report.Probes) / secs
-	}
+	report.Wall, report.WallMS, report.ProbesPerSec = sw.WallStats(report.Probes)
 	return report, nil
 }
 
@@ -409,9 +405,11 @@ func (f *Fuzzer) mutantProbe(c *candidate, env adversary.Env) (outcome, error) {
 	if err != nil {
 		return outcome{}, fmt.Errorf("mutant (%s of entry %d): full replay: %w", c.op, c.parent, err)
 	}
+	//balint:allow leantier guarded: the replay above runs at sim.RecordFull
 	if err := omission.Validate(e2); err != nil {
 		return outcome{}, fmt.Errorf("mutant (%s of entry %d): invalid trace: %w", c.op, c.parent, err)
 	}
+	//balint:allow leantier guarded: the replay above runs at sim.RecordFull
 	if err := sim.Conforms(e2, f.Factory, adversary.ByzantineSkip(fp2, e2.Faulty)); err != nil {
 		return outcome{}, fmt.Errorf("mutant (%s of entry %d): conformance: %w", c.op, c.parent, err)
 	}

@@ -1,0 +1,192 @@
+// Package analysistest runs balint analyzers over fixture workspaces,
+// mirroring golang.org/x/tools/go/analysis/analysistest: a workspace is
+// a GOPATH-style src tree (testdata/src/<importpath>/...), and fixture
+// files mark expected findings with trailing comments of the form
+//
+//	// want "substring"
+//	// want `substring` "another substring"
+//
+// Each quoted string must be a substring of the message of a distinct
+// unsuppressed diagnostic reported on that line; lines without a want
+// comment must report nothing. Suppressed diagnostics are invisible to
+// want matching — a fixture line carrying //balint:allow plus no want
+// asserts the suppression worked.
+package analysistest
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"expensive/internal/analysis"
+)
+
+// Run loads the workspace at dir (which must contain src/), runs the
+// analyzers over the named packages (or all packages when pkgs is
+// empty), and checks the diagnostics against the fixtures' want
+// comments. It returns all diagnostics for extra assertions.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
+	t.Helper()
+	src := filepath.Join(dir, "src")
+	prog, err := analysis.LoadTree(src)
+	if err != nil {
+		t.Fatalf("load workspace %s: %v", src, err)
+	}
+	diags, err := analysis.Run(prog, analyzers, nil)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+
+	inScope := func(pkgPath string) bool {
+		if len(pkgs) == 0 {
+			return true
+		}
+		for _, p := range pkgs {
+			if p == pkgPath {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Index unsuppressed diagnostics by file:line.
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]analysis.Diagnostic{}
+	for _, d := range analysis.Unsuppressed(diags) {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		got[k] = append(got[k], d)
+	}
+
+	// Collect want expectations from every in-scope fixture file.
+	for _, pkg := range prog.Packages {
+		if !inScope(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			name := prog.Fset.Position(file.Pos()).Filename
+			wants, err := wantsOf(name)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for line, expected := range wants {
+				k := key{name, line}
+				matchWants(t, k.file, line, expected, got[k])
+				delete(got, k)
+			}
+		}
+	}
+
+	// Anything left on in-scope files is unexpected.
+	var leftovers []analysis.Diagnostic
+	for k, ds := range got {
+		for _, pkg := range prog.Packages {
+			if inScope(pkg.Path) && strings.HasPrefix(k.file, pkg.Dir+string(filepath.Separator)) {
+				leftovers = append(leftovers, ds...)
+			}
+		}
+	}
+	sort.Slice(leftovers, func(i, j int) bool { return leftovers[i].String() < leftovers[j].String() })
+	for _, d := range leftovers {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	return diags
+}
+
+// matchWants checks that each expected substring matches a distinct
+// diagnostic on the line.
+func matchWants(t *testing.T, file string, line int, expected []string, ds []analysis.Diagnostic) {
+	t.Helper()
+	used := make([]bool, len(ds))
+outer:
+	for _, want := range expected {
+		for i, d := range ds {
+			if !used[i] && strings.Contains(d.Message, want) {
+				used[i] = true
+				continue outer
+			}
+		}
+		t.Errorf("%s:%d: no diagnostic matching %q (got %v)", filepath.Base(file), line, want, messages(ds))
+	}
+	for i, d := range ds {
+		if !used[i] {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", filepath.Base(file), line, d.Analyzer, d.Message)
+		}
+	}
+}
+
+func messages(ds []analysis.Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Message
+	}
+	return out
+}
+
+// wantsOf scans one fixture file for // want comments, returning
+// expected message substrings per line.
+func wantsOf(filename string) (map[int][]string, error) {
+	src, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	f := fset.AddFile(filename, -1, len(src))
+	var s scanner.Scanner
+	s.Init(f, src, nil, scanner.ScanComments)
+	wants := map[int][]string{}
+	for {
+		pos, tok, lit := s.Scan()
+		if tok == token.EOF {
+			break
+		}
+		if tok != token.COMMENT {
+			continue
+		}
+		rest, ok := strings.CutPrefix(lit, "// want ")
+		if !ok {
+			continue
+		}
+		line := fset.Position(pos).Line
+		parsed, err := parseWant(rest)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		wants[line] = append(wants[line], parsed...)
+	}
+	return wants, nil
+}
+
+// parseWant splits a want payload into its quoted strings. Both "..."
+// and `...` quoting are accepted.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("want expects quoted strings, got %q", s)
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad want string %q: %w", s, err)
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			return nil, fmt.Errorf("bad want string %q: %w", prefix, err)
+		}
+		out = append(out, unq)
+		s = s[len(prefix):]
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+// Package balint assembles the repo's analyzer suite: maporder,
+// wallclock, globalrand, leantier and regcheck, the five checks that
+// mechanically enforce the determinism, lean-tier and registry contracts
+// documented in the README's "Static analysis" section. cmd/balint and
+// `baexp lint` are thin frontends over this package.
+package balint
+
+import (
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/globalrand"
+	"expensive/internal/analysis/leantier"
+	"expensive/internal/analysis/maporder"
+	"expensive/internal/analysis/regcheck"
+	"expensive/internal/analysis/wallclock"
+)
+
+// Suite returns the full analyzer suite, in the order findings are
+// attributed in listings.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		wallclock.Analyzer,
+		globalrand.Analyzer,
+		leantier.Analyzer,
+		regcheck.Analyzer,
+	}
+}
+
+// Names returns the suite's analyzer names, the set //balint:allow
+// directives may reference.
+func Names() []string {
+	var out []string
+	for _, a := range Suite() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// LintModule loads the module rooted at dir and runs the whole suite,
+// returning every diagnostic (suppressed ones marked) in position order.
+func LintModule(dir string) ([]analysis.Diagnostic, error) {
+	prog, err := analysis.LoadModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(prog, Suite(), Names())
+}

@@ -1,0 +1,26 @@
+// Fixture for malformed //balint: directives: every variant must be
+// reported as an unsuppressable "balint" diagnostic, and a broken
+// directive must never silence the finding it sits next to.
+package m
+
+import "math/rand"
+
+func missingReason() int {
+	//balint:allow globalrand
+	return rand.Intn(3)
+}
+
+func missingEverything() int {
+	//balint:allow
+	return rand.Intn(3)
+}
+
+func unknownVerb() int {
+	//balint:deny globalrand because
+	return rand.Intn(3)
+}
+
+func unknownAnalyzer() int {
+	//balint:allow nosuch reason text
+	return rand.Intn(3)
+}

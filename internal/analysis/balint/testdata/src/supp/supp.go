@@ -1,0 +1,31 @@
+// Fixture for the //balint:allow suppression semantics, driven through
+// the globalrand analyzer (its diagnostics are line-local and easy to
+// provoke).
+package supp
+
+import "math/rand"
+
+// above: the directive on the preceding line suppresses the finding.
+func above() int {
+	//balint:allow globalrand fixture demonstrates line-above suppression
+	return rand.Intn(3)
+}
+
+// trailing: a directive on the flagged line itself suppresses too.
+func trailing() int {
+	return rand.Intn(3) //balint:allow globalrand fixture demonstrates same-line suppression
+}
+
+// wrongAnalyzer: a directive naming a different analyzer suppresses
+// nothing — the globalrand finding still fires.
+func wrongAnalyzer() int {
+	//balint:allow maporder reason aimed at the wrong analyzer
+	return rand.Intn(3) // want "process-global generator"
+}
+
+// wrongLine: a directive two lines up is out of range.
+func wrongLine() int {
+	//balint:allow globalrand too far away to apply
+
+	return rand.Intn(3) // want "process-global generator"
+}

@@ -1,0 +1,37 @@
+// Fixture exercising the three edge kinds beyond plain calls: method
+// values, functions stored into function-typed fields, and interface
+// dispatch.
+package cg
+
+func target() {}
+
+func helper() {}
+
+type T struct{}
+
+func (T) Method() {}
+
+// Pool holds a function-typed field; storing target there must keep
+// target reachable from the storer.
+type Pool struct {
+	fold func()
+}
+
+type Runner interface{ Run() }
+
+type Impl struct{}
+
+func (Impl) Run() { helper() }
+
+// Use takes no direct call to target or T.Method — only references —
+// and calls Run only through the interface.
+func Use(r Runner, t T) {
+	mv := t.Method // method value: reference edge
+	_ = mv
+	p := Pool{fold: target} // function-typed field: reference edge
+	p.fold()                // dynamic call, statically unresolvable
+	r.Run()                 // interface dispatch: expands to (Impl).Run
+}
+
+// Isolated is referenced by nobody; it must not be reachable from Use.
+func Isolated() {}

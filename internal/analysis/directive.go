@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveAnalyzer is the pseudo-analyzer name malformed //balint:
+// directives are reported under. These diagnostics cannot be suppressed:
+// a broken suppression must never silently suppress.
+const DirectiveAnalyzer = "balint"
+
+// directive is one parsed //balint: comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	// malformed carries the error message when the directive does not
+	// parse; analyzer/reason are then empty.
+	malformed string
+}
+
+const directivePrefix = "//balint:"
+
+// parseDirectives extracts every //balint: comment of a parsed file.
+// Like //go: directives, the marker must open the comment with no space.
+func parseDirectives(fset *token.FileSet, file *ast.File) []directive {
+	var out []directive
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			text, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			d := directive{pos: fset.Position(c.Pos())}
+			verb, rest, _ := strings.Cut(text, " ")
+			if verb != "allow" {
+				d.malformed = "unknown //balint: directive verb \"" + verb + "\" (only \"allow\" exists)"
+				out = append(out, d)
+				continue
+			}
+			name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			reason = strings.TrimSpace(reason)
+			switch {
+			case name == "":
+				d.malformed = "//balint:allow needs an analyzer name and a reason"
+			case reason == "":
+				d.malformed = "//balint:allow " + name + " needs a reason"
+			default:
+				d.analyzer, d.reason = name, reason
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}

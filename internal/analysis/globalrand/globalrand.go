@@ -1,0 +1,66 @@
+// Package globalrand implements the balint analyzer that flags the
+// top-level math/rand convenience functions (rand.Intn, rand.Shuffle,
+// ...). The global generator is shared, unseeded (or racily seeded) and
+// invisible to the replay machinery; every random choice in this module
+// must come from a threaded, explicitly seeded *rand.Rand so that a seed
+// in a report or corpus replays the exact execution.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"expensive/internal/analysis"
+)
+
+// Analyzer is the globalrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "flags top-level math/rand functions; thread a seeded *rand.Rand instead\n\n" +
+		"The package-level math/rand generator is process-global, so its draws\n" +
+		"depend on everything else that ran. Seed-replayability — the property\n" +
+		"that a seed printed in a hunt report reproduces the violation — needs\n" +
+		"every draw to come from an explicitly seeded *rand.Rand.",
+	Run: run,
+}
+
+// constructors are the package-level math/rand functions that are fine:
+// they build the threaded generator rather than draw from the global one.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.FuncObject(info, call.Fun)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // a method on *rand.Rand — the blessed pattern
+			}
+			if constructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the process-global generator: thread a seeded *rand.Rand instead",
+				path, fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/analysistest"
+	"expensive/internal/analysis/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{globalrand.Analyzer}, "a")
+}

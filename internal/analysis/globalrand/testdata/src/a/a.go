@@ -1,0 +1,25 @@
+// Fixture for the globalrand analyzer.
+package a
+
+import "math/rand"
+
+// Draw uses the process-global generator: flagged.
+func Draw() int {
+	return rand.Intn(10) // want "process-global generator"
+}
+
+// Shuffle mixes a global call (flagged) and a threaded one (clean).
+func Shuffle(r *rand.Rand, xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global generator"
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Build constructs the threaded generator: the blessed pattern, clean.
+func Build(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Seeded draws from a threaded generator: clean.
+func Seeded(r *rand.Rand) int {
+	return r.Intn(10)
+}

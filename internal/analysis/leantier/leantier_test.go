@@ -1,0 +1,27 @@
+package leantier_test
+
+import (
+	"testing"
+
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/analysistest"
+	"expensive/internal/analysis/leantier"
+)
+
+func TestLeantier(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", []*analysis.Analyzer{leantier.Analyzer}, "probe")
+	// The annotated guarded call must be present but suppressed — deleting
+	// the //balint:allow in the fixture turns it into a failure.
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			if d.Reason == "" {
+				t.Errorf("suppressed diagnostic without a reason: %s", d)
+			}
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want exactly the annotated AllSent call", suppressed)
+	}
+}

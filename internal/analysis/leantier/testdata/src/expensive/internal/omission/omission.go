@@ -1,0 +1,6 @@
+// Fixture stub of the real omission package.
+package omission
+
+import "expensive/internal/sim"
+
+func Validate(e *sim.Execution) error { return nil }

@@ -1,0 +1,52 @@
+// Fixture stub of the real sim package: just enough surface for the
+// leantier analyzer's roots (RecordDecisions) and sinks (Conforms,
+// Behavior.All*/Frag).
+package sim
+
+type Recording int
+
+const (
+	RecordFull Recording = iota
+	RecordDecisions
+)
+
+type Message struct{}
+
+type Fragment struct {
+	Received []Message
+}
+
+type LeanTrace struct {
+	Sent []int
+}
+
+type Behavior struct {
+	Lean      *LeanTrace
+	Fragments []Fragment
+}
+
+func (b *Behavior) Frag(r int) Fragment { return Fragment{} }
+
+func (b *Behavior) AllSent() []Message { return nil }
+
+func (b *Behavior) AllSendOmitted() []Message { return nil }
+
+func (b *Behavior) AllReceiveOmitted() []Message { return nil }
+
+type Execution struct {
+	Recording Recording
+	Behaviors []*Behavior
+}
+
+// MessagesSentBy is lean-safe: counting never needs the full trace.
+func (e *Execution) MessagesSentBy() int { return 0 }
+
+type Config struct {
+	Recording Recording
+}
+
+type Factory func() *Behavior
+
+func Run(cfg Config) *Execution { return &Execution{Recording: cfg.Recording} }
+
+func Conforms(e *Execution) error { return nil }

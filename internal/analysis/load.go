@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The whole suite shares one FileSet and one stdlib importer: the source
+// importer type-checks stdlib packages from GOROOT source (no export
+// data is shipped with modern toolchains, and this module must build
+// offline) and caches them per process, so every Program loaded in one
+// binary — the real module and each analyzer's fixture workspaces —
+// reuses the same stdlib type objects.
+var (
+	sharedFset *token.FileSet
+	sharedStd  types.ImporterFrom
+	sharedMu   sync.Mutex
+)
+
+func shared() (*token.FileSet, types.ImporterFrom) {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if sharedFset == nil {
+		// cgo-tagged files cannot be type-checked from source; with cgo
+		// off, go/build selects the pure-Go variants (net, os/user, ...).
+		build.Default.CgoEnabled = false
+		sharedFset = token.NewFileSet()
+		sharedStd = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+	}
+	return sharedFset, sharedStd
+}
+
+var moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// LoadModule loads the Go module rooted at dir (the directory holding
+// go.mod): every package of the module, non-test files only, parsed and
+// type-checked into one Program. testdata, vendor and dot/underscore
+// directories are skipped, exactly like the go tool.
+func LoadModule(dir string) (*Program, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("load module: %w", err)
+	}
+	m := moduleRE.FindSubmatch(raw)
+	if m == nil {
+		return nil, fmt.Errorf("load module: no module line in %s/go.mod", dir)
+	}
+	return loadTree(dir, string(m[1]))
+}
+
+// LoadTree loads a GOPATH-style workspace: every package directory under
+// src, with import paths relative to it. This is what analysistest uses
+// for fixture workspaces (testdata/src/<importpath>/...), mirroring the
+// x/tools analysistest layout — fixtures can stub repo packages under
+// their real import paths.
+func LoadTree(src string) (*Program, error) {
+	return loadTree(src, "")
+}
+
+func loadTree(root, module string) (*Program, error) {
+	fset, std := shared()
+	l := &loader{
+		fset:  fset,
+		std:   std,
+		dirs:  map[string]string{},
+		pkgs:  map[string]*Package{},
+		state: map[string]int{},
+	}
+	if err := l.discover(root, module); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := l.load(p); err != nil {
+			return nil, err
+		}
+	}
+	prog := &Program{
+		Fset:   fset,
+		byPath: map[string]*Package{},
+		Cache:  map[string]any{},
+	}
+	for _, p := range paths {
+		pkg := l.pkgs[p]
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[p] = pkg
+	}
+	return prog, nil
+}
+
+type loader struct {
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	dirs  map[string]string // import path -> directory
+	pkgs  map[string]*Package
+	state map[string]int // 0 unseen, 1 loading, 2 done
+}
+
+// discover maps every package directory under root to its import path:
+// module-rooted when module is non-empty, root-relative otherwise.
+func (l *loader) discover(root, module string) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		imp := filepath.ToSlash(rel)
+		switch {
+		case module == "":
+			if imp == "." {
+				return nil // a bare src root is not a package
+			}
+		case imp == ".":
+			imp = module
+		default:
+			imp = module + "/" + imp
+		}
+		l.dirs[imp] = filepath.Dir(path)
+		return nil
+	})
+}
+
+// load parses and type-checks one local package, loading its local
+// dependencies first.
+func (l *loader) load(path string) (*Package, error) {
+	switch l.state[path] {
+	case 2:
+		return l.pkgs[path], nil
+	case 1:
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.state[path] = 1
+
+	dir := l.dirs[path]
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var directives []directive
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		directives = append(directives, parseDirectives(l.fset, f)...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	// Preload local imports so type-checking never recurses.
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			imp, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if _, local := l.dirs[imp]; local {
+				if _, err := l.load(imp); err != nil {
+					return nil, fmt.Errorf("%s: %w", path, err)
+				}
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	cfg := &types.Config{
+		Importer: importerFunc{l},
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := cfg.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-check %s: %v", path, typeErrs[0])
+	}
+
+	pkg := &Package{
+		Path:       path,
+		Dir:        dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		directives: directives,
+	}
+	l.pkgs[path] = pkg
+	l.state[path] = 2
+	return pkg, nil
+}
+
+// importerFunc adapts the loader to types.ImporterFrom: local packages
+// resolve within the program, everything else falls through to the
+// shared stdlib source importer.
+type importerFunc struct{ l *loader }
+
+func (i importerFunc) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, "", 0)
+}
+
+func (i importerFunc) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if _, local := i.l.dirs[path]; local {
+		pkg, err := i.l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return i.l.std.ImportFrom(path, dir, 0)
+}

@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/analysistest"
+	"expensive/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{maporder.Analyzer}, "a")
+}

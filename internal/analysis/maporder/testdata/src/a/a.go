@@ -1,0 +1,68 @@
+// Fixture for the maporder analyzer: Save anchors a JSON report path;
+// everything it reaches is checked, everything else is not.
+package a
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+type Report struct {
+	Keys    []string
+	Buckets []int
+}
+
+// Save is a maporder root: it calls a JSON encoder.
+func Save(m map[string]int) ([]byte, error) {
+	r := Report{Keys: fold(m), Buckets: foldStruct(m).Buckets}
+	bad(m)
+	collectNoSort(m)
+	return json.Marshal(r)
+}
+
+// fold uses the canonical collect-append-sort idiom: clean.
+func fold(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type hist struct {
+	Buckets []int
+}
+
+// foldStruct appends into a struct field and sorts it: clean.
+func foldStruct(m map[string]int) hist {
+	var h hist
+	for _, v := range m {
+		h.Buckets = append(h.Buckets, v)
+	}
+	sort.Ints(h.Buckets)
+	return h
+}
+
+// bad iterates the map directly on the report path.
+func bad(m map[string]int) {
+	for k := range m { // want "iteration order is nondeterministic"
+		_ = k
+	}
+}
+
+// collectNoSort appends but never sorts the destination.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// unreachable is on no encoding path: clean even though it ranges a map.
+func unreachable(m map[string]int) {
+	for k := range m {
+		_ = k
+	}
+}

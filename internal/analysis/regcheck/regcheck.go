@@ -1,0 +1,101 @@
+// Package regcheck implements the balint analyzer that enforces the
+// protocol-registry contract from PR 3: every package constructing a
+// catalog.Spec must register it with catalog.Register during package
+// init, and must be imported by expensive/internal/catalog/all — the
+// package whose blank imports make the whole catalog visible to the
+// registry-driven matrix and the CLIs. A spec that misses either leg
+// silently vanishes from `baexp matrix` grids and `-list` output.
+package regcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/callgraph"
+)
+
+// Analyzer is the regcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "regcheck",
+	Doc: "packages defining a catalog.Spec must Register it in init and be imported by catalog/all\n\n" +
+		"The registry-driven matrix only sees specs that reached\n" +
+		"catalog.Register during init of a package that catalog/all imports;\n" +
+		"this analyzer flags spec-constructing packages missing either leg.",
+	Run: run,
+}
+
+const (
+	catalogPath = "expensive/internal/catalog"
+	allPath     = "expensive/internal/catalog/all"
+)
+
+func run(pass *analysis.Pass) error {
+	pkg := pass.Pkg
+	if pkg.Path == catalogPath || pkg.Path == allPath {
+		return nil // the registry itself and the import aggregator
+	}
+	cat := pass.Program.Package(catalogPath)
+	if cat == nil {
+		return nil // no catalog in this program (foreign fixture)
+	}
+	specType := cat.Types.Scope().Lookup("Spec")
+	registerFn, _ := cat.Types.Scope().Lookup("Register").(*types.Func)
+	if specType == nil || registerFn == nil {
+		return nil
+	}
+
+	// Does this package construct a catalog.Spec?
+	var firstLit ast.Node
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if firstLit != nil {
+				return false
+			}
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if t := pkg.Info.TypeOf(cl); t != nil && t == specType.Type() {
+				firstLit = cl
+			}
+			return true
+		})
+		if firstLit != nil {
+			break
+		}
+	}
+	if firstLit == nil {
+		return nil
+	}
+
+	// Leg 1: catalog.Register reachable from this package's init context.
+	g := callgraph.Of(pass.Program)
+	registered := false
+	if regNode := g.Node(registerFn); regNode != nil {
+		reach := g.Reachable([]*callgraph.Node{g.InitNode(pkg)}, nil)
+		registered = reach[regNode]
+	}
+	if !registered {
+		pass.Reportf(firstLit.Pos(),
+			"package %s constructs a catalog.Spec but never calls catalog.Register from init; the spec is invisible to the registry",
+			pkg.Path)
+	}
+
+	// Leg 2: imported by catalog/all.
+	if all := pass.Program.Package(allPath); all != nil {
+		imported := false
+		for _, imp := range all.Types.Imports() {
+			if imp.Path() == pkg.Path {
+				imported = true
+				break
+			}
+		}
+		if !imported {
+			pass.Reportf(firstLit.Pos(),
+				"package %s constructs a catalog.Spec but is not imported by %s; registry-driven commands cannot see it",
+				pkg.Path, allPath)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package regcheck_test
+
+import (
+	"testing"
+
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/analysistest"
+	"expensive/internal/analysis/regcheck"
+)
+
+func TestRegcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{regcheck.Analyzer},
+		"goodproto", "badreg", "noimport")
+}

@@ -1,0 +1,6 @@
+// badreg constructs a spec but never registers it.
+package badreg
+
+import "expensive/internal/catalog"
+
+var Orphan = catalog.Spec{ID: "orphan"} // want "never calls catalog.Register"

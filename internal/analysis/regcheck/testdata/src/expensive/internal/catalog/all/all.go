@@ -1,0 +1,8 @@
+// Fixture stub of the import aggregator: goodproto and badreg are
+// linked in, noimport is not.
+package all
+
+import (
+	_ "badreg"
+	_ "goodproto"
+)

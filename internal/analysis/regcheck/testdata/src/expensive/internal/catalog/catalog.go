@@ -1,0 +1,10 @@
+// Fixture stub of the real catalog package.
+package catalog
+
+type Spec struct {
+	ID string
+}
+
+var registry []Spec
+
+func Register(s Spec) { registry = append(registry, s) }

@@ -1,0 +1,9 @@
+// goodproto registers its spec in init and is imported by catalog/all:
+// clean on both legs.
+package goodproto
+
+import "expensive/internal/catalog"
+
+func init() {
+	catalog.Register(catalog.Spec{ID: "good"})
+}

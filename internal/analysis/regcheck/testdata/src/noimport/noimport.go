@@ -1,0 +1,13 @@
+// noimport registers (transitively, through a helper — init reachability
+// must see through the call) but catalog/all does not import it.
+package noimport
+
+import "expensive/internal/catalog"
+
+func init() {
+	register()
+}
+
+func register() {
+	catalog.Register(catalog.Spec{ID: "hidden"}) // want "not imported by"
+}

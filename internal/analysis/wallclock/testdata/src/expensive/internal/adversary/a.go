@@ -1,0 +1,17 @@
+// Fixture for the wallclock analyzer: the adversary package is in scope.
+package adversary
+
+import (
+	"time"
+
+	"expensive/internal/experiments/runner"
+)
+
+// Probe reads the clock directly (flagged) and via the Stopwatch (clean).
+func Probe() time.Duration {
+	sw := runner.StartWall()
+	start := time.Now()   // want "thread timing through runner.Stopwatch"
+	_ = time.Since(start) // want "thread timing through runner.Stopwatch"
+	_ = time.Unix(0, 0)   // not a clock read: clean
+	return sw.Wall()
+}

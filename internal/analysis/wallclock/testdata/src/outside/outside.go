@@ -1,0 +1,6 @@
+// Out-of-scope package: wall-clock reads are fine here.
+package outside
+
+import "time"
+
+func Now() time.Time { return time.Now() }

@@ -1,0 +1,98 @@
+// Package wallclock implements the balint analyzer that flags direct
+// wall-clock reads (time.Now, time.Since) in probe, engine and fold
+// code. Wall-clock values leak into reports as timing stats; reading the
+// clock anywhere else on those paths either perturbs byte-identical
+// output or tempts logic into depending on real time. All timing goes
+// through the runner.Stopwatch wrappers, which are the allowlist.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"expensive/internal/analysis"
+)
+
+// Analyzer is the wallclock analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "flags time.Now/time.Since in probe, engine and fold code outside the Stopwatch wrappers\n\n" +
+		"Probe and fold code must not read the wall clock directly: timing\n" +
+		"stats go through expensive/internal/experiments/runner.Stopwatch so\n" +
+		"that exactly one sanctioned site produces the nondeterministic\n" +
+		"fields reports already exclude from byte-identity diffs.",
+	Run: run,
+}
+
+// scopes are the package paths (exact or prefix/) where the rule
+// applies: the probe engines, the fold/report layers, and the simulator.
+var scopes = []string{
+	"expensive/internal/adversary",
+	"expensive/internal/catalog/matrix",
+	"expensive/internal/experiments",
+	"expensive/internal/lowerbound",
+	"expensive/internal/omission",
+	"expensive/internal/sim",
+	"expensive/internal/solve",
+}
+
+// clockFuncs are the forbidden direct reads.
+var clockFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+}
+
+// allowed are the timing-stat wrappers whose bodies may read the clock.
+var allowed = map[string]bool{
+	"expensive/internal/experiments/runner.StartWall":        true,
+	"(expensive/internal/experiments/runner.Stopwatch).Wall": true,
+}
+
+func inScope(path string) bool {
+	for _, s := range scopes {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, _ := info.Defs[fd.Name].(*types.Func); fn != nil && allowed[fn.FullName()] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.FuncObject(info, call.Fun)
+				if fn != nil && clockFuncs[fn.FullName()] {
+					pass.Reportf(call.Pos(),
+						"%s in %s code: thread timing through runner.Stopwatch instead of reading the wall clock",
+						fn.FullName(), shortScope(pass.Pkg.Path))
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func shortScope(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

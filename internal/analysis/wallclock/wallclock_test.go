@@ -1,0 +1,14 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/analysistest"
+	"expensive/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{wallclock.Analyzer},
+		"expensive/internal/adversary", "expensive/internal/experiments/runner", "outside")
+}

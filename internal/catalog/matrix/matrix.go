@@ -168,7 +168,7 @@ func (m *Matrix) Run() (*Grid, error) {
 	}
 	nCells := len(r.Protocols) * len(r.Strategies) * len(r.Sizes)
 	workers := runner.Workers(r.Parallelism)
-	start := time.Now()
+	sw := runner.StartWall()
 
 	cells, err := runner.Map(r.Ctx, workers, nCells, func(i int) (Cell, error) {
 		zi := i % len(r.Sizes)
@@ -204,11 +204,7 @@ func (m *Matrix) Run() (*Grid, error) {
 		}
 		g.Probes += c.Probes
 	}
-	g.Wall = time.Since(start)
-	g.WallMS = float64(g.Wall.Microseconds()) / 1e3
-	if secs := g.Wall.Seconds(); secs > 0 {
-		g.ProbesPerSec = float64(g.Probes) / secs
-	}
+	g.Wall, g.WallMS, g.ProbesPerSec = sw.WallStats(g.Probes)
 	return g, nil
 }
 

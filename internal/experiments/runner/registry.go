@@ -126,12 +126,12 @@ func RunOne(id string, opts Options) (*Result, error) {
 		return nil, UnknownIDError(id)
 	}
 	before := sim.Runs()
-	start := time.Now()
+	sw := StartWall()
 	tab, err := e.Run(opts)
 	if err != nil {
 		return nil, err
 	}
-	wall := time.Since(start)
+	wall := sw.Wall()
 	return &Result{
 		Table:   tab,
 		Wall:    wall,

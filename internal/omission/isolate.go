@@ -30,6 +30,7 @@ func CheckIsolated(e *sim.Execution, group proc.Set, fromRound int) error {
 			return fmt.Errorf("isolation: %s is not faulty", id)
 		}
 		b := e.Behavior(id)
+		//balint:allow leantier Definition 1 checks need full traces; RunIsolatedAt gates this on RecordFull
 		if n := len(b.AllSendOmitted()); n > 0 {
 			return fmt.Errorf("isolation: %s send-omits %d messages", id, n)
 		}
@@ -78,6 +79,7 @@ func RunIsolatedAt(n, t int, factory sim.Factory, prop msg.Value, group proc.Set
 	if rec != sim.RecordFull {
 		return exec, nil
 	}
+	//balint:allow leantier guarded: non-full recordings returned early above
 	if err := Validate(exec); err != nil {
 		return nil, fmt.Errorf("isolated execution invalid: %w", err)
 	}

@@ -77,8 +77,14 @@ func Validate(e *sim.Execution) error {
 	}
 
 	// Send-validity: every sent message is received or receive-omitted by
-	// its receiver in the same round.
+	// its receiver in the same round. Checked in canonical message order
+	// so the witness named by the error is deterministic.
+	sentMsgs := make([]msg.Message, 0, len(sent))
 	for _, m := range sent {
+		sentMsgs = append(sentMsgs, m)
+	}
+	msg.Sort(sentMsgs)
+	for _, m := range sentMsgs {
 		rb := e.Behaviors[m.Receiver]
 		f := rb.Frag(m.Round)
 		if !containsMsg(f.Received, m) && !containsMsg(f.ReceiveOmitted, m) {
@@ -164,6 +170,7 @@ func Indistinguishable(e1, e2 *sim.Execution, id proc.ID) error {
 	}
 	rounds := max(len(b1.Fragments), len(b2.Fragments))
 	for r := 1; r <= rounds; r++ {
+		//balint:allow leantier §3 indistinguishability compares full received views; lowerbound drivers record full
 		r1, r2 := b1.Frag(r).Received, b2.Frag(r).Received
 		if !msg.SameSet(r1, r2) {
 			return fmt.Errorf("%s receives different messages in round %d (%d vs %d msgs)",
@@ -177,6 +184,7 @@ func Indistinguishable(e1, e2 *sim.Execution, id proc.ID) error {
 // lies in from — the paper's M_{X→p} sets used by Lemma 2.
 func MessagesFromTo(e *sim.Execution, from proc.Set, p proc.ID) []msg.Message {
 	var out []msg.Message
+	//balint:allow leantier Lemma 2 message sets exist only in full traces; callers construct them at RecordFull
 	for _, m := range e.Behavior(p).AllReceiveOmitted() {
 		if from.Contains(m.Sender) {
 			out = append(out, m)

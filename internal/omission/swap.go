@@ -23,12 +23,14 @@ func SwapOmission(e *sim.Execution, pi proc.ID) (*sim.Execution, error) {
 	if e.Recording != sim.RecordFull {
 		return nil, fmt.Errorf("swap_omission: requires a full trace, got recording level %q — re-run the configuration at sim.RecordFull", e.Recording)
 	}
+	//balint:allow leantier guarded: SwapOmission rejects non-full recordings above
 	if n := len(e.Behavior(pi).AllSendOmitted()); n > 0 {
 		return nil, fmt.Errorf("swap_omission: %s commits %d send-omission faults", pi, n)
 	}
 
 	// M: all messages receive-omitted by pi, keyed by identity (line 2).
 	swapped := make(map[msg.Key]bool)
+	//balint:allow leantier guarded: SwapOmission rejects non-full recordings above
 	for _, m := range e.Behavior(pi).AllReceiveOmitted() {
 		swapped[m.Key()] = true
 	}

@@ -11,6 +11,7 @@
 package mux
 
 import (
+	"sort"
 	"strconv"
 
 	"expensive/internal/msg"
@@ -52,8 +53,9 @@ type bundle struct {
 
 // decodeBundle memoizes bundle decoding (msg.CachedDecoder): the demux hot
 // path sees the same bundle bodies over and over across probe sweeps.
-// Decoded bundles are shared and read-only; iteration order over I does
-// not matter because inner messages are sorted before delivery.
+// Decoded bundles are shared and read-only; demux iterates I in sorted
+// key order, so the shared map is never a source of nondeterminism even
+// for adversarial bundles with colliding keys.
 var decodeBundle = msg.CachedDecoder[bundle]()
 
 // Init implements sim.Machine.
@@ -74,7 +76,16 @@ func (m *Machine) Step(round int, received []msg.Message) []sim.Outgoing {
 		if !ok {
 			continue // malformed bundle from a Byzantine sender: ignore
 		}
-		for key, payload := range b.I {
+		// Iterate bundle keys in sorted order: a Byzantine sender can put
+		// colliding keys in one bundle ("0" and "00" both decode to
+		// instance 0), and map order would then make the inner inbox —
+		// and everything downstream — nondeterministic.
+		keys := make([]string, 0, len(b.I))
+		for key := range b.I {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
 			idx, err := strconv.Atoi(key)
 			if err != nil || idx < 0 || idx >= len(m.subs) {
 				continue
@@ -83,7 +94,7 @@ func (m *Machine) Step(round int, received []msg.Message) []sim.Outgoing {
 				Sender:   outerMsg.Sender,
 				Receiver: outerMsg.Receiver,
 				Round:    outerMsg.Round,
-				Payload:  payload,
+				Payload:  b.I[key],
 			})
 		}
 	}

@@ -125,3 +125,51 @@ func TestMuxToleratesGarbage(t *testing.T) {
 		}
 	}
 }
+
+// collisionSender emits bundles whose keys collide after decoding: "0"
+// and "00" both parse to instance 0. A map-order iteration over the
+// bundle would deliver the two payloads in random order; demux must
+// iterate keys sorted so the inner inbox — and every downstream decision
+// — is byte-identical across runs.
+type collisionSender struct{ n int }
+
+func (m *collisionSender) Init() []sim.Outgoing {
+	var out []sim.Outgoing
+	for p := 1; p < m.n; p++ {
+		out = append(out, sim.Outgoing{To: proc.ID(p), Payload: `{"I":{"0":"one","00":"two"}}`})
+	}
+	return out
+}
+func (m *collisionSender) Step(int, []msg.Message) []sim.Outgoing { return nil }
+func (m *collisionSender) Decision() (msg.Value, bool)            { return msg.NoDecision, false }
+func (m *collisionSender) Quiescent() bool                        { return true }
+
+func TestMuxCollidingBundleKeysDeterministic(t *testing.T) {
+	run := func() msg.Value {
+		plan := sim.ByzantinePlan{Machines: map[proc.ID]sim.Machine{0: &collisionSender{n: 3}}}
+		cfg := sim.Config{N: 3, T: 1, Proposals: []msg.Value{"x", "y", "z"}, MaxRounds: 4}
+		e, err := sim.Run(cfg, muxFactory(3), plan)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		d, ok := e.Decision(1)
+		if !ok {
+			t.Fatal("p1 undecided")
+		}
+		return d
+	}
+	first := run()
+	// Key "0" sorts before "00", so instance 0 hears "one" before "two".
+	vec, err := msg.DecodeVector(first)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !strings.Contains(string(vec[0]), "one|two") {
+		t.Errorf("instance 0 decision = %q, want colliding payloads in sorted key order", vec[0])
+	}
+	for i := 0; i < 20; i++ {
+		if d := run(); d != first {
+			t.Fatalf("decision changed across runs: %q vs %q — bundle demux is map-order dependent", d, first)
+		}
+	}
+}

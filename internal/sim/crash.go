@@ -20,10 +20,11 @@ type CrashSpec struct {
 // proven against omissions, and protocols that only survive crashes break
 // under the richer pattern.
 func Crash(specs map[proc.ID]CrashSpec) OmissionPlan {
-	faulty := proc.Set{}
+	ids := make([]proc.ID, 0, len(specs))
 	for id := range specs {
-		faulty = faulty.Add(id)
+		ids = append(ids, id)
 	}
+	faulty := proc.NewSet(ids...)
 	return OmissionPlan{
 		F: faulty,
 		SendFn: func(m msg.Message) bool {

@@ -46,10 +46,16 @@ func Timeline(e *sim.Execution, opts Options) string {
 	fmt.Fprintf(&b, "execution: n=%d t=%d faulty=%v rounds=%d\n", e.N, e.T, e.Faulty, e.Rounds)
 	fmt.Fprintf(&b, "legend: %s\n", legend)
 
+	groupNames := make([]string, 0, len(opts.Groups))
+	for name := range opts.Groups {
+		groupNames = append(groupNames, name)
+	}
+	sort.Strings(groupNames)
+
 	// Header row with round numbers.
 	idWidth := len(fmt.Sprintf("p%d", e.N-1))
 	groupWidth := 0
-	for name := range opts.Groups {
+	for _, name := range groupNames {
 		if len(name) > groupWidth {
 			groupWidth = len(name)
 		}
@@ -59,12 +65,6 @@ func Timeline(e *sim.Execution, opts Options) string {
 		fmt.Fprintf(&b, "%3d", r)
 	}
 	b.WriteString("\n")
-
-	groupNames := make([]string, 0, len(opts.Groups))
-	for name := range opts.Groups {
-		groupNames = append(groupNames, name)
-	}
-	sort.Strings(groupNames)
 
 	for i := 0; i < e.N; i++ {
 		id := proc.ID(i)

@@ -61,3 +61,38 @@ func TestDiffLocatesDivergence(t *testing.T) {
 		t.Errorf("diff should report p0 identical:\n%s", out)
 	}
 }
+
+func TestTimelineGroupsDeterministic(t *testing.T) {
+	groupB := proc.NewSet(6, 7)
+	groupA := proc.NewSet(0, 1)
+	e, err := omission.RunIsolated(8, 4, cheap.Leader(8), msg.Zero, groupB, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group labels and the label column width must come from the sorted
+	// name list, never from map iteration, so renders are byte-identical
+	// however the Groups map was built.
+	mk := func(names ...string) map[string]proc.Set {
+		groups := make(map[string]proc.Set)
+		for _, n := range names {
+			if n == "widest-label" || n == "A" {
+				groups[n] = groupA
+			} else {
+				groups[n] = groupB
+			}
+		}
+		return groups
+	}
+	first := viz.Timeline(e, viz.Options{Groups: mk("A", "B", "widest-label")})
+	for i := 0; i < 20; i++ {
+		again := viz.Timeline(e, viz.Options{Groups: mk("widest-label", "B", "A")})
+		if again != first {
+			t.Fatalf("timeline depends on Groups map construction order:\n%s\nvs\n%s", first, again)
+		}
+	}
+	// "A" sorts first so it wins the label for p0/p1, but the column is
+	// still sized by the widest name: "A" padded to len("widest-label").
+	if !strings.Contains(first, "           A |") {
+		t.Errorf("label column not sized to widest group name:\n%s", first)
+	}
+}

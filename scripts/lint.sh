@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# lint.sh — the repo's static-analysis gate, as CI runs it.
+#
+# Builds cmd/balint from the tree (the linter is part of the module, so
+# the gate always matches the checked-out contracts), runs it over the
+# whole module, and follows with plain `go vet`. balint exits non-zero
+# on any unsuppressed finding; a //balint:allow directive needs an
+# analyzer name and a reason, and malformed directives are themselves
+# findings.
+#
+# Usage:
+#   scripts/lint.sh          # lint the module
+#   scripts/lint.sh -v       # also print suppressed findings with reasons
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mkdir -p bin
+go build -o bin/balint ./cmd/balint
+
+echo "balint ./..." >&2
+./bin/balint "$@" .
+
+echo "go vet ./..." >&2
+go vet ./...
