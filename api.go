@@ -1,6 +1,9 @@
 package expensive
 
 import (
+	"context"
+	"io"
+
 	"expensive/internal/adversary"
 	"expensive/internal/adversary/fuzz"
 	"expensive/internal/catalog"
@@ -11,6 +14,7 @@ import (
 	"expensive/internal/experiments/runner"
 	"expensive/internal/lowerbound"
 	"expensive/internal/msg"
+	"expensive/internal/obs"
 	"expensive/internal/omission"
 	"expensive/internal/proc"
 	"expensive/internal/protocols/external"
@@ -139,6 +143,15 @@ type (
 	MatrixCell = matrix.Cell
 	// MatrixGrid is a matrix's deterministic, JSON-serializable report.
 	MatrixGrid = matrix.Grid
+	// Telemetry is the flight recorder (internal/obs): nil-safe atomic
+	// counters, gauges and log-bucketed histograms, plus an optional JSONL
+	// trace-event sink. The nil recorder is the off switch — every
+	// instrument call on it is one pointer check and zero allocations.
+	Telemetry = obs.Recorder
+	// TelemetrySink is a Telemetry's JSONL trace-event sink.
+	TelemetrySink = obs.Sink
+	// TelemetryMetric is one serialized instrument of a Telemetry snapshot.
+	TelemetryMetric = obs.Metric
 )
 
 // Protocol models.
@@ -440,6 +453,29 @@ func ShrinkOptionsFor(p Protocol, params ProtocolParams) (ShrinkOptions, error) 
 // StrategyLibrary returns the named attack library in ID order; biasPct
 // parameterizes the random-omission family.
 func StrategyLibrary(biasPct int) []NamedStrategy { return adversary.Library(biasPct) }
+
+// Observability. Telemetry is a strict side channel: attach a recorder to
+// the Ctx of a Campaign, Fuzzer, Matrix, ExperimentOptions or falsifier
+// Options via WithTelemetry and the engines count probes, time them into
+// histograms and emit structured trace events — while every JSON report
+// stays byte-identical with telemetry on or off, at every parallelism
+// level. With no recorder attached (the default) the instrumented hot
+// loops pay one nil check per call and allocate nothing.
+
+// NewTelemetry returns an empty flight recorder.
+func NewTelemetry() *Telemetry { return obs.New() }
+
+// NewTelemetrySink returns a JSONL trace-event sink writing to w; attach
+// it with Telemetry.SetSink to capture campaign/fuzz/matrix span events.
+func NewTelemetrySink(w io.Writer) *TelemetrySink { return obs.NewSink(w) }
+
+// WithTelemetry attaches the recorder to a context for an engine's Ctx
+// field. A nil recorder is fine and means "telemetry off".
+func WithTelemetry(ctx context.Context, r *Telemetry) context.Context { return obs.Into(ctx, r) }
+
+// TelemetryFrom returns the recorder attached to ctx, or nil — the same
+// lookup the engines perform once per run.
+func TelemetryFrom(ctx context.Context) *Telemetry { return obs.From(ctx) }
 
 // Adaptive fuzzing: coverage-guided plan mutation over the lean-probe
 // engine (see internal/adversary/fuzz). Where a campaign sweeps fresh

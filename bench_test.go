@@ -1,6 +1,7 @@
 package expensive_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -241,6 +242,56 @@ func BenchmarkHuntCampaign(b *testing.B) {
 		b.Run(bench.name+"/serial", func(b *testing.B) { benchCampaign(b, 1, bench.strategy) })
 		b.Run(bench.name+"/parallel", func(b *testing.B) { benchCampaign(b, 0, bench.strategy) })
 	}
+}
+
+// Telemetry overhead benchmarks: the flight recorder's contract is that
+// the disabled (nil-recorder) instrument sequence a probe loop executes —
+// start a timer, bump a counter, stop the timer — costs a few nil checks
+// and zero allocations, and the enabled path stays cheap enough to leave
+// on under -progress/-metrics-out. BenchmarkObsDisabled is the number the
+// "<1% probe-loop overhead when off" claim rests on; compare a probe at
+// BenchmarkEngineRoundLean to see the ratio.
+
+func benchObs(b *testing.B, rec *expensive.Telemetry) {
+	b.Helper()
+	probes := rec.Counter("probes")
+	lat := rec.Histogram("probe_ns")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := lat.StartTimer()
+		probes.Inc()
+		t.Stop()
+	}
+}
+
+func BenchmarkObsDisabled(b *testing.B) { benchObs(b, nil) }
+
+func BenchmarkObsEnabled(b *testing.B) { benchObs(b, expensive.NewTelemetry()) }
+
+// BenchmarkHuntCampaignTelemetry is BenchmarkHuntCampaign's targeted
+// sweep with a live recorder attached: the end-to-end cost of running a
+// campaign instrumented rather than dark.
+func BenchmarkHuntCampaignTelemetry(b *testing.B) {
+	n, tf := 8, 2
+	factory, rounds := expensive.NewFloodSet(n, tf)
+	rec := expensive.NewTelemetry()
+	b.ReportAllocs()
+	var probes int
+	for i := 0; i < b.N; i++ {
+		c := expensive.NewCampaign("floodset", factory, rounds, n, tf,
+			expensive.StrategyTargetedWithhold(), expensive.SeedRange{From: 0, To: 128})
+		c.Validity = expensive.CheckWeakValidity
+		c.Ctx = expensive.WithTelemetry(context.Background(), rec)
+		rep, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes += rep.Probes
+	}
+	if rec.Counter("campaign_probes").Value() == 0 {
+		b.Fatal("recorder saw no probes")
+	}
+	b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/s")
 }
 
 // benchMatrix sweeps the full registry × two strategies × two sizes.

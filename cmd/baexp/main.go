@@ -24,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -59,7 +60,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		usage()
+		usage(os.Stderr)
 		return nil
 	}
 	switch args[0] {
@@ -80,16 +81,18 @@ func run(args []string) error {
 	case "lint":
 		return runLint(args[1:])
 	case "help", "-h", "--help":
-		usage()
+		usage(os.Stdout)
 		return nil
 	default:
-		usage()
+		// Usage on error is diagnostics, not output: it goes to stderr so
+		// piped stdout (e.g. `baexp hunt -json | jq`) never sees it.
+		usage(os.Stderr)
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
 }
 
-func usage() {
-	fmt.Println(`baexp — "All Byzantine Agreement Problems are Expensive" (PODC 2024), executable
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `baexp — "All Byzantine Agreement Problems are Expensive" (PODC 2024), executable
 
 subcommands:
   exp [-json] [-parallel N] [-list] [IDs...]
@@ -105,7 +108,13 @@ subcommands:
   run            run a cataloged protocol live over an in-memory or TCP mesh
   lint [-list] [-v] [-dir D]
                  run the balint analyzer suite (determinism, lean-tier and
-                 registry contracts) over the module`)
+                 registry contracts) over the module
+
+telemetry (exp, falsify, hunt, fuzz, matrix):
+  -progress      live progress lines + final summary block on stderr
+  -metrics-out F trace events + metrics snapshot as JSONL
+  -pprof ADDR    net/http/pprof, expvar and /metrics HTTP server
+                 reports on stdout stay byte-identical either way`)
 }
 
 // printListing is the shared registry printer behind `exp -list`,
@@ -190,6 +199,7 @@ func runExperiments(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit structured JSON results (table + wall-clock + probe counts)")
 	parallel := fs.Int("parallel", 0, "worker count per experiment (0 = NumCPU, 1 = serial)")
 	list := fs.Bool("list", false, "list the registered experiments and exit")
+	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -205,7 +215,16 @@ func runExperiments(args []string) error {
 	for i := range ids {
 		ids[i] = strings.ToUpper(ids[i])
 	}
-	opts := runner.Options{Parallelism: *parallel}
+	tel, err := tf.open()
+	if err != nil {
+		return err
+	}
+	defer tel.finish() //nolint:errcheck // surfaced by the explicit call below
+	// Experiments have no single probe counter, but every one drives the
+	// simulator: its global run count is the liveness signal.
+	base := sim.Runs()
+	tel.watch("exp", 0, func() int64 { return sim.Runs() - base })
+	opts := runner.Options{Parallelism: *parallel, Ctx: tel.ctx}
 	results, err := runner.RunMany(ids, opts)
 	if err != nil {
 		return err
@@ -213,14 +232,17 @@ func runExperiments(args []string) error {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(results)
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+		return tel.finish()
 	}
 	for _, res := range results {
 		fmt.Println(res.Table.Render())
 		fmt.Printf("  [%s: %d probes, %.1f ms wall, %d workers]\n\n",
 			res.Table.ID, res.Probes, res.WallMS, res.Workers)
 	}
-	return nil
+	return tel.finish()
 }
 
 func runFalsify(args []string) error {
@@ -230,6 +252,7 @@ func runFalsify(args []string) error {
 	t := fs.Int("t", 16, "fault budget (>= 8)")
 	verbose := fs.Bool("v", false, "print the construction narrative")
 	parallel := fs.Int("parallel", 0, "probe worker count (0 = NumCPU, 1 = serial)")
+	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -249,7 +272,16 @@ func runFalsify(args []string) error {
 		return err
 	}
 	rounds := candidate.Rounds(*n, *t)
-	rep, err := lowerbound.Falsify(candidate.Name, factory, rounds, *n, *t, lowerbound.Options{Parallelism: *parallel})
+	tel, err := tf.open()
+	if err != nil {
+		return err
+	}
+	defer tel.finish() //nolint:errcheck // surfaced by the explicit call below
+	// The falsifier's execution count is unbounded up front, so the
+	// progress line carries rate only, no percentage.
+	tel.watchCounter("falsify", 0, "falsify_executions")
+	rep, err := lowerbound.Falsify(candidate.Name, factory, rounds, *n, *t,
+		lowerbound.Options{Parallelism: *parallel, Ctx: tel.ctx})
 	if err != nil {
 		return err
 	}
@@ -280,7 +312,7 @@ func runFalsify(args []string) error {
 	} else {
 		fmt.Println("VERDICT: no violation — the protocol paid the quadratic price (Theorem 2 satisfied)")
 	}
-	return nil
+	return tel.finish()
 }
 
 func parseSeedRange(s string) (adversary.SeedRange, error) {
@@ -328,6 +360,7 @@ func runHunt(args []string) error {
 	bias := fs.Int("bias", 40, "omission percentage for the random strategies")
 	verbose := fs.Bool("v", false, "render the first shrunk counterexample's timeline")
 	list := fs.Bool("list", false, "list protocols and strategies and exit")
+	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -359,6 +392,13 @@ func runHunt(args []string) error {
 	campaign.RecordFull = *full
 	campaign.MaxViolations = *keep
 	campaign.Parallelism = *parallel
+	tel, err := tf.open()
+	if err != nil {
+		return err
+	}
+	defer tel.finish() //nolint:errcheck // surfaced by the explicit call below
+	campaign.Ctx = tel.ctx
+	tel.watchCounter("hunt", int64(seeds.Count()), "campaign_probes")
 	report, err := campaign.Run()
 	if err != nil {
 		return err
@@ -366,7 +406,10 @@ func runHunt(args []string) error {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(report)
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+		return tel.finish()
 	}
 
 	fmt.Printf("hunt %s vs %s: n=%d t=%d seeds [%d,%d)\n",
@@ -377,7 +420,7 @@ func runHunt(args []string) error {
 	fmt.Printf("  [%.1f ms wall, %.0f probes/sec, %d workers]\n", report.WallMS, report.ProbesPerSec, report.Workers)
 	if !report.Broken() {
 		fmt.Println("VERDICT: no violation — the protocol survived every probe")
-		return nil
+		return tel.finish()
 	}
 	opts := campaign.RecheckOptions()
 	for _, v := range report.Violations {
@@ -407,7 +450,7 @@ func runHunt(args []string) error {
 			}
 		}
 	}
-	return nil
+	return tel.finish()
 }
 
 func runFuzz(args []string) error {
@@ -427,6 +470,7 @@ func runFuzz(args []string) error {
 	keep := fs.Int("keep", 3, "record at most this many violations (0 = all)")
 	bias := fs.Int("bias", 40, "omission percentage for the random seed strategies")
 	list := fs.Bool("list", false, "list protocols and strategies and exit")
+	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -469,6 +513,13 @@ func runFuzz(args []string) error {
 			fuzzer.Corpus = corpus
 		}
 	}
+	tel, err := tf.open()
+	if err != nil {
+		return err
+	}
+	defer tel.finish() //nolint:errcheck // surfaced by the explicit call below
+	fuzzer.Ctx = tel.ctx
+	tel.watchCounter("fuzz", int64(*budget), "fuzz_probes")
 	report, err := fuzzer.Run()
 	if err != nil {
 		return err
@@ -477,11 +528,17 @@ func runFuzz(args []string) error {
 		if err := fuzzer.Corpus.Save(*corpusPath); err != nil {
 			return err
 		}
+		if s := tel.rec.Sink(); s != nil {
+			s.Emit("corpus-save", "path", *corpusPath, "size", fuzzer.Corpus.Size())
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(report)
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+		return tel.finish()
 	}
 
 	fmt.Printf("fuzz %s vs %s: n=%d t=%d budget %d\n",
@@ -493,7 +550,7 @@ func runFuzz(args []string) error {
 	fmt.Printf("  [%.1f ms wall, %.0f probes/sec, %d workers]\n", report.WallMS, report.ProbesPerSec, report.Workers)
 	if !report.Broken() {
 		fmt.Println("VERDICT: no violation — the protocol survived every probe")
-		return nil
+		return tel.finish()
 	}
 	fmt.Printf("VERDICT: first violation at probe %d of %d\n", report.FirstViolationProbe, report.Probes)
 	opts := fuzzer.ShrinkOptions()
@@ -510,7 +567,7 @@ func runFuzz(args []string) error {
 		}
 		fmt.Println("  certificate independently re-validated: execution guarantees, fault budget, machine conformance all hold")
 	}
-	return nil
+	return tel.finish()
 }
 
 // parseSizes parses a comma-separated list of N:T grid points.
@@ -543,7 +600,9 @@ func runMatrix(args []string) error {
 	full := fs.Bool("full", false, "record full traces and validate every probe in every cell (default: lean probes, full replay of violating seeds only)")
 	keep := fs.Int("keep", 1, "violations recorded per cell")
 	bias := fs.Int("bias", cmatrix.DefaultBias, "omission percentage for the random strategies")
+	timing := fs.Bool("timing", false, "attach the wall-clock timing block (probes_per_sec) to the grid JSON; nondeterministic, so off by default")
 	list := fs.Bool("list", false, "list protocols and strategies and exit")
+	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -564,6 +623,7 @@ func runMatrix(args []string) error {
 		Shrink:        *shrink,
 		RecordFull:    *full,
 		MaxViolations: *keep,
+		Timing:        *timing,
 	}
 	if *protoFlag != "" {
 		for _, id := range strings.Split(*protoFlag, ",") {
@@ -591,6 +651,15 @@ func runMatrix(args []string) error {
 			return err
 		}
 	}
+	tel, err := tf.open()
+	if err != nil {
+		return err
+	}
+	defer tel.finish() //nolint:errcheck // surfaced by the explicit call below
+	m.Ctx = tel.ctx
+	// How many cells the resilience conditions will skip is unknown up
+	// front, so the progress line reports the aggregate probe rate only.
+	tel.watchCounter("matrix", 0, "campaign_probes")
 	grid, err := m.Run()
 	if err != nil {
 		return err
@@ -598,10 +667,13 @@ func runMatrix(args []string) error {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(grid)
+		if err := enc.Encode(grid); err != nil {
+			return err
+		}
+		return tel.finish()
 	}
 	renderGrid(grid)
-	return nil
+	return tel.finish()
 }
 
 // renderGrid draws the grid as one table per size: rows are protocols,

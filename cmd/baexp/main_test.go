@@ -42,6 +42,9 @@ func TestRunSubcommands(t *testing.T) {
 		{"matrix shrink", []string{"matrix", "-proto", "floodset", "-strategy", "targeted-withhold", "-sizes", "5:1", "-seeds", "0:8", "-shrink"}},
 		{"matrix list", []string{"matrix", "-list"}},
 		{"falsify parallel", []string{"falsify", "-proto", "star", "-n", "24", "-t", "8", "-parallel", "4"}},
+		{"falsify progress", []string{"falsify", "-proto", "silent", "-n", "24", "-t", "8", "-progress"}},
+		{"experiment progress", []string{"exp", "-parallel", "1", "-progress", "E7"}},
+		{"hunt pprof", []string{"hunt", "-proto", "floodset", "-seeds", "0:8", "-pprof", "127.0.0.1:0"}},
 		{"falsify leader", []string{"falsify", "-proto", "leader", "-n", "24", "-t", "8"}},
 		{"falsify verbose", []string{"falsify", "-proto", "silent", "-n", "24", "-t", "8", "-v"}},
 		{"solve strong frontier", []string{"solve", "-problem", "strong", "-n", "5", "-t", "2"}},

@@ -1,0 +1,162 @@
+// Telemetry wiring shared by the long-running subcommands (exp, falsify,
+// hunt, fuzz, matrix): the -progress / -metrics-out / -pprof flag trio
+// resolves into one internal/obs flight-recorder session per run.
+//
+// Everything the session produces is human- or tooling-oriented chatter,
+// so all of it lands on stderr or in side files — stdout stays reserved
+// for the deterministic reports, which are byte-identical with telemetry
+// on or off. With all three flags off no recorder exists at all and the
+// engines stay on their nil fast path (one pointer check per instrument).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"expensive/internal/obs"
+)
+
+// telemetryFlags holds the observability flag trio a subcommand accepts.
+type telemetryFlags struct {
+	progress   bool
+	metricsOut string
+	pprofAddr  string
+}
+
+// addTelemetryFlags registers -progress, -metrics-out and -pprof on fs.
+func addTelemetryFlags(fs *flag.FlagSet) *telemetryFlags {
+	tf := &telemetryFlags{}
+	fs.BoolVar(&tf.progress, "progress", false,
+		"print live progress lines and a final telemetry summary to stderr")
+	fs.StringVar(&tf.metricsOut, "metrics-out", "",
+		"write trace events plus a final metrics snapshot as JSONL to this file")
+	fs.StringVar(&tf.pprofAddr, "pprof", "",
+		"serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
+	return tf
+}
+
+func (tf *telemetryFlags) enabled() bool {
+	return tf.progress || tf.metricsOut != "" || tf.pprofAddr != ""
+}
+
+// telemetry is one subcommand's live flight-recorder session.
+type telemetry struct {
+	flags *telemetryFlags
+	rec   *obs.Recorder
+	ctx   context.Context
+	prog  *obs.Progress
+	srv   *obs.DebugServer
+	out   *os.File
+	done  bool
+}
+
+// open resolves the flags into a running session: recorder, trace sink on
+// the -metrics-out file, and -pprof server. With every flag off the
+// returned session carries a plain context and a nil recorder.
+func (tf *telemetryFlags) open() (*telemetry, error) {
+	tel := &telemetry{flags: tf, ctx: context.Background()}
+	if !tf.enabled() {
+		return tel, nil
+	}
+	tel.rec = obs.New()
+	tel.ctx = obs.Into(context.Background(), tel.rec)
+	if tf.metricsOut != "" {
+		f, err := os.Create(tf.metricsOut)
+		if err != nil {
+			return nil, fmt.Errorf("-metrics-out: %w", err)
+		}
+		tel.out = f
+		tel.rec.SetSink(obs.NewSink(f))
+	}
+	if tf.pprofAddr != "" {
+		srv, err := obs.ServeDebug(tf.pprofAddr, tel.rec)
+		if err != nil {
+			if tel.out != nil {
+				tel.out.Close()
+			}
+			return nil, err
+		}
+		tel.srv = srv
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof, /debug/vars and /metrics on http://%s\n", srv.Addr)
+	}
+	return tel, nil
+}
+
+// watch starts the -progress printer over current; without -progress it
+// is a no-op. total 0 means unknown (lines omit the percentage and ETA).
+func (tel *telemetry) watch(task string, total int64, current func() int64) {
+	if !tel.flags.progress {
+		return
+	}
+	tel.prog = obs.StartProgress(obs.ProgressConfig{
+		Task: task, Total: total, Current: current, W: os.Stderr,
+	})
+}
+
+// watchCounter is watch over a named recorder counter — the common case.
+func (tel *telemetry) watchCounter(task string, total int64, counter string) {
+	if tel.rec == nil {
+		return
+	}
+	tel.watch(task, total, tel.rec.Counter(counter).Value)
+}
+
+// finish stops the progress printer, appends the metrics snapshot to the
+// -metrics-out file, prints the stderr summary block and shuts down the
+// pprof server. Idempotent, so callers defer it for cleanup and may also
+// call it explicitly.
+func (tel *telemetry) finish() error {
+	if tel.done {
+		return nil
+	}
+	tel.done = true
+	tel.prog.Stop()
+	var err error
+	if tel.out != nil {
+		err = tel.rec.WriteMetrics(tel.out)
+		if cerr := tel.out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			err = fmt.Errorf("-metrics-out: %w", err)
+		}
+	}
+	if tel.flags.progress {
+		writeSummary(os.Stderr, tel.rec)
+	}
+	if cerr := tel.srv.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeSummary renders the final human-readable telemetry block: every
+// counter and gauge value, and count/quantiles for every histogram.
+func writeSummary(w io.Writer, r *obs.Recorder) {
+	if r == nil {
+		return
+	}
+	fmt.Fprintf(w, "telemetry summary (uptime %s):\n", r.Uptime().Round(time.Millisecond))
+	for _, m := range r.Snapshot() {
+		if m.Type == "histogram" {
+			fmt.Fprintf(w, "  %-28s count=%d p50=%s p90=%s p99=%s\n",
+				m.Name, m.Count, summaryValue(m.Name, m.P50), summaryValue(m.Name, m.P90), summaryValue(m.Name, m.P99))
+			continue
+		}
+		fmt.Fprintf(w, "  %-28s %d\n", m.Name, m.Value)
+	}
+}
+
+// summaryValue renders one histogram quantile: nanosecond histograms (the
+// *_ns convention) print as rounded durations, anything else as a count.
+func summaryValue(name string, v int64) string {
+	if strings.HasSuffix(name, "_ns") {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -235,6 +235,24 @@
 // raw engine rounds) and emits a committed BENCH_<date>.json of ns/op,
 // allocs/op and probes/s.
 //
+// # Observability
+//
+// The probe engines carry a flight recorder (internal/obs): attach a
+// Telemetry via WithTelemetry to the Ctx of a Campaign, Fuzzer, Matrix,
+// ExperimentOptions or falsifier Options and the run counts probes into
+// atomic counters, times them into log-bucketed histograms, and emits
+// structured JSONL trace events (campaign-start, violation-found,
+// shrink-step, generation, matrix-cell) into an optional TelemetrySink.
+// Telemetry is a strict side channel — it reads counters and the clock
+// but feeds nothing back — so every report and corpus stays
+// byte-identical with telemetry on or off, and with no recorder attached
+// (the default) each instrument call on the hot path costs one nil
+// pointer check and zero allocations (pinned by test and benchmark). The
+// baexp subcommands surface the recorder as -progress (live stderr lines
+// with probes/s and ETA plus a final summary block), -metrics-out (JSONL
+// events + metrics snapshot) and -pprof (net/http/pprof, expvar and a
+// /metrics endpoint).
+//
 // # Static analysis
 //
 // The contracts above — byte-identical reports at every parallelism
@@ -244,7 +262,8 @@
 // cmd/balint, `baexp lint`) runs five analyzers over the whole module:
 // maporder (no map iteration on report-encoding paths unless the keys
 // are collected and sorted), wallclock (no time.Now/time.Since in probe
-// or fold code outside the runner.Stopwatch wrappers), globalrand (no
+// or fold code outside the runner.Stopwatch wrappers and the sanctioned
+// internal/obs clock-owning package), globalrand (no
 // process-global math/rand), leantier (no full-trace-only API reachable
 // from a RecordDecisions probe loop unless guarded on the recording
 // tier), and regcheck (a package defining a catalog.Spec must Register

@@ -8,11 +8,42 @@ import (
 
 	"expensive/internal/experiments/runner"
 	"expensive/internal/msg"
+	"expensive/internal/obs"
 	"expensive/internal/omission"
 	"expensive/internal/proc"
 	"expensive/internal/sim"
 	"expensive/internal/validity"
 )
+
+// campaignObs bundles the campaign's telemetry handles, resolved once per
+// Run from the recorder on c.Ctx. The zero value (telemetry off) leaves
+// every handle nil, so each instrument call in the probe loop costs one
+// pointer check. Telemetry is strictly a side channel: nothing here feeds
+// back into probes, verdicts, or the report, which stays byte-identical
+// with telemetry on or off.
+type campaignObs struct {
+	probes     *obs.Counter   // campaign_probes: seeds executed
+	violations *obs.Counter   // campaign_violations: violating seeds
+	replays    *obs.Counter   // campaign_replays: lean→full replays
+	messages   *obs.Counter   // campaign_messages: correct messages observed
+	probeNS    *obs.Histogram // campaign_probe_ns: per-probe latency
+	sink       *obs.Sink
+}
+
+func campaignObsFrom(ctx context.Context) campaignObs {
+	rec := obs.From(ctx)
+	if rec == nil {
+		return campaignObs{}
+	}
+	return campaignObs{
+		probes:     rec.Counter("campaign_probes"),
+		violations: rec.Counter("campaign_violations"),
+		replays:    rec.Counter("campaign_replays"),
+		messages:   rec.Counter("campaign_messages"),
+		probeNS:    rec.Histogram("campaign_probe_ns"),
+		sink:       rec.Sink(),
+	}
+}
 
 // SeedRange is the half-open seed interval [From, To) a campaign sweeps.
 type SeedRange struct {
@@ -466,9 +497,15 @@ func (c *Campaign) Run() (*CampaignReport, error) {
 	env := c.env()
 	workers := runner.Workers(c.Parallelism)
 	sw := runner.StartWall()
+	co := campaignObsFrom(c.Ctx)
+	if co.sink != nil {
+		co.sink.Emit("campaign-start",
+			"protocol", c.Protocol, "strategy", c.Strategy.Name,
+			"n", c.N, "t", c.T, "seeds", c.Seeds.Count(), "workers", workers)
+	}
 
 	results, err := runner.Map(c.Ctx, workers, c.Seeds.Count(), func(i int) (probeResult, error) {
-		return c.probe(c.Seeds.From+int64(i), env)
+		return c.probe(c.Seeds.From+int64(i), env, co)
 	})
 	if err != nil {
 		return nil, err
@@ -507,6 +544,7 @@ func (c *Campaign) Run() (*CampaignReport, error) {
 
 	if c.Shrink {
 		opts := c.shrinkOptions(env)
+		opts.Obs = obs.From(c.Ctx)
 		for _, v := range report.Violations {
 			if v.Plan == nil {
 				continue // not replayable (foreign Byzantine machines): report unshrunk
@@ -520,6 +558,12 @@ func (c *Campaign) Run() (*CampaignReport, error) {
 	}
 
 	report.Wall, report.WallMS, report.ProbesPerSec = sw.WallStats(report.Probes)
+	if co.sink != nil {
+		co.sink.Emit("campaign-end",
+			"protocol", c.Protocol, "strategy", c.Strategy.Name,
+			"probes", report.Probes, "violations", report.ViolationCount,
+			"first_violation_probe", report.FirstViolationProbe)
+	}
 	return report, nil
 }
 
@@ -552,7 +596,12 @@ func (c *Campaign) shrinkOptions(env Env) ShrinkOptions {
 // validation against the Appendix A.1.6 guarantees, conformance
 // re-execution of every honest machine, and evidence extraction. With
 // RecordFull set, every seed runs that pipeline (the pre-tiered behavior).
-func (c *Campaign) probe(seed int64, env Env) (probeResult, error) {
+func (c *Campaign) probe(seed int64, env Env, co campaignObs) (probeResult, error) {
+	t := co.probeNS.StartTimer()
+	defer func() {
+		t.Stop()
+		co.probes.Inc()
+	}()
 	plan := c.Strategy.Build(seed, env)
 	proposals := c.proposalsFor(seed, env)
 	rec := sim.RecordDecisions
@@ -579,11 +628,19 @@ func (c *Campaign) probe(seed int64, env Env) (probeResult, error) {
 	}
 
 	res := probeResult{messages: e.CorrectMessages(), rounds: e.Rounds}
+	co.messages.Add(int64(res.messages))
 	v := violationIn(e, proposals, c.Validity, c.Agreement)
 	if v == nil {
 		return res, nil
 	}
+	co.violations.Inc()
+	if co.sink != nil {
+		co.sink.Emit("violation-found",
+			"protocol", c.Protocol, "strategy", c.Strategy.Name,
+			"seed", seed, "kind", v.Kind, "detail", v.Detail)
+	}
 	if !c.RecordFull {
+		co.replays.Inc()
 		e, plan, err = c.replayFull(seed, env, proposals, v)
 		if err != nil {
 			return probeResult{}, err

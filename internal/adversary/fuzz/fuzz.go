@@ -30,9 +30,41 @@ import (
 	"expensive/internal/adversary"
 	"expensive/internal/experiments/runner"
 	"expensive/internal/msg"
+	"expensive/internal/obs"
 	"expensive/internal/omission"
 	"expensive/internal/sim"
 )
+
+// fuzzObs bundles the fuzzer's telemetry handles, resolved once per Run
+// from the recorder on f.Ctx. The zero value (telemetry off) leaves every
+// handle nil, so each instrument call costs one pointer check. Nothing
+// here feeds back into candidate derivation, probing, or folding — the
+// report and corpus stay byte-identical with telemetry on or off.
+type fuzzObs struct {
+	probes      *obs.Counter   // fuzz_probes: candidates executed
+	violations  *obs.Counter   // fuzz_violations: violating candidates
+	generations *obs.Counter   // fuzz_generations: batches folded
+	newCoverage *obs.Counter   // fuzz_new_coverage: novel coverage hashes
+	corpusSize  *obs.Gauge     // fuzz_corpus_size: current population
+	probeNS     *obs.Histogram // fuzz_probe_ns: per-candidate latency
+	sink        *obs.Sink
+}
+
+func fuzzObsFrom(ctx context.Context) fuzzObs {
+	rec := obs.From(ctx)
+	if rec == nil {
+		return fuzzObs{}
+	}
+	return fuzzObs{
+		probes:      rec.Counter("fuzz_probes"),
+		violations:  rec.Counter("fuzz_violations"),
+		generations: rec.Counter("fuzz_generations"),
+		newCoverage: rec.Counter("fuzz_new_coverage"),
+		corpusSize:  rec.Gauge("fuzz_corpus_size"),
+		probeNS:     rec.Histogram("fuzz_probe_ns"),
+		sink:        rec.Sink(),
+	}
+}
 
 // Fuzzer is one coverage-guided hunt: a target protocol, a seed strategy
 // (or a resumed corpus) and a probe budget.
@@ -213,6 +245,12 @@ func (f *Fuzzer) Run() (*Report, error) {
 	env := adversary.Env{N: f.N, T: f.T, Rounds: f.Rounds, Horizon: horizon, Factory: f.Factory}
 	workers := runner.Workers(f.Parallelism)
 	sw := runner.StartWall()
+	fo := fuzzObsFrom(f.Ctx)
+	if fo.sink != nil {
+		fo.sink.Emit("fuzz-start",
+			"protocol", f.Protocol, "seed_strategy", f.Seed.Name,
+			"n", f.N, "t", f.T, "budget", f.Budget, "workers", workers)
+	}
 
 	if f.Corpus == nil {
 		f.Corpus = NewCorpus(f.Protocol, f.N, f.T)
@@ -240,6 +278,7 @@ func (f *Fuzzer) Run() (*Report, error) {
 	// slot order — the sequential step that keeps everything
 	// scheduling-independent.
 	fold := func(gen int, results []outcome) {
+		covBefore, violBefore := report.NewCoverage, report.ViolationCount
 		for i, out := range results {
 			probe := report.Probes + i + 1
 			messages = append(messages, out.messages)
@@ -272,13 +311,25 @@ func (f *Fuzzer) Run() (*Report, error) {
 		}
 		report.Probes += len(results)
 		report.Generations++
+		fo.generations.Inc()
+		fo.newCoverage.Add(int64(report.NewCoverage - covBefore))
+		fo.violations.Add(int64(report.ViolationCount - violBefore))
+		fo.corpusSize.Set(int64(corpus.Size()))
+		if fo.sink != nil {
+			// The coverage-growth curve: one point per folded generation.
+			fo.sink.Emit("generation",
+				"gen", gen, "probes", report.Probes,
+				"new_coverage", report.NewCoverage-covBefore,
+				"violations", report.ViolationCount-violBefore,
+				"corpus_size", corpus.Size())
+		}
 	}
 
 	// Generation 0 seeds the corpus from the strategy when starting fresh.
 	if corpus.Size() == 0 {
 		k := min(f.seedCount(), f.Budget)
 		results, err := runner.Map(f.Ctx, workers, k, func(i int) (outcome, error) {
-			return f.seedProbe(i, env)
+			return f.seedProbe(i, env, fo)
 		})
 		if err != nil {
 			return nil, err
@@ -299,7 +350,7 @@ func (f *Fuzzer) Run() (*Report, error) {
 			cands[i] = m.mutate(stream(f.FuzzSeed, fmt.Sprintf("g%d|s%d", gen, i)), corpus)
 		}
 		results, err := runner.Map(f.Ctx, workers, k, func(i int) (outcome, error) {
-			return f.mutantProbe(&cands[i], env)
+			return f.mutantProbe(&cands[i], env, fo)
 		})
 		if err != nil {
 			return nil, err
@@ -313,6 +364,7 @@ func (f *Fuzzer) Run() (*Report, error) {
 
 	if f.Shrink {
 		opts := f.ShrinkOptions()
+		opts.Obs = obs.From(f.Ctx)
 		for _, v := range report.Violations {
 			if v.Plan == nil {
 				continue // not replayable (foreign seed machines): report unshrunk
@@ -326,6 +378,13 @@ func (f *Fuzzer) Run() (*Report, error) {
 	}
 
 	report.Wall, report.WallMS, report.ProbesPerSec = sw.WallStats(report.Probes)
+	if fo.sink != nil {
+		fo.sink.Emit("fuzz-end",
+			"protocol", f.Protocol, "probes", report.Probes,
+			"generations", report.Generations, "violations", report.ViolationCount,
+			"first_violation_probe", report.FirstViolationProbe,
+			"corpus_size", report.CorpusSize, "new_coverage", report.NewCoverage)
+	}
 	return report, nil
 }
 
@@ -333,7 +392,12 @@ func (f *Fuzzer) Run() (*Report, error) {
 // RecordFull (the trace is needed to extract the replayable explicit plan
 // the mutation generations grow from), held to the evidence-grade checks —
 // Appendix A.1.6 validation and machine conformance — on every seed.
-func (f *Fuzzer) seedProbe(i int, env adversary.Env) (outcome, error) {
+func (f *Fuzzer) seedProbe(i int, env adversary.Env, fo fuzzObs) (outcome, error) {
+	t := fo.probeNS.StartTimer()
+	defer func() {
+		t.Stop()
+		fo.probes.Inc()
+	}()
 	seed := adversary.SubSeed(f.FuzzSeed, fmt.Sprintf("seed|%d", i))
 	plan := f.Seed.Build(seed, env)
 	proposals := f.seedProposals(seed, env)
@@ -382,7 +446,12 @@ func (f *Fuzzer) seedProposals(seed int64, env adversary.Env) []msg.Value {
 // violating candidate pays for the full pipeline: a deterministic re-run
 // at RecordFull, trace validation, conformance re-execution, and evidence
 // extraction, exactly as campaign probes do.
-func (f *Fuzzer) mutantProbe(c *candidate, env adversary.Env) (outcome, error) {
+func (f *Fuzzer) mutantProbe(c *candidate, env adversary.Env, fo fuzzObs) (outcome, error) {
+	t := fo.probeNS.StartTimer()
+	defer func() {
+		t.Stop()
+		fo.probes.Inc()
+	}()
 	fp := c.plan.Plan(env)
 	cfg := sim.Config{N: f.N, T: f.T, Proposals: c.proposals, MaxRounds: env.Horizon, Recording: sim.RecordDecisions}
 	e, err := sim.Run(cfg, f.Factory, fp)

@@ -1,0 +1,75 @@
+package fuzz
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"expensive/internal/obs"
+)
+
+// TestFuzzerTelemetryNeverTouchesTheReport applies the flight recorder's
+// contract to the fuzzer: report AND corpus bytes are identical with
+// telemetry off, with telemetry on, and at every parallelism level, while
+// the side channel records the coverage-growth curve.
+func TestFuzzerTelemetryNeverTouchesTheReport(t *testing.T) {
+	const budget = 512
+	encode := func(parallelism int, rec *obs.Recorder) (report, corpus []byte) {
+		f := floodsetFuzzer(4, 3, budget, parallelism)
+		f.Corpus = NewCorpus("floodset", 4, 3)
+		f.Ctx = obs.Into(context.Background(), rec)
+		rep, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err = json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus, err = json.MarshalIndent(f.Corpus, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report, corpus
+	}
+
+	baseRep, baseCorpus := encode(1, nil)
+	rec := obs.New()
+	var events bytes.Buffer
+	rec.SetSink(obs.NewSink(&events))
+	for _, tc := range []struct {
+		name        string
+		parallelism int
+		rec         *obs.Recorder
+	}{
+		{"telemetry-on serial", 1, rec},
+		{"telemetry-on parallel", 8, rec},
+	} {
+		rep, corpus := encode(tc.parallelism, tc.rec)
+		if !bytes.Equal(baseRep, rep) {
+			t.Errorf("%s: report diverged from the telemetry-off serial baseline", tc.name)
+		}
+		if !bytes.Equal(baseCorpus, corpus) {
+			t.Errorf("%s: corpus diverged from the telemetry-off serial baseline", tc.name)
+		}
+	}
+
+	if probes := rec.Counter("fuzz_probes").Value(); probes != 2*budget {
+		t.Errorf("fuzz_probes = %d, want %d (2 instrumented runs × budget)", probes, 2*budget)
+	}
+	if g := rec.Counter("fuzz_generations").Value(); g == 0 {
+		t.Error("fuzz_generations = 0")
+	}
+	if nc := rec.Counter("fuzz_new_coverage").Value(); nc == 0 {
+		t.Error("fuzz_new_coverage = 0: a fresh corpus must grow")
+	}
+	if cs := rec.Gauge("fuzz_corpus_size").Value(); cs == 0 {
+		t.Error("fuzz_corpus_size gauge = 0 after growth")
+	}
+	for _, want := range []string{`"name":"fuzz-start"`, `"name":"generation"`, `"name":"fuzz-end"`} {
+		if !bytes.Contains(events.Bytes(), []byte(want)) {
+			t.Errorf("trace sink missing %s events", want)
+		}
+	}
+}

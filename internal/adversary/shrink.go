@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"expensive/internal/msg"
+	"expensive/internal/obs"
 	"expensive/internal/omission"
 	"expensive/internal/proc"
 	"expensive/internal/sim"
@@ -27,6 +28,11 @@ type ShrinkOptions struct {
 	// Agreement is the campaign's pairwise compatibility relation, when it
 	// replaced strict equal-decision Agreement.
 	Agreement AgreementFunc
+	// Obs optionally receives shrink telemetry (a shrink_steps counter and
+	// shrink-step trace events). Nil — the default — costs one pointer
+	// check per candidate replay; the ShrinkResult itself never depends on
+	// it.
+	Obs *obs.Recorder
 }
 
 // ShrinkResult is a minimized counterexample: an explicit fault plan from
@@ -72,6 +78,10 @@ type shrinker struct {
 	opts  ShrinkOptions
 	steps int
 
+	// Telemetry handles, nil when opts.Obs is nil.
+	obsSteps *obs.Counter // shrink_steps: candidate replays evaluated
+	sink     *obs.Sink
+
 	// Current protocol instance (changes when n shrinks).
 	n       int
 	factory sim.Factory
@@ -89,6 +99,7 @@ type shrinker struct {
 // every accepted step machine-checkable).
 func (s *shrinker) replay(plan ExplicitPlan, n int, factory sim.Factory, horizon int, proposals []msg.Value) *Violation {
 	s.steps++
+	s.obsSteps.Inc()
 	env := Env{N: n, T: s.opts.T, Rounds: s.rounds, Horizon: horizon, Factory: factory}
 	fp := plan.Plan(env)
 	cfg := sim.Config{N: n, T: s.opts.T, Proposals: proposals, MaxRounds: horizon}
@@ -117,6 +128,10 @@ func (s *shrinker) try(cand ExplicitPlan) bool {
 		return false
 	}
 	s.plan, s.last = cand, v
+	if s.sink != nil {
+		s.sink.Emit("shrink-step",
+			"n", s.n, "faulty", len(s.plan.Faulty), "omissions", s.plan.Omissions(), "step", s.steps)
+	}
 	return true
 }
 
@@ -211,6 +226,8 @@ func Shrink(v *Violation, opts ShrinkOptions) (*ShrinkResult, error) {
 		horizon:   horizon,
 		plan:      v.Plan.clone(),
 		proposals: append([]msg.Value(nil), v.Proposals...),
+		obsSteps:  opts.Obs.Counter("shrink_steps"),
+		sink:      opts.Obs.Sink(),
 	}
 	// The materialized plan must reproduce a violation before anything is
 	// removed; if it does not, the certificate was never replayable.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"expensive/internal/experiments/runner"
+	"expensive/internal/obs"
 )
 
 // Probe reads the clock directly (flagged) and via the Stopwatch (clean).
@@ -14,4 +15,16 @@ func Probe() time.Duration {
 	_ = time.Since(start) // want "thread timing through runner.Stopwatch"
 	_ = time.Unix(0, 0)   // not a clock read: clean
 	return sw.Wall()
+}
+
+// ProbeLoop instruments a hot probe loop with obs: the telemetry calls do
+// all the clock reading inside the sanctioned package, so nothing here is
+// flagged — while a raw read in the same loop still is.
+func ProbeLoop(probes *obs.Counter, lat *obs.Histogram) {
+	for i := 0; i < 8; i++ {
+		t := lat.StartTimer() // clean: obs owns the clock
+		probes.Inc()          // clean: no clock involved
+		t.Stop()              // clean: obs owns the clock
+		_ = time.Now()        // want "thread timing through runner.Stopwatch"
+	}
 }

@@ -1,0 +1,45 @@
+// Fixture for the wallclock analyzer: obs is listed in scopes AND in the
+// sanctioned package map, so its own time.Now/time.Since reads — the
+// telemetry layer's whole job — produce no findings.
+package obs
+
+import "time"
+
+// Counter is the nil-safe counter stub scoped fixtures instrument with.
+type Counter struct{ n int64 }
+
+// Inc adds 1 (no-op on the nil handle).
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Histogram is the nil-safe latency histogram stub.
+type Histogram struct{ sum int64 }
+
+// Timer times one operation into a histogram.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer reads the clock — sanctioned: obs owns the wall clock so
+// probe loops never touch it.
+func (h *Histogram) StartTimer() Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop observes the elapsed nanoseconds — sanctioned for the same reason.
+func (t Timer) Stop() int64 {
+	if t.h == nil {
+		return 0
+	}
+	ns := time.Since(t.start).Nanoseconds()
+	t.h.sum += ns
+	return ns
+}

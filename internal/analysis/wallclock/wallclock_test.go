@@ -10,5 +10,6 @@ import (
 
 func TestWallclock(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{wallclock.Analyzer},
-		"expensive/internal/adversary", "expensive/internal/experiments/runner", "outside")
+		"expensive/internal/adversary", "expensive/internal/experiments/runner",
+		"expensive/internal/obs", "outside")
 }

@@ -17,6 +17,7 @@ import (
 	"expensive/internal/adversary"
 	"expensive/internal/catalog"
 	"expensive/internal/experiments/runner"
+	"expensive/internal/obs"
 )
 
 // DefaultBias is the omission percentage the default strategy library
@@ -68,6 +69,12 @@ type Matrix struct {
 	// Cells are the parallel unit — each cell's campaign runs serially —
 	// so the grid is byte-identical at every level.
 	Parallelism int
+	// Timing attaches a wall-clock block (probes_per_sec and friends) to
+	// the grid's JSON encoding. Off by default, and deliberately so: the
+	// block varies run to run, so grids stop being byte-comparable the
+	// moment it is on. Everything else in the encoding stays deterministic
+	// either way.
+	Timing bool
 	// Ctx cancels the sweep; nil means context.Background().
 	Ctx context.Context
 }
@@ -87,6 +94,11 @@ type Cell struct {
 	// Probes counts executed seeds; ViolationCount the violating ones.
 	Probes         int `json:"probes,omitempty"`
 	ViolationCount int `json:"violation_count,omitempty"`
+	// FirstViolationProbe is the 1-based index of the cell's first
+	// violating probe in seed order, 0 (omitted) when the cell stayed
+	// clean — the same probes-to-first-violation metric campaign and fuzz
+	// reports carry, and just as deterministic.
+	FirstViolationProbe int `json:"first_violation_probe,omitempty"`
 	// Violations records up to MaxViolations violations in seed order.
 	Violations []*adversary.Violation `json:"violations,omitempty"`
 	// Messages and Rounds are the campaign's exact-value histograms.
@@ -113,12 +125,25 @@ type Grid struct {
 	Probes         int `json:"probes"`
 	SkippedCells   int `json:"skipped_cells"`
 	ViolatingCells int `json:"violating_cells"`
+	// Timing is the opt-in wall-clock block (Matrix.Timing / `baexp matrix
+	// -timing`). Nil — and absent from the encoding — by default, because
+	// its values are intentionally nondeterministic: two runs of the same
+	// matrix produce different timing blocks, so byte-comparing grids
+	// requires leaving it off.
+	Timing *GridTiming `json:"timing,omitempty"`
 
-	// Timing statistics (excluded from the JSON encoding).
+	// Timing statistics (always carried; excluded from the JSON encoding).
 	Wall         time.Duration `json:"-"`
 	WallMS       float64       `json:"-"`
 	ProbesPerSec float64       `json:"-"`
 	Workers      int           `json:"-"`
+}
+
+// GridTiming is the grid's opt-in wall-clock summary.
+type GridTiming struct {
+	WallMS       float64 `json:"wall_ms"`
+	ProbesPerSec float64 `json:"probes_per_sec"`
+	Workers      int     `json:"workers"`
 }
 
 // Broken reports whether any cell found a violation.
@@ -169,12 +194,19 @@ func (m *Matrix) Run() (*Grid, error) {
 	nCells := len(r.Protocols) * len(r.Strategies) * len(r.Sizes)
 	workers := runner.Workers(r.Parallelism)
 	sw := runner.StartWall()
+	mo := matrixObsFrom(r.Ctx)
+	if mo.sink != nil {
+		mo.sink.Emit("matrix-start",
+			"protocols", len(r.Protocols), "strategies", len(r.Strategies),
+			"sizes", len(r.Sizes), "cells", nCells,
+			"seeds", r.Seeds.Count(), "workers", workers)
+	}
 
 	cells, err := runner.Map(r.Ctx, workers, nCells, func(i int) (Cell, error) {
 		zi := i % len(r.Sizes)
 		si := i / len(r.Sizes) % len(r.Strategies)
 		pi := i / len(r.Sizes) / len(r.Strategies)
-		return r.cell(r.Protocols[pi], r.Strategies[si], r.Sizes[zi])
+		return r.cell(r.Protocols[pi], r.Strategies[si], r.Sizes[zi], mo)
 	})
 	if err != nil {
 		return nil, err
@@ -205,13 +237,48 @@ func (m *Matrix) Run() (*Grid, error) {
 		g.Probes += c.Probes
 	}
 	g.Wall, g.WallMS, g.ProbesPerSec = sw.WallStats(g.Probes)
+	if r.Timing {
+		g.Timing = &GridTiming{WallMS: g.WallMS, ProbesPerSec: g.ProbesPerSec, Workers: g.Workers}
+	}
+	mo.cellsSkipped.Add(int64(g.SkippedCells))
+	mo.cellsViolating.Add(int64(g.ViolatingCells))
+	if mo.sink != nil {
+		mo.sink.Emit("matrix-end",
+			"cells", len(g.Cells), "skipped", g.SkippedCells,
+			"violating", g.ViolatingCells, "probes", g.Probes)
+	}
 	return g, nil
+}
+
+// matrixObs bundles the sweep's telemetry handles, resolved once per Run
+// from the recorder on the context. Zero value = telemetry off. Per-probe
+// accounting comes from the cells' campaigns (which share the context);
+// this layer only adds cell-granularity counters and events.
+type matrixObs struct {
+	cells          *obs.Counter // matrix_cells: cells executed (skips included)
+	cellsSkipped   *obs.Counter // matrix_cells_skipped: resilience refusals
+	cellsViolating *obs.Counter // matrix_cells_violating: cells with violations
+	sink           *obs.Sink
+}
+
+func matrixObsFrom(ctx context.Context) matrixObs {
+	rec := obs.From(ctx)
+	if rec == nil {
+		return matrixObs{}
+	}
+	return matrixObs{
+		cells:          rec.Counter("matrix_cells"),
+		cellsSkipped:   rec.Counter("matrix_cells_skipped"),
+		cellsViolating: rec.Counter("matrix_cells_violating"),
+		sink:           rec.Sink(),
+	}
 }
 
 // cell runs one (protocol, strategy, size) campaign — or skips it when
 // the resilience predicate (or the builder itself) refuses the size.
-func (m *Matrix) cell(spec catalog.Spec, strat adversary.Named, size Size) (Cell, error) {
+func (m *Matrix) cell(spec catalog.Spec, strat adversary.Named, size Size, mo matrixObs) (Cell, error) {
 	cell := Cell{Protocol: spec.ID, Strategy: strat.ID, N: size.N, T: size.T}
+	mo.cells.Inc()
 	if !spec.SupportedAt(size.N, size.T) {
 		cell.Skipped = true
 		cell.Reason = fmt.Sprintf("requires %s", spec.Condition)
@@ -242,8 +309,15 @@ func (m *Matrix) cell(spec catalog.Spec, strat adversary.Named, size Size) (Cell
 	}
 	cell.Probes = rep.Probes
 	cell.ViolationCount = rep.ViolationCount
+	cell.FirstViolationProbe = rep.FirstViolationProbe
 	cell.Violations = rep.Violations
 	cell.Messages = rep.Messages
 	cell.Rounds = rep.RoundsHist
+	if mo.sink != nil {
+		mo.sink.Emit("matrix-cell",
+			"protocol", cell.Protocol, "strategy", cell.Strategy,
+			"n", cell.N, "t", cell.T,
+			"probes", cell.Probes, "violations", cell.ViolationCount)
+	}
 	return cell, nil
 }

@@ -2,9 +2,48 @@ package runner
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
+
+	"expensive/internal/obs"
 )
+
+// poolObs bundles the pool's telemetry handles, resolved once per Map or
+// Prefetch call from the recorder on the context. The zero value (no
+// recorder) leaves every handle nil, so instrument calls cost one pointer
+// check each — telemetry never touches the deterministic job semantics,
+// it only counts them.
+type poolObs struct {
+	jobs  *obs.Counter   // runner_jobs: jobs completed across all pools
+	depth *obs.Gauge     // runner_queue_depth: jobs not yet claimed
+	jobNS *obs.Histogram // runner_job_ns: per-job latency
+	rec   *obs.Recorder  // kept to resolve per-worker counters lazily
+}
+
+func poolObsFrom(ctx context.Context) poolObs {
+	rec := obs.From(ctx)
+	if rec == nil {
+		return poolObs{}
+	}
+	return poolObs{
+		jobs:  rec.Counter("runner_jobs"),
+		depth: rec.Gauge("runner_queue_depth"),
+		jobNS: rec.Histogram("runner_job_ns"),
+		rec:   rec,
+	}
+}
+
+// worker returns the per-worker attribution handles for worker w, nil
+// handles when telemetry is off. Resolved once at worker-goroutine start,
+// never inside the job loop.
+func (p poolObs) worker(w int) (jobs *obs.Counter, busyNS *obs.Counter) {
+	if p.rec == nil {
+		return nil, nil
+	}
+	return p.rec.Counter(fmt.Sprintf("runner_worker_%d_jobs", w)),
+		p.rec.Counter(fmt.Sprintf("runner_worker_%d_busy_ns", w))
+}
 
 // Workers resolves a requested parallelism level: values <= 0 mean
 // runtime.NumCPU().
@@ -30,15 +69,21 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 		ctx = context.Background()
 	}
 	out := make([]T, n)
+	po := poolObsFrom(ctx)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		wjobs, wbusy := po.worker(0)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			t := po.jobNS.StartTimer()
 			v, err := fn(i)
+			wbusy.Add(t.Stop())
+			po.jobs.Inc()
+			wjobs.Inc()
 			if err != nil {
 				return nil, err
 			}
@@ -56,18 +101,26 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 		for i := 0; i < n; i++ {
 			select {
 			case next <- i:
+				po.depth.Set(int64(n - 1 - i))
 			case <-ctx.Done():
+				po.depth.Set(0)
 				return
 			}
 		}
+		po.depth.Set(0)
 	}()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wjobs, wbusy := po.worker(w)
 			for i := range next {
+				t := po.jobNS.StartTimer()
 				v, err := fn(i)
+				wbusy.Add(t.Stop())
+				po.jobs.Inc()
+				wjobs.Inc()
 				if err != nil {
 					errs[i] = err
 					cancel()
@@ -75,7 +128,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 				}
 				out[i] = v
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for i := range errs {
@@ -137,6 +190,7 @@ func Prefetch[T any](ctx context.Context, workers, n int, fn func(i int) (T, err
 		ctx = context.Background()
 	}
 	promises := make([]*Promise[T], n)
+	po := poolObsFrom(ctx)
 
 	if workers <= 1 {
 		for i := range promises {
@@ -146,7 +200,11 @@ func Prefetch[T any](ctx context.Context, workers, n int, fn func(i int) (T, err
 					var zero T
 					return zero, err
 				}
-				return fn(i)
+				t := po.jobNS.StartTimer()
+				v, err := fn(i)
+				t.Stop()
+				po.jobs.Inc()
+				return v, err
 			}}
 		}
 		return promises, func() {}
@@ -177,13 +235,18 @@ func Prefetch[T any](ctx context.Context, workers, n int, fn func(i int) (T, err
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wjobs, wbusy := po.worker(w)
 			for i := range next {
+				t := po.jobNS.StartTimer()
 				v, err := fn(i)
+				wbusy.Add(t.Stop())
+				po.jobs.Inc()
+				wjobs.Inc()
 				promises[i].resolve(v, err)
 			}
-		}()
+		}(w)
 	}
 	return promises, func() {
 		cancel()

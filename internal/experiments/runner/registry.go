@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"expensive/internal/obs"
 	"expensive/internal/sim"
 )
 
@@ -127,11 +128,19 @@ func RunOne(id string, opts Options) (*Result, error) {
 	}
 	before := sim.Runs()
 	sw := StartWall()
+	sink := obs.From(opts.Ctx).Sink()
+	if sink != nil {
+		sink.Emit("experiment-start", "id", id, "title", e.Title)
+	}
 	tab, err := e.Run(opts)
 	if err != nil {
 		return nil, err
 	}
 	wall := sw.Wall()
+	if sink != nil {
+		sink.Emit("experiment-end", "id", id, "probes", sim.Runs()-before)
+	}
+	obs.From(opts.Ctx).Counter("experiment_runs").Inc()
 	return &Result{
 		Table:   tab,
 		Wall:    wall,

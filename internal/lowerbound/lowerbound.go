@@ -36,6 +36,7 @@ import (
 
 	"expensive/internal/experiments/runner"
 	"expensive/internal/msg"
+	"expensive/internal/obs"
 	"expensive/internal/omission"
 	"expensive/internal/proc"
 	"expensive/internal/sim"
@@ -133,6 +134,12 @@ type falsifier struct {
 	horizon int
 	opts    Options
 	report  *Report
+
+	// Telemetry handles, nil when no recorder rides on opts.Ctx. Strictly
+	// a side channel: the report (executions, log, violation) depends only
+	// on the construction, never on these.
+	execs *obs.Counter // falsify_executions: probe executions observed
+	sink  *obs.Sink
 }
 
 // Falsify runs the Theorem 2 construction against a weak consensus
@@ -163,8 +170,21 @@ func Falsify(name string, factory sim.Factory, roundBound, n, t int, opts Option
 			Threshold: t * t / 32,
 		},
 	}
+	if rec := obs.From(opts.Ctx); rec != nil {
+		f.execs = rec.Counter("falsify_executions")
+		f.sink = rec.Sink()
+	}
+	if f.sink != nil {
+		f.sink.Emit("falsify-start", "protocol", name, "n", n, "t", t, "round_bound", roundBound)
+	}
 	if err := f.run(); err != nil {
 		return nil, err
+	}
+	if f.sink != nil {
+		f.sink.Emit("falsify-end",
+			"protocol", name, "executions", f.report.Executions,
+			"max_correct_messages", f.report.MaxCorrectMessages,
+			"threshold", f.report.Threshold, "broken", f.report.Broken())
 	}
 	return f.report, nil
 }
@@ -175,6 +195,7 @@ func (f *falsifier) logf(format string, args ...any) {
 
 func (f *falsifier) observe(label string, e *sim.Execution) {
 	f.report.Executions++
+	f.execs.Inc()
 	m := e.CorrectMessages()
 	if m > f.report.MaxCorrectMessages {
 		f.report.MaxCorrectMessages = m

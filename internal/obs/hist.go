@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log-2 buckets a histogram holds. Bucket i
+// counts observations v with bits.Len64(v) == i, i.e. v in [2^(i-1),
+// 2^i); bucket 0 holds v == 0. Values whose bit length exceeds the last
+// bucket (v >= 2^62) clamp into it, so the histogram never drops an
+// observation — the overflow bucket absorbs the tail.
+const histBuckets = 63
+
+// Histogram is a log-bucketed (powers of two) histogram for latencies
+// and sizes: nanoseconds, message counts, queue depths. Observations are
+// lossy in value (a bucket spans one octave) but exact in count and sum.
+// All mutation is atomic per bucket, so concurrent Observe calls and
+// Merge are safe and — because atomic adds commute — merging per-worker
+// histograms is order-independent.
+//
+// The nil *Histogram is the disabled instrument: every method no-ops (or
+// returns zero) after one pointer check.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index. Negative values
+// clamp to bucket 0 (they only arise from clock adjustments mid-timing);
+// huge values clamp to the overflow bucket.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketHi returns the inclusive upper bound of bucket i (the value
+// Quantile reports for observations landing there).
+func bucketHi(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// bucketLo returns the inclusive lower bound of bucket i.
+func bucketLo(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1) << (i - 1)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations (0 on the nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on the nil histogram).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Merge folds o's observations into h. Because every field is an atomic
+// add of o's current value, merging a set of per-worker histograms
+// produces the same result in any order — the property that lets
+// telemetry aggregate worker-local instruments without coordinating.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for i := range o.buckets {
+		if c := o.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+}
+
+// Quantile returns the upper bound of the bucket holding the q-quantile
+// observation (q in [0, 1]). With zero observations it returns 0: an
+// empty histogram has no tail, and callers render "–" off the zero
+// Count, not a sentinel value. The answer is exact in rank, one octave
+// wide in value.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the quantile observation.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return bucketHi(i)
+		}
+	}
+	// Counts raced past the loaded total; the overflow bucket bounds it.
+	return bucketHi(histBuckets - 1)
+}
+
+// HistBucket is one occupied bucket of a histogram snapshot.
+type HistBucket struct {
+	// Lo and Hi bound the bucket's value range, inclusive.
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the occupied buckets in ascending value order (nil on
+// the nil or empty histogram).
+func (h *Histogram) Buckets() []HistBucket {
+	if h == nil {
+		return nil
+	}
+	var out []HistBucket
+	for i := 0; i < histBuckets; i++ {
+		if c := h.buckets[i].Load(); c != 0 {
+			out = append(out, HistBucket{Lo: bucketLo(i), Hi: bucketHi(i), Count: c})
+		}
+	}
+	return out
+}
+
+// Timer times one operation into a histogram. The zero Timer (from a nil
+// histogram) is disabled: Stop returns 0 without reading the clock, so a
+// timed hot loop with telemetry off never touches time at all.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer starts timing an operation. On the nil histogram it returns
+// the disabled (zero) Timer and does not read the clock.
+func (h *Histogram) StartTimer() Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop observes the elapsed nanoseconds into the histogram and returns
+// them (0 on the disabled timer).
+func (t Timer) Stop() int64 {
+	if t.h == nil {
+		return 0
+	}
+	ns := time.Since(t.start).Nanoseconds()
+	t.h.Observe(ns)
+	return ns
+}

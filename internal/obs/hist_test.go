@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// snapshot reads a histogram's full state for equality checks.
+func snapshot(h *Histogram) (count, sum int64, buckets [histBuckets]int64) {
+	count = h.Count()
+	sum = h.Sum()
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return
+}
+
+// TestHistogramMergeOrderIndependent is the satellite edge-case suite's
+// core property: folding per-worker histograms into a global one yields
+// the same state regardless of merge order, so parallel runs can
+// aggregate worker-local instruments without coordination.
+func TestHistogramMergeOrderIndependent(t *testing.T) {
+	const workers = 5
+	rng := rand.New(rand.NewSource(42))
+	parts := make([]*Histogram, workers)
+	for w := range parts {
+		parts[w] = &Histogram{}
+		for i := 0; i < 200; i++ {
+			// Mix of small values, octave boundaries, and overflow.
+			switch i % 4 {
+			case 0:
+				parts[w].Observe(rng.Int63n(1000))
+			case 1:
+				parts[w].Observe(int64(1) << uint(rng.Intn(62)))
+			case 2:
+				parts[w].Observe(0)
+			default:
+				parts[w].Observe(math.MaxInt64 - rng.Int63n(100))
+			}
+		}
+	}
+
+	fold := func(order []int) *Histogram {
+		h := &Histogram{}
+		for _, i := range order {
+			h.Merge(parts[i])
+		}
+		return h
+	}
+	forward := fold([]int{0, 1, 2, 3, 4})
+	reverse := fold([]int{4, 3, 2, 1, 0})
+	shuffled := fold([]int{2, 0, 4, 1, 3})
+
+	fc, fs, fb := snapshot(forward)
+	for name, h := range map[string]*Histogram{"reverse": reverse, "shuffled": shuffled} {
+		c, s, b := snapshot(h)
+		if c != fc || s != fs || b != fb {
+			t.Fatalf("%s merge order diverged: count %d vs %d, sum %d vs %d", name, c, fc, s, fs)
+		}
+	}
+	// Quantiles agree too, since they derive from the bucket state.
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if forward.Quantile(q) != reverse.Quantile(q) {
+			t.Fatalf("quantile %.2f differs across merge orders", q)
+		}
+	}
+}
+
+func TestHistogramZeroObservationQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("empty histogram has nonzero count/sum")
+	}
+	if b := h.Buckets(); b != nil {
+		t.Fatalf("empty histogram Buckets = %v, want nil", b)
+	}
+}
+
+func TestHistogramOverflowClamping(t *testing.T) {
+	h := &Histogram{}
+	// Everything at or beyond the last bucket's lower bound clamps into
+	// the overflow bucket rather than being dropped or panicking.
+	huge := []int64{int64(1) << 62, math.MaxInt64, math.MaxInt64 - 1, (int64(1) << 62) + 12345}
+	for _, v := range huge {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != int64(len(huge)) {
+		t.Fatalf("count = %d, want %d (overflow must not drop observations)", got, len(huge))
+	}
+	if got := h.buckets[histBuckets-1].Load(); got != int64(len(huge)) {
+		t.Fatalf("overflow bucket holds %d, want %d", got, len(huge))
+	}
+	if got := h.Quantile(0.5); got != math.MaxInt64 {
+		t.Fatalf("overflow quantile = %d, want MaxInt64 (the overflow bucket's Hi)", got)
+	}
+	b := h.Buckets()
+	if len(b) != 1 || b[0].Hi != math.MaxInt64 || b[0].Count != int64(len(huge)) {
+		t.Fatalf("overflow bucket snapshot wrong: %+v", b)
+	}
+
+	// Negative observations clamp to bucket 0 alongside true zeros.
+	neg := &Histogram{}
+	neg.Observe(-5)
+	neg.Observe(0)
+	if got := neg.buckets[0].Load(); got != 2 {
+		t.Fatalf("bucket 0 holds %d, want 2 (negatives clamp down)", got)
+	}
+	if got := neg.Quantile(1); got != 0 {
+		t.Fatalf("all-clamped-to-zero quantile = %d, want 0", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// v lands in the bucket whose [Lo, Hi] range contains it.
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{1 << 20, 21},
+		{(1 << 21) - 1, 21},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.v); got != tc.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.bucket)
+		}
+		if lo, hi := bucketLo(tc.bucket), bucketHi(tc.bucket); tc.v < lo || tc.v > hi {
+			t.Errorf("value %d outside its bucket's range [%d, %d]", tc.v, lo, hi)
+		}
+	}
+}
+
+func TestHistogramQuantileRanks(t *testing.T) {
+	h := &Histogram{}
+	// 90 observations in bucket 4 ([8,15]) and 10 in bucket 10 ([512,1023]).
+	for i := 0; i < 90; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(700)
+	}
+	if got := h.Quantile(0.5); got != 15 {
+		t.Fatalf("p50 = %d, want 15 (bucket [8,15] upper bound)", got)
+	}
+	if got := h.Quantile(0.9); got != 15 {
+		t.Fatalf("p90 = %d, want 15 (rank 90 is the last bucket-4 observation)", got)
+	}
+	if got := h.Quantile(0.95); got != 1023 {
+		t.Fatalf("p95 = %d, want 1023", got)
+	}
+	if got := h.Quantile(1); got != 1023 {
+		t.Fatalf("p100 = %d, want 1023", got)
+	}
+}

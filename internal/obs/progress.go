@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressConfig parameterizes a live progress printer.
+type ProgressConfig struct {
+	// Task labels the lines ("hunt floodset vs targeted-withhold").
+	Task string
+	// Total is the expected number of work units (probes); 0 means
+	// unknown — lines then omit the percentage and ETA.
+	Total int64
+	// Current reads the completed unit count, typically a Counter's Value
+	// bound at setup. Required.
+	Current func() int64
+	// W receives the lines; progress is human-oriented chatter, so
+	// callers pass stderr — stdout stays clean for reports.
+	W io.Writer
+	// Interval is the print period (default 1s).
+	Interval time.Duration
+}
+
+// Progress prints live progress lines ("12345/65536 probes (18.8%) ·
+// 13021 probes/s · ETA 4.1s") on a background goroutine until stopped.
+// It reads counters and the clock but feeds nothing back into the run —
+// strictly a side channel, like every obs instrument.
+type Progress struct {
+	cfg   ProgressConfig
+	start time.Time
+	stop  chan struct{}
+	done  sync.WaitGroup
+}
+
+// StartProgress starts the printer. It returns nil (a no-op handle) when
+// Current or W is missing, so callers can wire it unconditionally.
+func StartProgress(cfg ProgressConfig) *Progress {
+	if cfg.Current == nil || cfg.W == nil {
+		return nil
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	p := &Progress{cfg: cfg, start: time.Now(), stop: make(chan struct{})}
+	p.done.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer p.done.Done()
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.print(false)
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// print renders one line. final marks the closing line Stop emits.
+func (p *Progress) print(final bool) {
+	cur := p.cfg.Current()
+	elapsed := time.Since(p.start)
+	rate := 0.0
+	if secs := elapsed.Seconds(); secs > 0 {
+		rate = float64(cur) / secs
+	}
+	line := fmt.Sprintf("%s: %d", p.cfg.Task, cur)
+	if p.cfg.Total > 0 {
+		line = fmt.Sprintf("%s/%d probes (%.1f%%)", line, p.cfg.Total, 100*float64(cur)/float64(p.cfg.Total))
+	} else {
+		line += " probes"
+	}
+	line += fmt.Sprintf(" · %.0f probes/s", rate)
+	if !final && p.cfg.Total > 0 && rate > 0 && cur < p.cfg.Total {
+		eta := time.Duration(float64(p.cfg.Total-cur) / rate * float64(time.Second))
+		line += fmt.Sprintf(" · ETA %s", eta.Round(100*time.Millisecond))
+	}
+	if final {
+		line += fmt.Sprintf(" · done in %s", elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintln(p.cfg.W, line)
+}
+
+// Stop halts the printer and emits one final line with the closing
+// count and wall time. Safe on the nil handle and idempotent-unsafe by
+// design: call it exactly once, when the run finishes.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	close(p.stop)
+	p.done.Wait()
+	p.print(true)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace event: a named point in a run's
+// lifecycle (campaign/generation/cell spans, per-probe records,
+// violation-found, shrink-step, corpus-save) with free-form attributes.
+// Events serialize as one JSON object per line (JSONL); attribute maps
+// encode with sorted keys (encoding/json's map behavior), so a single
+// event's encoding is deterministic even though event *order* across
+// workers is scheduling-dependent — the metrics file is explicitly on
+// the nondeterministic side of the telemetry fence.
+type Event struct {
+	// TS is the event time in milliseconds since the sink was opened.
+	TS float64 `json:"ts_ms"`
+	// Name identifies the event ("campaign-start", "probe",
+	// "violation-found", "shrink-step", "corpus-save", ...).
+	Name string `json:"name"`
+	// Attrs carries the event's key/value payload.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Sink is a concurrency-safe JSONL trace-event writer. The nil *Sink is
+// the disabled instrument; hot loops additionally guard per-probe
+// events with a plain nil check so attribute arguments are never even
+// evaluated when tracing is off.
+type Sink struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	start time.Time
+	err   error
+	n     int64
+}
+
+// NewSink returns a sink writing one JSON event per line to w.
+func NewSink(w io.Writer) *Sink {
+	return &Sink{enc: json.NewEncoder(w), start: time.Now()}
+}
+
+// Emit writes one event. kv lists attributes as alternating key/value
+// pairs ("seed", 17, "kind", "agreement"); a trailing odd key is
+// recorded under "!arg". Emit never fails loudly — the first write error
+// is latched and reported by Err, and later events are dropped, so a
+// full disk never turns telemetry into a harness failure.
+func (s *Sink) Emit(name string, kv ...any) {
+	if s == nil {
+		return
+	}
+	var attrs map[string]any
+	if len(kv) > 0 {
+		attrs = make(map[string]any, (len(kv)+1)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			attrs[fmt.Sprint(kv[i])] = kv[i+1]
+		}
+		if len(kv)%2 != 0 {
+			attrs["!arg"] = kv[len(kv)-1]
+		}
+	}
+	e := Event{TS: float64(time.Since(s.start).Microseconds()) / 1e3, Name: name, Attrs: attrs}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(e); err != nil {
+		s.err = fmt.Errorf("obs: trace sink: %w", err)
+		return
+	}
+	s.n++
+}
+
+// Events returns the number of events written so far.
+func (s *Sink) Events() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Err returns the latched first write error, nil while the sink is
+// healthy.
+func (s *Sink) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// WriteMetrics appends the recorder's current instruments to w, one
+// metric JSON object per line — the same JSONL stream trace events use,
+// distinguishable by the "type" field (events have "name"/"ts_ms",
+// metrics "type"). The snapshot order is deterministic (sorted), so a
+// metrics dump of identical instrument states is byte-identical.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, m := range r.Snapshot() {
+		if err := enc.Encode(m); err != nil {
+			return fmt.Errorf("obs: write metrics: %w", err)
+		}
+	}
+	return nil
+}
