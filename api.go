@@ -10,6 +10,7 @@ import (
 	_ "expensive/internal/catalog/all" // link every protocol registration
 	"expensive/internal/catalog/matrix"
 	"expensive/internal/crypto/sig"
+	"expensive/internal/dist"
 	"expensive/internal/experiments"
 	"expensive/internal/experiments/runner"
 	"expensive/internal/lowerbound"
@@ -143,6 +144,24 @@ type (
 	MatrixCell = matrix.Cell
 	// MatrixGrid is a matrix's deterministic, JSON-serializable report.
 	MatrixGrid = matrix.Grid
+	// DistJob is a distributed campaign definition — one hunt, fuzz or
+	// matrix job, serializable to the coordinator/worker wire protocol.
+	DistJob = dist.Job
+	// DistHuntJob parameterizes a distributed seed campaign.
+	DistHuntJob = dist.HuntJob
+	// DistFuzzJob parameterizes a distributed coverage-guided hunt.
+	DistFuzzJob = dist.FuzzJob
+	// DistMatrixJob parameterizes a distributed registry sweep.
+	DistMatrixJob = dist.MatrixJob
+	// DistCoordinator shards a campaign into deterministic work units over
+	// TCP workers and folds the results back byte-identically.
+	DistCoordinator = dist.Coordinator
+	// DistWorker connects to a coordinator and executes its work units.
+	DistWorker = dist.Worker
+	// DistReport is a distributed campaign's outcome: the inner engine
+	// report (byte-identical to the single-process run) plus scheduling
+	// statistics excluded from the JSON encoding.
+	DistReport = dist.Report
 	// Telemetry is the flight recorder (internal/obs): nil-safe atomic
 	// counters, gauges and log-bucketed histograms, plus an optional JSONL
 	// trace-event sink. The nil recorder is the off switch — every
@@ -523,6 +542,24 @@ func LoadFuzzCorpus(path string) (*FuzzCorpus, error) { return fuzz.LoadCorpus(p
 // at every parallelism level, with unsupported (n, t) cells explicitly
 // marked skipped.
 func NewMatrix(seeds SeedRange) *Matrix { return &Matrix{Seeds: seeds} }
+
+// Distributed campaigns: shard a hunt, fuzz or matrix campaign across
+// worker processes over TCP (internal/dist). The coordinator cuts the
+// job into worker-count-independent units, folds results in unit order,
+// and optionally checkpoints progress — the report (and fuzz corpus)
+// stays byte-identical to the single-process run at any worker count,
+// join order, or death schedule, including after a kill and resume.
+
+// NewDistCampaign builds a coordinator for the given job. Tune it
+// (Addr, LocalWorkers, CheckpointPath, HeartbeatTimeout, Corpus, Ctx)
+// before calling Run; Start first to learn ListenAddr for remote
+// workers.
+func NewDistCampaign(job *DistJob) *DistCoordinator { return &DistCoordinator{Job: job} }
+
+// NewDistWorker builds a worker for the coordinator at addr. Tune it
+// (Name, Parallelism, DialAttempts, Ctx) before calling Run, which
+// serves work units until the coordinator says done.
+func NewDistWorker(addr string) *DistWorker { return &DistWorker{Addr: addr} }
 
 // Strategy constructors — the attack library.
 

@@ -1,0 +1,333 @@
+package main
+
+// The distributed-campaign frontends: `baexp coord` owns a campaign and
+// serves work units over TCP; `baexp worker` connects to a coordinator
+// and probes. `coord -workers N` forks N worker processes of this very
+// binary against its own listener, so the one-machine convenience mode
+// exercises the identical wire path a cluster does. Reports stay
+// byte-identical to `baexp hunt/fuzz/matrix -json` at any worker count.
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"expensive/internal/adversary"
+	"expensive/internal/adversary/fuzz"
+	"expensive/internal/catalog"
+	"expensive/internal/dist"
+)
+
+// defaultSizes mirrors the `baexp matrix` default grid.
+const defaultSizes = "4:1,5:1,8:2"
+
+func runCoord(args []string) error {
+	fs := flag.NewFlagSet("coord", flag.ContinueOnError)
+	kind := fs.String("kind", "hunt", "campaign kind: hunt|fuzz|matrix")
+	addr := fs.String("addr", "127.0.0.1:0", "TCP listen address for workers")
+	workers := fs.Int("workers", 0, "fork this many worker processes of this binary against the coordinator")
+	inproc := fs.Int("inproc", 0, "run this many in-process workers (loopback TCP, same wire path)")
+	parallel := fs.Int("parallel", 0, "probe worker count inside each local/forked worker (0 = NumCPU)")
+	checkpoint := fs.String("checkpoint", "", "checkpoint file: progress persists there and a matching checkpoint resumes")
+	every := fs.Int("every", 1, "completed units between checkpoint saves")
+	hb := fs.Duration("hb", 0, "heartbeat timeout before a silent worker is declared dead (0 = 10s)")
+	jsonOut := fs.Bool("json", false, "emit the deterministic JSON report (identical to the single-process subcommand's)")
+
+	protoFlag := fs.String("proto", "", "protocol ID (hunt/fuzz; empty = floodset), or comma-separated IDs (matrix; empty = all)")
+	strategyFlag := fs.String("strategy", "", "strategy ID (hunt/fuzz; default per kind), or comma-separated IDs (matrix; empty = full library)")
+	n := fs.Int("n", 8, "system size (hunt/fuzz)")
+	t := fs.Int("t", 2, "fault budget (hunt/fuzz)")
+	seedsFlag := fs.String("seeds", "0:64", "half-open seed range FROM:TO (hunt; per-cell for matrix)")
+	units := fs.Int("units", 0, "hunt work units to cut the seed range into (0 = default 16)")
+	shrink := fs.Bool("shrink", true, "minimize found violations (merged report, coordinator-side)")
+	full := fs.Bool("full", false, "record full traces and validate every probe")
+	keep := fs.Int("keep", 3, "record at most this many violations (0 = all)")
+	bias := fs.Int("bias", 40, "omission percentage for the random strategies")
+
+	budget := fs.Int("budget", 2048, "total candidate probes (fuzz)")
+	genSize := fs.Int("gen", 0, "candidates per mutation generation (fuzz; 0 = default 64)")
+	fuzzSeed := fs.Int64("seed", 0, "master seed for the deterministic search (fuzz)")
+	batch := fs.Int("batch", 0, "probes per fuzz work unit (0 = default 16)")
+	stop := fs.Bool("stop", false, "stop after the first generation that found a violation (fuzz)")
+	corpusPath := fs.String("corpus", "", "corpus file: loaded if present, saved after the run (fuzz)")
+
+	sizesFlag := fs.String("sizes", "", "comma-separated N:T grid points (matrix; empty = "+defaultSizes+")")
+
+	tf := addTelemetryFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bias < 0 || *bias > 100 {
+		return fmt.Errorf("bias must be a percentage within 0..100, got %d", *bias)
+	}
+
+	job, err := buildJob(*kind, jobFlags{
+		proto: *protoFlag, strategy: *strategyFlag, n: *n, t: *t,
+		seeds: *seedsFlag, units: *units, shrink: *shrink, full: *full,
+		keep: *keep, bias: *bias, budget: *budget, genSize: *genSize,
+		fuzzSeed: *fuzzSeed, batch: *batch, stop: *stop, sizes: *sizesFlag,
+	})
+	if err != nil {
+		return err
+	}
+
+	tel, err := tf.open()
+	if err != nil {
+		return err
+	}
+	defer tel.finish() //nolint:errcheck // surfaced by the explicit call below
+
+	c := &dist.Coordinator{
+		Job:               job,
+		Addr:              *addr,
+		CheckpointPath:    *checkpoint,
+		CheckpointEvery:   *every,
+		HeartbeatTimeout:  *hb,
+		LocalWorkers:      *inproc,
+		WorkerParallelism: *parallel,
+		Ctx:               tel.ctx,
+	}
+	if *corpusPath != "" {
+		// Only a genuinely absent file means "start fresh" — same contract
+		// as `baexp fuzz -corpus`.
+		corpus, err := fuzz.LoadCorpus(*corpusPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+		case err != nil:
+			return fmt.Errorf("-corpus: %w", err)
+		default:
+			c.Corpus = corpus
+		}
+	}
+	if err := c.Start(); err != nil {
+		return err
+	}
+	procs, err := forkWorkers(*workers, c.ListenAddr(), *parallel)
+	if err != nil {
+		return err
+	}
+	report, runErr := c.Run()
+	// Forked workers exit on the coordinator's done message; reap them
+	// before reporting so their stderr lands ahead of the verdict.
+	for _, p := range procs {
+		if werr := p.Wait(); werr != nil && runErr == nil {
+			fmt.Fprintln(os.Stderr, "baexp coord: worker exited:", werr)
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if *corpusPath != "" && report.Corpus != nil {
+		if err := report.Corpus.Save(*corpusPath); err != nil {
+			return err
+		}
+		if s := tel.rec.Sink(); s != nil {
+			s.Emit("corpus-save", "path", *corpusPath, "size", report.Corpus.Size())
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		var inner any
+		switch {
+		case report.Hunt != nil:
+			inner = report.Hunt
+		case report.Fuzz != nil:
+			inner = report.Fuzz
+		default:
+			inner = report.Grid
+		}
+		if err := enc.Encode(inner); err != nil {
+			return err
+		}
+		return tel.finish()
+	}
+
+	resumed := ""
+	if report.Resumed {
+		resumed = ", resumed from checkpoint"
+	}
+	fmt.Printf("coord %s: %d units over %d workers (%d reassigned)%s\n",
+		report.Kind, report.Units, report.Workers, report.Reassigned, resumed)
+	fmt.Printf("  [%.1f ms wall]\n", float64(report.Wall)/float64(time.Millisecond))
+	switch {
+	case report.Hunt != nil:
+		r := report.Hunt
+		fmt.Printf("hunt %s vs %s: n=%d t=%d seeds [%d,%d)\n",
+			r.Strategy, r.Protocol, r.N, r.T, r.Seeds.From, r.Seeds.To)
+		fmt.Printf("  %d probes, %d violating seeds; messages %d..%d, rounds %d..%d\n",
+			r.Probes, r.ViolationCount,
+			r.Messages.Min, r.Messages.Max, r.RoundsHist.Min, r.RoundsHist.Max)
+		for _, v := range r.Violations {
+			fmt.Printf("VERDICT: %v\n", v)
+			if v.Shrunk != nil {
+				fmt.Printf("  shrunk: %v\n", v.Shrunk)
+			}
+		}
+		if !r.Broken() {
+			fmt.Println("VERDICT: no violation — the protocol survived every probe")
+		}
+	case report.Fuzz != nil:
+		r := report.Fuzz
+		fmt.Printf("fuzz %s vs %s: n=%d t=%d budget %d\n",
+			r.SeedStrategy, r.Protocol, r.N, r.T, r.Budget)
+		fmt.Printf("  %d probes over %d generations; corpus %d (+%d novel), %d violating probes\n",
+			r.Probes, r.Generations, r.CorpusSize, r.NewCoverage, r.ViolationCount)
+		for _, v := range r.Violations {
+			fmt.Printf("VERDICT: %v\n", v)
+			if v.Shrunk != nil {
+				fmt.Printf("  shrunk: %v\n", v.Shrunk)
+			}
+		}
+		if !r.Broken() {
+			fmt.Println("VERDICT: no violation — the protocol survived every probe")
+		}
+	case report.Grid != nil:
+		renderGrid(report.Grid)
+	}
+	return tel.finish()
+}
+
+// jobFlags carries the parsed coord flags into job construction.
+type jobFlags struct {
+	proto, strategy, seeds, sizes string
+	n, t, units, keep, bias       int
+	budget, genSize, batch        int
+	fuzzSeed                      int64
+	shrink, full, stop            bool
+}
+
+// buildJob translates CLI flags into the wire-format job for one kind.
+// Registry IDs travel as strings; workers resolve them against their own
+// catalog, so coordinator and workers must run the same binary version.
+func buildJob(kind string, f jobFlags) (*dist.Job, error) {
+	switch kind {
+	case "hunt":
+		proto := f.proto
+		if proto == "" {
+			proto = "floodset"
+		}
+		strategy := f.strategy
+		if strategy == "" {
+			strategy = "targeted-withhold"
+		}
+		seeds, err := parseSeedRange(f.seeds)
+		if err != nil {
+			return nil, err
+		}
+		return &dist.Job{Kind: "hunt", Hunt: &dist.HuntJob{
+			Protocol: proto, Strategy: strategy, Bias: f.bias,
+			N: f.n, T: f.t, Seeds: seeds, Units: f.units,
+			Shrink: f.shrink, MaxViolations: f.keep, RecordFull: f.full,
+		}}, nil
+	case "fuzz":
+		proto := f.proto
+		if proto == "" {
+			proto = "floodset"
+		}
+		strategy := f.strategy
+		if strategy == "" {
+			strategy = "random-send-omission"
+		}
+		return &dist.Job{Kind: "fuzz", Fuzz: &dist.FuzzJob{
+			Protocol: proto, SeedStrategy: strategy, Bias: f.bias,
+			N: f.n, T: f.t, Budget: f.budget, GenSize: f.genSize,
+			FuzzSeed: f.fuzzSeed, Batch: f.batch,
+			Shrink: f.shrink, MaxViolations: f.keep, StopOnViolation: f.stop,
+		}}, nil
+	case "matrix":
+		var protos []string
+		if f.proto != "" {
+			for _, id := range strings.Split(f.proto, ",") {
+				protos = append(protos, strings.TrimSpace(id))
+			}
+		} else {
+			for _, s := range catalog.Protocols() {
+				protos = append(protos, s.ID)
+			}
+		}
+		var strategies []string
+		if f.strategy != "" {
+			for _, id := range strings.Split(f.strategy, ",") {
+				strategies = append(strategies, strings.TrimSpace(id))
+			}
+		} else {
+			strategies = adversary.LibraryIDs()
+		}
+		sizesStr := f.sizes
+		if sizesStr == "" {
+			sizesStr = defaultSizes
+		}
+		sizes, err := parseSizes(sizesStr)
+		if err != nil {
+			return nil, err
+		}
+		seeds, err := parseSeedRange(f.seeds)
+		if err != nil {
+			return nil, err
+		}
+		return &dist.Job{Kind: "matrix", Matrix: &dist.MatrixJob{
+			Protocols: protos, Strategies: strategies, Sizes: sizes,
+			Bias: f.bias, Seeds: seeds,
+			MaxViolations: f.keep, Shrink: f.shrink, RecordFull: f.full,
+		}}, nil
+	default:
+		return nil, fmt.Errorf("unknown campaign kind %q (hunt|fuzz|matrix)", kind)
+	}
+}
+
+// forkWorkers launches n worker processes of this binary against addr.
+func forkWorkers(n int, addr string, parallel int) ([]*exec.Cmd, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("fork workers: %w", err)
+	}
+	procs := make([]*exec.Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, "worker",
+			"-coord", addr,
+			"-parallel", strconv.Itoa(parallel),
+			"-name", fmt.Sprintf("proc-%d", i))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, p := range procs {
+				_ = p.Process.Kill()
+			}
+			return nil, fmt.Errorf("fork worker %d: %w", i, err)
+		}
+		procs = append(procs, cmd)
+	}
+	return procs, nil
+}
+
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	coord := fs.String("coord", "", "coordinator address to connect to (required)")
+	parallel := fs.Int("parallel", 0, "probe worker count (0 = NumCPU, 1 = serial)")
+	name := fs.String("name", "", "worker name in coordinator telemetry (default worker-<pid>)")
+	attempts := fs.Int("retries", 10, "dial attempts before giving up")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "initial dial retry backoff (doubles, capped)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coord == "" {
+		return fmt.Errorf("worker needs -coord ADDRESS")
+	}
+	w := &dist.Worker{
+		Addr:         *coord,
+		Name:         *name,
+		Parallelism:  *parallel,
+		DialAttempts: *attempts,
+		DialBackoff:  *backoff,
+	}
+	return w.Run()
+}

@@ -12,6 +12,9 @@
 //	                        cross-product from the registry
 //	baexp solve ...         evaluate Theorem 4 for a standard problem
 //	baexp run ...           run a protocol live over memnet or TCP
+//	baexp coord ...         coordinate a hunt/fuzz/matrix campaign sharded
+//	                        across worker processes (deterministic merge)
+//	baexp worker ...        connect to a coordinator and probe work units
 //	baexp lint ...          run the balint analyzer suite over the module
 //
 // Every protocol offering is derived from the catalog registry
@@ -78,6 +81,10 @@ func run(args []string) error {
 		return runSolve(args[1:])
 	case "run":
 		return runLive(args[1:])
+	case "coord":
+		return runCoord(args[1:])
+	case "worker":
+		return runWorker(args[1:])
 	case "lint":
 		return runLint(args[1:])
 	case "help", "-h", "--help":
@@ -106,6 +113,10 @@ subcommands:
                  from the registry into a deterministic grid report
   solve          evaluate the Theorem 4 solvability verdict for a problem
   run            run a cataloged protocol live over an in-memory or TCP mesh
+  coord          coordinate a distributed hunt/fuzz/matrix campaign: shard
+                 work units over TCP workers, merge deterministically,
+                 checkpoint/resume; -workers N forks local workers
+  worker         connect to a coordinator and execute its work units
   lint [-list] [-v] [-dir D]
                  run the balint analyzer suite (determinism, lean-tier and
                  registry contracts) over the module

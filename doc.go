@@ -200,6 +200,32 @@
 //	baexp matrix -json -parallel 8     # deterministic grid for tooling
 //	baexp matrix -list                 # registry + strategy library
 //
+// # Distributed campaigns
+//
+// One process tops out at NumCPU probes in flight; the dist subsystem
+// (internal/dist, NewDistCampaign/NewDistWorker, `baexp coord` /
+// `baexp worker`) shards a hunt, fuzz or matrix campaign across OS
+// processes over a length-prefixed JSON TCP protocol. The coordinator
+// cuts the job into work units whose shape depends only on the job —
+// never on the worker population — and folds results back in unit
+// order, so the merged report (and the fuzz corpus) is byte-identical
+// to the single-process run at any worker count, join order or death
+// schedule. Progress optionally checkpoints to JSON after every unit;
+// a restarted coordinator re-issues only the incomplete units and the
+// final report is byte-identical to an uninterrupted run. Workers
+// heartbeat; a silent worker's in-flight unit is reassigned:
+//
+//	job := &expensive.DistJob{Kind: "hunt", Hunt: &expensive.DistHuntJob{
+//	    Protocol: "floodset", Strategy: "targeted-withhold",
+//	    N: 8, T: 2, Seeds: expensive.SeedRange{From: 0, To: 4096},
+//	}}
+//	c := expensive.NewDistCampaign(job)
+//	c.LocalWorkers = 4               // in-process workers over loopback TCP
+//	report, _ := c.Run()             // report.Hunt byte-identical to a local hunt
+//
+//	baexp coord -workers 4 -checkpoint cp.json   # the same from the CLI
+//	baexp worker -coord host:9000                # join from another machine
+//
 // # Performance: recording tiers
 //
 // Every result in this library is bought with probe volume — the

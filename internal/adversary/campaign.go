@@ -84,6 +84,41 @@ func (r SeedRange) Err() error {
 	return nil
 }
 
+// Split partitions the range into at most k contiguous ascending
+// sub-ranges that cover it exactly, with widths differing by at most one
+// (the leading sub-ranges absorb the remainder). Fewer than k sub-ranges
+// come back when the range holds fewer than k seeds. An invalid range —
+// empty, or wider than MaxSeeds (the clamp Err reports) — yields nil: a
+// range that cannot be swept cannot be sharded either.
+//
+// The partition depends only on (r, k), never on who executes the parts,
+// which is what lets the distributed coordinator shard a hunt into
+// worker-count-independent units and still merge a byte-identical report.
+func (r SeedRange) Split(k int) []SeedRange {
+	if r.Err() != nil {
+		return nil
+	}
+	n := int64(r.Count())
+	if k <= 0 {
+		k = 1
+	}
+	if int64(k) > n {
+		k = int(n)
+	}
+	out := make([]SeedRange, 0, k)
+	base, rem := n/int64(k), n%int64(k)
+	from := r.From
+	for i := 0; i < k; i++ {
+		w := base
+		if int64(i) < rem {
+			w++
+		}
+		out = append(out, SeedRange{From: from, To: from + w})
+		from += w
+	}
+	return out
+}
+
 // ValidityFunc checks the validity property of one probe outcome: the
 // proposal vector, the correct set, and the correct processes' common
 // decision. A non-nil error is a validity violation. Termination and
@@ -302,27 +337,78 @@ type Histogram struct {
 func NewHistogram(values []int) Histogram { return histogramOf(values) }
 
 func histogramOf(values []int) Histogram {
-	h := Histogram{}
 	if len(values) == 0 {
-		return h
+		return Histogram{}
 	}
 	counts := make(map[int]int)
-	h.Min, h.Max = values[0], values[0]
 	for _, v := range values {
 		counts[v]++
-		h.Sum += v
-		if v < h.Min {
-			h.Min = v
-		}
-		if v > h.Max {
-			h.Max = v
-		}
 	}
-	for v, c := range counts {
-		h.Buckets = append(h.Buckets, Bucket{Value: v, Count: c})
+	return NewHistogramFromCounts(counts)
+}
+
+// NewHistogramFromCounts builds the histogram of a multiset given as a
+// value → occurrence-count map: exactly what NewHistogram produces over
+// the expanded value slice, without materializing it. This is the form a
+// checkpointable fold carries (a counts map serializes; a growing value
+// slice does not scale to billion-probe campaigns).
+func NewHistogramFromCounts(counts map[int]int) Histogram {
+	values := make([]int, 0, len(counts))
+	for v := range counts {
+		values = append(values, v)
 	}
-	sort.Slice(h.Buckets, func(i, j int) bool { return h.Buckets[i].Value < h.Buckets[j].Value })
+	sort.Ints(values)
+	h := Histogram{}
+	for _, v := range values {
+		if counts[v] <= 0 {
+			continue
+		}
+		h.Buckets = append(h.Buckets, Bucket{Value: v, Count: counts[v]})
+	}
+	if len(h.Buckets) == 0 {
+		return Histogram{}
+	}
+	h.Min = h.Buckets[0].Value
+	h.Max = h.Buckets[len(h.Buckets)-1].Value
+	for _, b := range h.Buckets {
+		h.Sum += b.Value * b.Count
+	}
 	return h
+}
+
+// Merge returns the histogram of the union multiset — the histogram
+// NewHistogram would build over the two underlying value slices
+// concatenated. Exact-value histograms merge commutatively and
+// associatively, which is what lets the distributed coordinator fold
+// per-unit sub-reports into the byte-identical single-process histogram.
+func (h Histogram) Merge(o Histogram) Histogram {
+	if len(h.Buckets) == 0 {
+		return o
+	}
+	if len(o.Buckets) == 0 {
+		return h
+	}
+	out := Histogram{
+		Min: min(h.Min, o.Min),
+		Max: max(h.Max, o.Max),
+		Sum: h.Sum + o.Sum,
+	}
+	out.Buckets = make([]Bucket, 0, len(h.Buckets)+len(o.Buckets))
+	i, j := 0, 0
+	for i < len(h.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(h.Buckets) && h.Buckets[i].Value < o.Buckets[j].Value):
+			out.Buckets = append(out.Buckets, h.Buckets[i])
+			i++
+		case i >= len(h.Buckets) || o.Buckets[j].Value < h.Buckets[i].Value:
+			out.Buckets = append(out.Buckets, o.Buckets[j])
+			j++
+		default:
+			out.Buckets = append(out.Buckets, Bucket{Value: h.Buckets[i].Value, Count: h.Buckets[i].Count + o.Buckets[j].Count})
+			i, j = i+1, j+1
+		}
+	}
+	return out
 }
 
 // Campaign is a seeded adversarial hunt: one strategy versus one protocol

@@ -261,3 +261,103 @@ func TestHistogramDeterminism(t *testing.T) {
 		t.Fatalf("histogram %v, want %v", h, want)
 	}
 }
+
+func TestSeedRangeSplit(t *testing.T) {
+	cases := []struct {
+		name string
+		r    SeedRange
+		k    int
+		want []SeedRange
+	}{
+		{"even", SeedRange{0, 8}, 4, []SeedRange{{0, 2}, {2, 4}, {4, 6}, {6, 8}}},
+		{"uneven", SeedRange{0, 10}, 4, []SeedRange{{0, 3}, {3, 6}, {6, 8}, {8, 10}}},
+		{"offset uneven", SeedRange{5, 12}, 3, []SeedRange{{5, 8}, {8, 10}, {10, 12}}},
+		{"k exceeds width", SeedRange{0, 3}, 8, []SeedRange{{0, 1}, {1, 2}, {2, 3}}},
+		{"k one", SeedRange{3, 9}, 1, []SeedRange{{3, 9}}},
+		{"k nonpositive", SeedRange{0, 4}, 0, []SeedRange{{0, 4}}},
+		{"single seed", SeedRange{7, 8}, 4, []SeedRange{{7, 8}}},
+		{"empty", SeedRange{5, 5}, 3, nil},
+		{"inverted", SeedRange{5, 2}, 3, nil},
+		{"beyond MaxSeeds", SeedRange{0, MaxSeeds + 1}, 2, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.r.Split(tc.k)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Split(%d) = %v, want %v", tc.k, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Split(%d)[%d] = %v, want %v", tc.k, i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSeedRangeSplitCovers fuzzes the partition invariants: contiguous,
+// ascending, exactly covering, widths differing by at most one.
+func TestSeedRangeSplitCovers(t *testing.T) {
+	for _, r := range []SeedRange{{0, 64}, {100, 1000}, {-50, 13}, {0, MaxSeeds}} {
+		for _, k := range []int{1, 2, 3, 7, 16, 100} {
+			parts := r.Split(k)
+			if len(parts) == 0 {
+				t.Fatalf("Split(%v, %d): empty partition of a valid range", r, k)
+			}
+			var total int64
+			lo, hi := parts[0].Count(), parts[0].Count()
+			at := r.From
+			for _, p := range parts {
+				if p.From != at || p.To <= p.From {
+					t.Fatalf("Split(%v, %d): discontiguous part %v at %d", r, k, p, at)
+				}
+				at = p.To
+				c := p.Count()
+				total += int64(c)
+				lo, hi = min(lo, c), max(hi, c)
+			}
+			if at != r.To || total != int64(r.Count()) {
+				t.Fatalf("Split(%v, %d): covers [%d, %d), want [%d, %d)", r, k, r.From, at, r.From, r.To)
+			}
+			if hi-lo > 1 {
+				t.Fatalf("Split(%v, %d): widths differ by %d", r, k, hi-lo)
+			}
+		}
+	}
+}
+
+// TestHistogramFromCountsMatchesSlices pins the checkpointable counts-map
+// path to the slice path byte for byte.
+func TestHistogramFromCountsMatchesSlices(t *testing.T) {
+	values := []int{5, 3, 5, 9, 3, 3, 0, 12, 5}
+	counts := map[int]int{5: 3, 3: 3, 9: 1, 0: 1, 12: 1}
+	a, b := NewHistogram(values), NewHistogramFromCounts(counts)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("FromCounts = %s, NewHistogram = %s", jb, ja)
+	}
+	if e := NewHistogramFromCounts(map[int]int{7: 0}); len(e.Buckets) != 0 {
+		t.Fatalf("zero-count bucket leaked: %+v", e)
+	}
+}
+
+// TestHistogramMerge checks Merge against NewHistogram over concatenated
+// value slices — the identity the distributed fold relies on.
+func TestHistogramMerge(t *testing.T) {
+	a := []int{1, 4, 4, 9}
+	b := []int{0, 4, 7, 9, 9}
+	got := NewHistogram(a).Merge(NewHistogram(b))
+	want := NewHistogram(append(append([]int{}, a...), b...))
+	jg, _ := json.Marshal(got)
+	jw, _ := json.Marshal(want)
+	if string(jg) != string(jw) {
+		t.Fatalf("Merge = %s, want %s", jg, jw)
+	}
+	if m := NewHistogram(nil).Merge(NewHistogram(a)); m.Sum != 18 {
+		t.Fatalf("empty.Merge = %+v", m)
+	}
+	if m := NewHistogram(a).Merge(NewHistogram(nil)); m.Sum != 18 {
+		t.Fatalf("Merge(empty) = %+v", m)
+	}
+}

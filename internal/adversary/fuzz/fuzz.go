@@ -220,179 +220,85 @@ func (f *Fuzzer) ShrinkOptions() adversary.ShrinkOptions {
 	}
 }
 
-// outcome is one probe's deterministic result.
-type outcome struct {
-	cov      uint64
-	messages int
-	rounds   int
-	v        *adversary.Violation
-	// cand carries the probe's replayable form: the candidate itself for
+// Outcome is one probe's deterministic result. It is JSON-serializable
+// because distributed workers execute probes remotely and ship outcomes
+// back to the coordinator's fold.
+type Outcome struct {
+	Cov      uint64               `json:"cov"`
+	Messages int                  `json:"messages"`
+	Rounds   int                  `json:"rounds"`
+	V        *adversary.Violation `json:"violation,omitempty"`
+	// Cand carries the probe's replayable form: the candidate itself for
 	// mutants, the extracted explicit plan for seed probes (nil when the
 	// seed plan is not replayable — it is then reported but not grown
 	// from).
-	cand *candidate
+	Cand *Candidate `json:"candidate,omitempty"`
 }
 
 // Run executes the hunt and returns the report. Errors indicate harness
 // failures — an invalid fuzzer, an engine-invalid trace, a non-conformant
 // honest machine, a full replay diverging from its lean probe — never mere
 // protocol-property violations, which land in the report.
+//
+// Run is a thin scheduling loop over the Session API: derive a generation,
+// probe it on the worker pool, fold it back in slot order. The distributed
+// coordinator drives the identical Session with remote probes, which is
+// why its reports and corpora are byte-identical to Run's.
 func (f *Fuzzer) Run() (*Report, error) {
-	if err := f.validate(); err != nil {
+	sw := runner.StartWall()
+	s, err := f.NewSession()
+	if err != nil {
 		return nil, err
 	}
-	horizon := f.horizon()
-	env := adversary.Env{N: f.N, T: f.T, Rounds: f.Rounds, Horizon: horizon, Factory: f.Factory}
 	workers := runner.Workers(f.Parallelism)
-	sw := runner.StartWall()
-	fo := fuzzObsFrom(f.Ctx)
-	if fo.sink != nil {
-		fo.sink.Emit("fuzz-start",
-			"protocol", f.Protocol, "seed_strategy", f.Seed.Name,
-			"n", f.N, "t", f.T, "budget", f.Budget, "workers", workers)
-	}
-
-	if f.Corpus == nil {
-		f.Corpus = NewCorpus(f.Protocol, f.N, f.T)
-	}
-	corpus := f.Corpus
-	seen := make(map[uint64]bool, corpus.Size())
-	for _, e := range corpus.Entries {
-		seen[e.Cov] = true
-	}
-
-	report := &Report{
-		Protocol:     f.Protocol,
-		SeedStrategy: f.Seed.Name,
-		N:            f.N,
-		T:            f.T,
-		Rounds:       f.Rounds,
-		Horizon:      horizon,
-		Budget:       f.Budget,
-		CorpusLoaded: corpus.Size(),
-		Workers:      workers,
-	}
-	var messages, rounds []int
-
-	// fold integrates one generation's outcomes into corpus and report, in
-	// slot order — the sequential step that keeps everything
-	// scheduling-independent.
-	fold := func(gen int, results []outcome) {
-		covBefore, violBefore := report.NewCoverage, report.ViolationCount
-		for i, out := range results {
-			probe := report.Probes + i + 1
-			messages = append(messages, out.messages)
-			rounds = append(rounds, out.rounds)
-			if !seen[out.cov] && out.cand != nil {
-				seen[out.cov] = true
-				report.NewCoverage++
-				corpus.add(Entry{
-					Gen:       gen,
-					Parent:    out.cand.parent,
-					Op:        out.cand.op,
-					Cov:       out.cov,
-					Violating: out.v != nil,
-					Plan:      out.cand.plan,
-					Proposals: out.cand.proposals,
-				})
-			}
-			if out.v == nil {
-				continue
-			}
-			if report.FirstViolationProbe == 0 {
-				report.FirstViolationProbe = probe
-			}
-			report.ViolationCount++
-			if f.MaxViolations > 0 && len(report.Violations) >= f.MaxViolations {
-				continue
-			}
-			out.v.Seed = int64(probe)
-			report.Violations = append(report.Violations, out.v)
-		}
-		report.Probes += len(results)
-		report.Generations++
-		fo.generations.Inc()
-		fo.newCoverage.Add(int64(report.NewCoverage - covBefore))
-		fo.violations.Add(int64(report.ViolationCount - violBefore))
-		fo.corpusSize.Set(int64(corpus.Size()))
-		if fo.sink != nil {
-			// The coverage-growth curve: one point per folded generation.
-			fo.sink.Emit("generation",
-				"gen", gen, "probes", report.Probes,
-				"new_coverage", report.NewCoverage-covBefore,
-				"violations", report.ViolationCount-violBefore,
-				"corpus_size", corpus.Size())
-		}
-	}
-
-	// Generation 0 seeds the corpus from the strategy when starting fresh.
-	if corpus.Size() == 0 {
-		k := min(f.seedCount(), f.Budget)
-		results, err := runner.Map(f.Ctx, workers, k, func(i int) (outcome, error) {
-			return f.seedProbe(i, env, fo)
+	for g := s.NextGeneration(); g != nil; g = s.NextGeneration() {
+		results, err := runner.Map(f.Ctx, workers, g.Count, func(i int) (Outcome, error) {
+			return s.Probe(g, i)
 		})
 		if err != nil {
 			return nil, err
 		}
-		fold(0, results)
+		s.Fold(g, results)
 	}
-
-	// Mutation generations: derive sequentially, probe in parallel, fold
-	// sequentially.
-	m := mutator{n: f.N, t: f.T, horizon: horizon}
-	for gen := 1; report.Probes < f.Budget && corpus.Size() > 0; gen++ {
-		if f.StopOnViolation && report.ViolationCount > 0 {
-			break
-		}
-		k := min(f.genSize(), f.Budget-report.Probes)
-		cands := make([]candidate, k)
-		for i := range cands {
-			cands[i] = m.mutate(stream(f.FuzzSeed, fmt.Sprintf("g%d|s%d", gen, i)), corpus)
-		}
-		results, err := runner.Map(f.Ctx, workers, k, func(i int) (outcome, error) {
-			return f.mutantProbe(&cands[i], env, fo)
-		})
-		if err != nil {
-			return nil, err
-		}
-		fold(gen, results)
+	report, err := s.Finish()
+	if err != nil {
+		return nil, err
 	}
-
-	report.CorpusSize = corpus.Size()
-	report.Messages = adversary.NewHistogram(messages)
-	report.RoundsHist = adversary.NewHistogram(rounds)
-
-	if f.Shrink {
-		opts := f.ShrinkOptions()
-		opts.Obs = obs.From(f.Ctx)
-		for _, v := range report.Violations {
-			if v.Plan == nil {
-				continue // not replayable (foreign seed machines): report unshrunk
-			}
-			sh, err := adversary.Shrink(v, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fuzz %s probe %d: shrink: %w", f.Protocol, v.Seed, err)
-			}
-			v.Shrunk = sh
-		}
-	}
-
 	report.Wall, report.WallMS, report.ProbesPerSec = sw.WallStats(report.Probes)
-	if fo.sink != nil {
-		fo.sink.Emit("fuzz-end",
-			"protocol", f.Protocol, "probes", report.Probes,
-			"generations", report.Generations, "violations", report.ViolationCount,
-			"first_violation_probe", report.FirstViolationProbe,
-			"corpus_size", report.CorpusSize, "new_coverage", report.NewCoverage)
-	}
 	return report, nil
 }
+
+// Prober resolves the fuzzer's probe environment once for a batch of
+// externally scheduled probes — the distributed worker's path, where the
+// coordinator owns the corpus and the session state and ships this side
+// only (generation, index) pairs and derived candidates.
+type Prober struct {
+	f   *Fuzzer
+	env adversary.Env
+	fo  fuzzObs
+}
+
+// Prober returns a probe executor bound to this fuzzer's environment.
+func (f *Fuzzer) Prober() *Prober {
+	return &Prober{
+		f:   f,
+		env: adversary.Env{N: f.N, T: f.T, Rounds: f.Rounds, Horizon: f.horizon(), Factory: f.Factory},
+		fo:  fuzzObsFrom(f.Ctx),
+	}
+}
+
+// Seed executes generation-0 probe i (the strategy-seeded probes).
+func (p *Prober) Seed(i int) (Outcome, error) { return p.f.seedProbe(i, p.env, p.fo) }
+
+// Candidate executes one derived candidate at the lean tier with full
+// replay of violations, exactly like a mutation-generation probe.
+func (p *Prober) Candidate(c *Candidate) (Outcome, error) { return p.f.mutantProbe(c, p.env, p.fo) }
 
 // seedProbe runs one generation-0 probe: the seed strategy's plan at
 // RecordFull (the trace is needed to extract the replayable explicit plan
 // the mutation generations grow from), held to the evidence-grade checks —
 // Appendix A.1.6 validation and machine conformance — on every seed.
-func (f *Fuzzer) seedProbe(i int, env adversary.Env, fo fuzzObs) (outcome, error) {
+func (f *Fuzzer) seedProbe(i int, env adversary.Env, fo fuzzObs) (Outcome, error) {
 	t := fo.probeNS.StartTimer()
 	defer func() {
 		t.Stop()
@@ -404,26 +310,26 @@ func (f *Fuzzer) seedProbe(i int, env adversary.Env, fo fuzzObs) (outcome, error
 	cfg := sim.Config{N: f.N, T: f.T, Proposals: proposals, MaxRounds: env.Horizon}
 	e, err := sim.Run(cfg, f.Factory, plan)
 	if err != nil {
-		return outcome{}, fmt.Errorf("seed probe %d: %w", i, err)
+		return Outcome{}, fmt.Errorf("seed probe %d: %w", i, err)
 	}
 	if err := omission.Validate(e); err != nil {
-		return outcome{}, fmt.Errorf("seed probe %d: invalid trace: %w", i, err)
+		return Outcome{}, fmt.Errorf("seed probe %d: invalid trace: %w", i, err)
 	}
 	if err := sim.Conforms(e, f.Factory, adversary.ByzantineSkip(plan, e.Faulty)); err != nil {
-		return outcome{}, fmt.Errorf("seed probe %d: conformance: %w", i, err)
+		return Outcome{}, fmt.Errorf("seed probe %d: conformance: %w", i, err)
 	}
-	out := outcome{cov: coverage(e), messages: e.CorrectMessages(), rounds: e.Rounds}
+	out := Outcome{Cov: coverage(e), Messages: e.CorrectMessages(), Rounds: e.Rounds}
 	v := adversary.CheckExecution(e, proposals, f.Validity, f.Agreement)
 	ep, eerr := adversary.Extract(e, plan)
 	if eerr == nil {
-		out.cand = &candidate{plan: *ep, proposals: proposals, parent: -1, op: "seed"}
+		out.Cand = &Candidate{Plan: *ep, Proposals: proposals, Parent: -1, Op: "seed"}
 	}
 	if v != nil {
 		v.Proposals = proposals
 		if eerr == nil {
 			v.Plan = ep
 		}
-		out.v = v
+		out.V = v
 	}
 	return out, nil
 }
@@ -446,20 +352,20 @@ func (f *Fuzzer) seedProposals(seed int64, env adversary.Env) []msg.Value {
 // violating candidate pays for the full pipeline: a deterministic re-run
 // at RecordFull, trace validation, conformance re-execution, and evidence
 // extraction, exactly as campaign probes do.
-func (f *Fuzzer) mutantProbe(c *candidate, env adversary.Env, fo fuzzObs) (outcome, error) {
+func (f *Fuzzer) mutantProbe(c *Candidate, env adversary.Env, fo fuzzObs) (Outcome, error) {
 	t := fo.probeNS.StartTimer()
 	defer func() {
 		t.Stop()
 		fo.probes.Inc()
 	}()
-	fp := c.plan.Plan(env)
-	cfg := sim.Config{N: f.N, T: f.T, Proposals: c.proposals, MaxRounds: env.Horizon, Recording: sim.RecordDecisions}
+	fp := c.Plan.Plan(env)
+	cfg := sim.Config{N: f.N, T: f.T, Proposals: c.Proposals, MaxRounds: env.Horizon, Recording: sim.RecordDecisions}
 	e, err := sim.Run(cfg, f.Factory, fp)
 	if err != nil {
-		return outcome{}, fmt.Errorf("mutant (%s of entry %d): %w", c.op, c.parent, err)
+		return Outcome{}, fmt.Errorf("mutant (%s of entry %d): %w", c.Op, c.Parent, err)
 	}
-	out := outcome{cov: coverage(e), messages: e.CorrectMessages(), rounds: e.Rounds, cand: c}
-	lean := adversary.CheckExecution(e, c.proposals, f.Validity, f.Agreement)
+	out := Outcome{Cov: coverage(e), Messages: e.CorrectMessages(), Rounds: e.Rounds, Cand: c}
+	lean := adversary.CheckExecution(e, c.Proposals, f.Validity, f.Agreement)
 	if lean == nil {
 		return out, nil
 	}
@@ -468,29 +374,29 @@ func (f *Fuzzer) mutantProbe(c *candidate, env adversary.Env, fo fuzzObs) (outco
 	// and run the full evidence pipeline. The engine is deterministic, so
 	// any divergence from the lean verdict is an engine or
 	// protocol-determinism bug, not a protocol violation.
-	fp2 := c.plan.Plan(env)
+	fp2 := c.Plan.Plan(env)
 	cfg.Recording = sim.RecordFull
 	e2, err := sim.Run(cfg, f.Factory, fp2)
 	if err != nil {
-		return outcome{}, fmt.Errorf("mutant (%s of entry %d): full replay: %w", c.op, c.parent, err)
+		return Outcome{}, fmt.Errorf("mutant (%s of entry %d): full replay: %w", c.Op, c.Parent, err)
 	}
 	//balint:allow leantier guarded: the replay above runs at sim.RecordFull
 	if err := omission.Validate(e2); err != nil {
-		return outcome{}, fmt.Errorf("mutant (%s of entry %d): invalid trace: %w", c.op, c.parent, err)
+		return Outcome{}, fmt.Errorf("mutant (%s of entry %d): invalid trace: %w", c.Op, c.Parent, err)
 	}
 	//balint:allow leantier guarded: the replay above runs at sim.RecordFull
 	if err := sim.Conforms(e2, f.Factory, adversary.ByzantineSkip(fp2, e2.Faulty)); err != nil {
-		return outcome{}, fmt.Errorf("mutant (%s of entry %d): conformance: %w", c.op, c.parent, err)
+		return Outcome{}, fmt.Errorf("mutant (%s of entry %d): conformance: %w", c.Op, c.Parent, err)
 	}
-	full := adversary.CheckExecution(e2, c.proposals, f.Validity, f.Agreement)
+	full := adversary.CheckExecution(e2, c.Proposals, f.Validity, f.Agreement)
 	if full == nil || full.Kind != lean.Kind || full.Witness1 != lean.Witness1 ||
 		full.Witness2 != lean.Witness2 || full.D1 != lean.D1 || full.D2 != lean.D2 {
-		return outcome{}, fmt.Errorf("mutant (%s of entry %d): full replay does not reproduce the lean probe's %s violation — engine or protocol nondeterminism", c.op, c.parent, lean.Kind)
+		return Outcome{}, fmt.Errorf("mutant (%s of entry %d): full replay does not reproduce the lean probe's %s violation — engine or protocol nondeterminism", c.Op, c.Parent, lean.Kind)
 	}
-	full.Proposals = c.proposals
+	full.Proposals = c.Proposals
 	if ep, err := adversary.Extract(e2, fp2); err == nil {
 		full.Plan = ep
 	}
-	out.v = full
+	out.V = full
 	return out, nil
 }

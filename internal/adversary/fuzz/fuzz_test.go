@@ -235,43 +235,43 @@ func TestMutatorInvariants(t *testing.T) {
 
 	for i := 0; i < 600; i++ {
 		c := m.mutate(stream(42, string(rune(i))), corpus)
-		p := &c.plan
+		p := &c.Plan
 		if len(p.Faulty) > tf {
-			t.Fatalf("op %s: %d faulty > t=%d", c.op, len(p.Faulty), tf)
+			t.Fatalf("op %s: %d faulty > t=%d", c.Op, len(p.Faulty), tf)
 		}
 		if !slices.IsSorted(p.Faulty) {
-			t.Fatalf("op %s: faulty set not sorted: %v", c.op, p.Faulty)
+			t.Fatalf("op %s: faulty set not sorted: %v", c.Op, p.Faulty)
 		}
 		fset := proc.NewSet(p.Faulty...)
 		for _, k := range p.SendOmit {
 			if !fset.Contains(k.Sender) || k.Round < 1 || k.Round > horizon {
-				t.Fatalf("op %s: invalid send-omit %v (faulty %v)", c.op, k, p.Faulty)
+				t.Fatalf("op %s: invalid send-omit %v (faulty %v)", c.Op, k, p.Faulty)
 			}
 		}
 		for _, k := range p.ReceiveOmit {
 			if !fset.Contains(k.Receiver) || k.Round < 1 || k.Round > horizon {
-				t.Fatalf("op %s: invalid receive-omit %v (faulty %v)", c.op, k, p.Faulty)
+				t.Fatalf("op %s: invalid receive-omit %v (faulty %v)", c.Op, k, p.Faulty)
 			}
 		}
 		for _, e := range p.Byzantine {
 			if !fset.Contains(e.ID) {
-				t.Fatalf("op %s: byzantine entry for correct %s", c.op, e.ID)
+				t.Fatalf("op %s: byzantine entry for correct %s", c.Op, e.ID)
 			}
 		}
-		if len(c.proposals) != n {
-			t.Fatalf("op %s: %d proposals, want %d", c.op, len(c.proposals), n)
+		if len(c.Proposals) != n {
+			t.Fatalf("op %s: %d proposals, want %d", c.Op, len(c.Proposals), n)
 		}
 		// Every tenth candidate is actually executed: normalize must make
 		// plans the engine never rejects.
 		if i%10 == 0 {
-			cfg := sim.Config{N: n, T: tf, Proposals: c.proposals, MaxRounds: horizon, Recording: sim.RecordDecisions}
-			if _, err := sim.Run(cfg, factory, c.plan.Plan(env)); err != nil {
-				t.Fatalf("op %s: engine rejected normalized plan: %v", c.op, err)
+			cfg := sim.Config{N: n, T: tf, Proposals: c.Proposals, MaxRounds: horizon, Recording: sim.RecordDecisions}
+			if _, err := sim.Run(cfg, factory, c.Plan.Plan(env)); err != nil {
+				t.Fatalf("op %s: engine rejected normalized plan: %v", c.Op, err)
 			}
 		}
 		// Feed some candidates back so later mutations see mixed lineage.
 		if i%7 == 0 {
-			corpus.add(Entry{Parent: c.parent, Op: c.op, Plan: c.plan, Proposals: c.proposals})
+			corpus.add(Entry{Parent: c.Parent, Op: c.Op, Plan: c.Plan, Proposals: c.Proposals})
 		}
 	}
 }

@@ -9,13 +9,17 @@ import (
 	"expensive/internal/proc"
 )
 
-// candidate is one derived probe awaiting execution: a normalized explicit
-// plan, its proposal vector, and its provenance for the corpus record.
-type candidate struct {
-	plan      adversary.ExplicitPlan
-	proposals []msg.Value
-	parent    int // corpus entry ID the candidate was mutated from
-	op        string
+// Candidate is one derived probe awaiting execution: a normalized explicit
+// plan, its proposal vector, and its provenance for the corpus record. It
+// is JSON-serializable because the distributed coordinator derives
+// candidates centrally and ships them to workers over the wire.
+type Candidate struct {
+	Plan      adversary.ExplicitPlan `json:"plan"`
+	Proposals []msg.Value            `json:"proposals"`
+	// Parent is the corpus entry ID the candidate was mutated from (-1 for
+	// generation-0 seed extractions); Op names the operator that derived it.
+	Parent int    `json:"parent"`
+	Op     string `json:"op"`
 }
 
 // stream returns the deterministic random stream of (seed, salt), derived
@@ -71,48 +75,48 @@ func pickParent(r *rand.Rand, corpus *Corpus) *Entry {
 
 // mutate derives one candidate: pick a parent, apply one operator,
 // normalize. The corpus must be non-empty.
-func (m mutator) mutate(r *rand.Rand, corpus *Corpus) candidate {
+func (m mutator) mutate(r *rand.Rand, corpus *Corpus) Candidate {
 	parent := pickParent(r, corpus)
-	c := candidate{
-		plan:      clonePlan(parent.Plan),
-		proposals: append([]msg.Value(nil), parent.Proposals...),
-		parent:    parent.ID,
+	c := Candidate{
+		Plan:      clonePlan(parent.Plan),
+		Proposals: append([]msg.Value(nil), parent.Proposals...),
+		Parent:    parent.ID,
 	}
-	c.op = opNames[r.Intn(len(opNames))]
-	switch c.op {
+	c.Op = opNames[r.Intn(len(opNames))]
+	switch c.Op {
 	case "add-omission":
-		m.addOmission(r, &c.plan)
+		m.addOmission(r, &c.Plan)
 	case "add-streak":
-		m.addStreak(r, &c.plan)
+		m.addStreak(r, &c.Plan)
 	case "drop-omission":
-		if !m.dropOmission(r, &c.plan) {
-			c.op = "add-omission" // nothing to drop: grow instead
-			m.addOmission(r, &c.plan)
+		if !m.dropOmission(r, &c.Plan) {
+			c.Op = "add-omission" // nothing to drop: grow instead
+			m.addOmission(r, &c.Plan)
 		}
 	case "retarget-omission":
-		if !m.retargetOmission(r, &c.plan) {
-			c.op = "add-omission"
-			m.addOmission(r, &c.plan)
+		if !m.retargetOmission(r, &c.Plan) {
+			c.Op = "add-omission"
+			m.addOmission(r, &c.Plan)
 		}
 	case "shift-round":
-		if !m.shiftRound(r, &c.plan) {
-			c.op = "add-omission"
-			m.addOmission(r, &c.plan)
+		if !m.shiftRound(r, &c.Plan) {
+			c.Op = "add-omission"
+			m.addOmission(r, &c.Plan)
 		}
 	case "promote-byzantine":
-		m.promoteByzantine(r, &c.plan)
+		m.promoteByzantine(r, &c.Plan)
 	case "drop-process":
-		if !m.dropProcess(r, &c.plan) {
-			c.op = "add-omission"
-			m.addOmission(r, &c.plan)
+		if !m.dropProcess(r, &c.Plan) {
+			c.Op = "add-omission"
+			m.addOmission(r, &c.Plan)
 		}
 	case "crossover":
 		other := corpus.Entries[r.Intn(len(corpus.Entries))]
-		m.crossover(r, &c.plan, &other.Plan)
+		m.crossover(r, &c.Plan, &other.Plan)
 	case "reseed-proposals":
-		c.proposals = m.reseedProposals(r)
+		c.Proposals = m.reseedProposals(r)
 	}
-	m.normalize(&c.plan)
+	m.normalize(&c.Plan)
 	return c
 }
 

@@ -1,0 +1,109 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// driveSession folds a session forward, snapshotting after snapshotAfter
+// generations (0 = never) and returning the marshaled snapshot alongside
+// the finished report when it kept going.
+func driveSession(t *testing.T, s *Session, snapshotAfter int) ([]byte, *Report) {
+	t.Helper()
+	folded := 0
+	for g := s.NextGeneration(); g != nil; g = s.NextGeneration() {
+		results := make([]Outcome, g.Count)
+		for i := range results {
+			out, err := s.Probe(g, i)
+			if err != nil {
+				t.Fatalf("probe %d of gen %d: %v", i, g.Gen, err)
+			}
+			results[i] = out
+		}
+		s.Fold(g, results)
+		folded++
+		if snapshotAfter > 0 && folded == snapshotAfter {
+			snap, err := json.Marshal(s.State())
+			if err != nil {
+				t.Fatalf("marshal snapshot: %v", err)
+			}
+			return snap, nil
+		}
+	}
+	rep, err := s.Finish()
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	return nil, rep
+}
+
+// TestSessionResumeByteIdentical is the checkpoint/resume contract at the
+// session layer: stop a fuzzing run after a few generations, round-trip
+// its state through JSON (exactly what a coordinator checkpoint does),
+// resume on a freshly configured fuzzer, and the finished report and
+// corpus must be byte-identical to an uninterrupted run's.
+func TestSessionResumeByteIdentical(t *testing.T) {
+	// Uninterrupted reference run.
+	ref := floodsetFuzzer(4, 3, 512, 1)
+	refRep, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, _ := json.Marshal(refRep)
+	refCorpus, _ := json.Marshal(ref.Corpus)
+
+	// Interrupted run: snapshot after 3 generations, discard the session.
+	f1 := floodsetFuzzer(4, 3, 512, 1)
+	s1, err := f1.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := driveSession(t, s1, 3)
+	if snap == nil {
+		t.Fatal("run finished before the snapshot point; lower snapshotAfter")
+	}
+
+	// Resume from the JSON round-trip on a fresh, identically configured
+	// fuzzer and run to completion.
+	var st SessionState
+	if err := json.Unmarshal(snap, &st); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	f2 := floodsetFuzzer(4, 3, 512, 1)
+	s2, err := f2.ResumeSession(&st)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	_, rep2 := driveSession(t, s2, 0)
+	gotJSON, _ := json.Marshal(rep2)
+	gotCorpus, _ := json.Marshal(f2.Corpus)
+
+	if !bytes.Equal(gotJSON, refJSON) {
+		t.Errorf("resumed report diverged:\nresumed: %s\nreference: %s", gotJSON, refJSON)
+	}
+	if !bytes.Equal(gotCorpus, refCorpus) {
+		t.Errorf("resumed corpus diverged from the uninterrupted run's")
+	}
+}
+
+// TestSessionMatchesRun pins the session protocol driven manually to
+// Fuzzer.Run's output.
+func TestSessionMatchesRun(t *testing.T) {
+	a := floodsetFuzzer(4, 3, 256, 0)
+	repA, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := floodsetFuzzer(4, 3, 256, 1)
+	s, err := b.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repB := driveSession(t, s, 0)
+	ja, _ := json.Marshal(repA)
+	jb, _ := json.Marshal(repB)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("session-driven report diverged from Run:\nsession: %s\nrun: %s", jb, ja)
+	}
+}

@@ -1,0 +1,25 @@
+// Fixture for the wallclock analyzer: dist is listed in scopes AND in
+// the sanctioned package map, so its heartbeat/timeout clock reads — the
+// coordinator's dead-worker detection and the worker's heartbeat cadence
+// are inherently wall-clock concerns — produce no findings. The
+// adversary fixture next door proves a raw time.Now on the probe side
+// still flags.
+package dist
+
+import "time"
+
+// heartbeat paces one worker's liveness messages — a real clock loop.
+func heartbeat(every time.Duration, send func()) {
+	last := time.Now()
+	for i := 0; i < 3; i++ {
+		if time.Since(last) >= every {
+			send()
+			last = time.Now()
+		}
+	}
+}
+
+// deadline computes a worker's death sentence from the heartbeat timeout.
+func deadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout)
+}

@@ -39,6 +39,7 @@ var Analyzer = &analysis.Analyzer{
 var scopes = []string{
 	"expensive/internal/adversary",
 	"expensive/internal/catalog/matrix",
+	"expensive/internal/dist",
 	"expensive/internal/experiments",
 	"expensive/internal/lowerbound",
 	"expensive/internal/obs",
@@ -51,9 +52,14 @@ var scopes = []string{
 // layer owns every time.Now so the scoped engines never have to. Listing
 // obs in scopes AND here is deliberate — the package is inside the fence
 // (its callers are checked callees of scoped code) but its own bodies are
-// the sanctioned clock site, exactly like Stopwatch's methods.
+// the sanctioned clock site, exactly like Stopwatch's methods. The dist
+// coordinator/worker layer is sanctioned for the same reason: heartbeat
+// cadence, dial backoff and dead-worker detection are inherently
+// wall-clock concerns, and the layer keeps them out of the deterministic
+// fold (its reports exclude scheduling stats from the JSON encoding).
 var sanctioned = map[string]bool{
-	"expensive/internal/obs": true,
+	"expensive/internal/dist": true,
+	"expensive/internal/obs":  true,
 }
 
 // clockFuncs are the forbidden direct reads.

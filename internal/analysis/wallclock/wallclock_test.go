@@ -10,6 +10,7 @@ import (
 
 func TestWallclock(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{wallclock.Analyzer},
-		"expensive/internal/adversary", "expensive/internal/experiments/runner",
+		"expensive/internal/adversary", "expensive/internal/dist",
+		"expensive/internal/experiments/runner",
 		"expensive/internal/obs", "outside")
 }

@@ -202,40 +202,32 @@ func (m *Matrix) Run() (*Grid, error) {
 			"seeds", r.Seeds.Count(), "workers", workers)
 	}
 
+	opts := CellOptions{
+		Params:        r.Params,
+		MaxViolations: r.MaxViolations,
+		Shrink:        r.Shrink,
+		RecordFull:    r.RecordFull,
+		Parallelism:   1, // cells are the parallel unit; see Matrix.Parallelism
+		Ctx:           r.Ctx,
+	}
 	cells, err := runner.Map(r.Ctx, workers, nCells, func(i int) (Cell, error) {
-		zi := i % len(r.Sizes)
-		si := i / len(r.Sizes) % len(r.Strategies)
-		pi := i / len(r.Sizes) / len(r.Strategies)
-		return r.cell(r.Protocols[pi], r.Strategies[si], r.Sizes[zi], mo)
+		pi, si, zi := CellIndex(i, len(r.Strategies), len(r.Sizes))
+		return ProbeCell(r.Protocols[pi], r.Strategies[si], r.Sizes[zi], r.Seeds, opts)
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	g := &Grid{
-		Protocols:  make([]string, len(r.Protocols)),
-		Strategies: make([]string, len(r.Strategies)),
-		Sizes:      r.Sizes,
-		Seeds:      r.Seeds,
-		Cells:      cells,
-		Workers:    workers,
-	}
+	protocols := make([]string, len(r.Protocols))
 	for i, s := range r.Protocols {
-		g.Protocols[i] = s.ID
+		protocols[i] = s.ID
 	}
+	strategies := make([]string, len(r.Strategies))
 	for i, s := range r.Strategies {
-		g.Strategies[i] = s.ID
+		strategies[i] = s.ID
 	}
-	for i := range cells {
-		c := &cells[i]
-		switch {
-		case c.Skipped:
-			g.SkippedCells++
-		case c.Broken():
-			g.ViolatingCells++
-		}
-		g.Probes += c.Probes
-	}
+	g := AssembleGrid(protocols, strategies, r.Sizes, r.Seeds, cells)
+	g.Workers = workers
 	g.Wall, g.WallMS, g.ProbesPerSec = sw.WallStats(g.Probes)
 	if r.Timing {
 		g.Timing = &GridTiming{WallMS: g.WallMS, ProbesPerSec: g.ProbesPerSec, Workers: g.Workers}
@@ -274,9 +266,43 @@ func matrixObsFrom(ctx context.Context) matrixObs {
 	}
 }
 
-// cell runs one (protocol, strategy, size) campaign — or skips it when
-// the resilience predicate (or the builder itself) refuses the size.
-func (m *Matrix) cell(spec catalog.Spec, strat adversary.Named, size Size, mo matrixObs) (Cell, error) {
+// CellIndex decomposes a linear cell index into (protocol, strategy,
+// size) indices — size fastest, protocol-major, matching the order of
+// Grid.Cells. It is the shared unit-numbering contract between Run and
+// the distributed coordinator: both enumerate cells identically, which is
+// what makes a sharded grid byte-identical to a local one.
+func CellIndex(i, nStrategies, nSizes int) (pi, si, zi int) {
+	zi = i % nSizes
+	si = i / nSizes % nStrategies
+	pi = i / nSizes / nStrategies
+	return pi, si, zi
+}
+
+// CellOptions configures a single cell probe (ProbeCell). The zero value
+// is usable: default params, one recorded violation, lean tier, serial.
+type CellOptions struct {
+	// Params builds the cell construction parameters at (n, t); nil means
+	// catalog.DefaultParams.
+	Params func(n, t int) catalog.Params
+	// MaxViolations caps the violations recorded (<= 0 = 1).
+	MaxViolations int
+	// Shrink and RecordFull mirror the Matrix fields.
+	Shrink     bool
+	RecordFull bool
+	// Parallelism is the campaign parallelism inside the cell. Matrix.Run
+	// passes 1 (cells are its parallel unit); distributed workers probing
+	// one cell at a time may fan the cell's seeds out instead.
+	Parallelism int
+	// Ctx carries cancellation and telemetry; nil means background.
+	Ctx context.Context
+}
+
+// ProbeCell runs one (protocol, strategy, size) campaign — or skips it
+// when the resilience predicate (or the builder itself) refuses the size.
+// It is the single-cell unit of work shared by Run and the distributed
+// worker; the cell depends only on its inputs, never on scheduling.
+func ProbeCell(spec catalog.Spec, strat adversary.Named, size Size, seeds adversary.SeedRange, o CellOptions) (Cell, error) {
+	mo := matrixObsFrom(o.Ctx)
 	cell := Cell{Protocol: spec.ID, Strategy: strat.ID, N: size.N, T: size.T}
 	mo.cells.Inc()
 	if !spec.SupportedAt(size.N, size.T) {
@@ -284,7 +310,11 @@ func (m *Matrix) cell(spec catalog.Spec, strat adversary.Named, size Size, mo ma
 		cell.Reason = fmt.Sprintf("requires %s", spec.Condition)
 		return cell, nil
 	}
-	c, err := CampaignFor(spec, m.Params(size.N, size.T), strat.Strategy, m.Seeds)
+	params := o.Params
+	if params == nil {
+		params = catalog.DefaultParams
+	}
+	c, err := CampaignFor(spec, params(size.N, size.T), strat.Strategy, seeds)
 	if err != nil {
 		// Only a resilience refusal is a legitimate skip. Anything else —
 		// a misconfigured Params hook (ErrBadParams), a derivation
@@ -298,11 +328,14 @@ func (m *Matrix) cell(spec catalog.Spec, strat adversary.Named, size Size, mo ma
 		}
 		return cell, fmt.Errorf("matrix cell %s × %s n=%d t=%d: %w", spec.ID, strat.ID, size.N, size.T, err)
 	}
-	c.Shrink = m.Shrink
-	c.RecordFull = m.RecordFull
-	c.MaxViolations = m.MaxViolations
-	c.Parallelism = 1 // cells are the parallel unit; see Matrix.Parallelism
-	c.Ctx = m.Ctx
+	c.Shrink = o.Shrink
+	c.RecordFull = o.RecordFull
+	c.MaxViolations = o.MaxViolations
+	if c.MaxViolations <= 0 {
+		c.MaxViolations = 1
+	}
+	c.Parallelism = o.Parallelism
+	c.Ctx = o.Ctx
 	rep, err := c.Run()
 	if err != nil {
 		return cell, fmt.Errorf("matrix cell %s × %s n=%d t=%d: %w", spec.ID, strat.ID, size.N, size.T, err)
@@ -320,4 +353,29 @@ func (m *Matrix) cell(spec catalog.Spec, strat adversary.Named, size Size, mo ma
 			"probes", cell.Probes, "violations", cell.ViolationCount)
 	}
 	return cell, nil
+}
+
+// AssembleGrid folds a complete cell slice (protocol-major, size fastest
+// — the CellIndex order) into the deterministic grid report. Run and the
+// distributed coordinator share it, so a grid's bytes depend only on its
+// cells, never on where they were probed.
+func AssembleGrid(protocols, strategies []string, sizes []Size, seeds adversary.SeedRange, cells []Cell) *Grid {
+	g := &Grid{
+		Protocols:  protocols,
+		Strategies: strategies,
+		Sizes:      sizes,
+		Seeds:      seeds,
+		Cells:      cells,
+	}
+	for i := range cells {
+		c := &cells[i]
+		switch {
+		case c.Skipped:
+			g.SkippedCells++
+		case c.Broken():
+			g.ViolatingCells++
+		}
+		g.Probes += c.Probes
+	}
+	return g
 }

@@ -1,0 +1,215 @@
+// Package dist is the distributed campaign layer: a coordinator/worker
+// subsystem that shards hunt, fuzz, and matrix campaigns across OS
+// processes (and machines) while preserving the repo's signature
+// invariant — reports and corpora byte-identical to a single-process run
+// at any worker count.
+//
+// The architecture follows the determinism discipline of every other
+// engine in the library, lifted one level up. Work is cut into units
+// whose number and content depend only on the job, never on the worker
+// population: hunt seed ranges split into a fixed count of contiguous
+// sub-ranges (SeedRange.Split), matrix grids into one unit per cell in
+// CellIndex order, and fuzz budgets into generation batches derived
+// sequentially by the coordinator-owned fuzz.Session. Workers execute
+// units with the existing Campaign/Prober/ProbeCell engines — whose
+// outputs are themselves scheduling-independent — and the coordinator
+// folds results back in unit order: campaign sub-reports merge with
+// offset-shifted first-violation indices and exact-value histogram
+// merges, fuzz outcomes fold through the same Session.Fold a local run
+// uses, and matrix cells assemble through matrix.AssembleGrid. Where a
+// probe lands therefore never changes a byte of what comes back.
+//
+// Transport is a length-prefixed JSON wire protocol over TCP (wire.go),
+// with worker liveness tracked by heartbeats: a worker that stalls past
+// the heartbeat timeout is declared dead and its in-flight unit is
+// reassigned. The coordinator periodically persists completed-unit state
+// (plus the merged fuzz session) to a JSON checkpoint, and a restarted
+// coordinator re-issues only the incomplete units — a kill-and-resume
+// run finishes with the same bytes as an uninterrupted one.
+//
+// This package legitimately deals in wall-clock time (heartbeats, dial
+// backoff, read deadlines), so it is sanctioned for the wallclock
+// analyzer; none of that time ever reaches a report.
+package dist
+
+import (
+	"fmt"
+
+	"expensive/internal/adversary"
+	"expensive/internal/catalog"
+	"expensive/internal/catalog/matrix"
+)
+
+// Job is the one campaign a coordinator distributes: exactly one of
+// Hunt, Fuzz, Matrix is set, matching Kind. A job carries everything a
+// worker needs to rebuild its probe engines from the registries — specs
+// and strategies travel as catalog/library IDs, never as code.
+type Job struct {
+	// Kind selects the campaign: "hunt", "fuzz" or "matrix".
+	Kind string `json:"kind"`
+	// HeartbeatMS is the worker heartbeat interval the coordinator
+	// derives from its timeout and ships with the job.
+	HeartbeatMS int `json:"heartbeat_ms,omitempty"`
+	// WantEvents asks workers to instrument their engines and forward
+	// telemetry events over the wire (set when the coordinator itself has
+	// a trace sink). Purely observational — reports are byte-identical
+	// either way.
+	WantEvents bool `json:"want_events,omitempty"`
+
+	Hunt   *HuntJob   `json:"hunt,omitempty"`
+	Fuzz   *FuzzJob   `json:"fuzz,omitempty"`
+	Matrix *MatrixJob `json:"matrix,omitempty"`
+}
+
+// HuntJob distributes one adversary.Campaign: the seed range splits into
+// Units contiguous sub-ranges, each swept by a worker campaign at the
+// lean tier with shrinking deferred to the coordinator's merge.
+type HuntJob struct {
+	// Protocol and Strategy are registry IDs (catalog.Get,
+	// adversary.FromLibrary); Bias parameterizes the random-omission
+	// strategy family.
+	Protocol string `json:"protocol"`
+	Strategy string `json:"strategy"`
+	Bias     int    `json:"bias,omitempty"`
+	N        int    `json:"n"`
+	T        int    `json:"t"`
+	// Seeds is the full half-open seed range of the hunt.
+	Seeds adversary.SeedRange `json:"seeds"`
+	// Units is the work-unit count the range splits into (default 16).
+	// It must not depend on the worker population — the same job always
+	// cuts the same units, which is what keeps reassignment and resume
+	// deterministic.
+	Units int `json:"units,omitempty"`
+	// Shrink, MaxViolations and RecordFull mirror the campaign fields.
+	// Shrinking runs once, coordinator-side, on the merged report.
+	Shrink        bool `json:"shrink,omitempty"`
+	MaxViolations int  `json:"max_violations,omitempty"`
+	RecordFull    bool `json:"record_full,omitempty"`
+}
+
+// FuzzJob distributes one fuzz.Fuzzer. The coordinator owns the corpus
+// and the session — candidates derive sequentially exactly as in a local
+// run — and ships probe batches of size Batch out to workers.
+type FuzzJob struct {
+	// Protocol is the catalog ID; SeedStrategy the library ID of the
+	// generation-0 strategy; Bias its omission parameter.
+	Protocol     string `json:"protocol"`
+	SeedStrategy string `json:"seed_strategy"`
+	Bias         int    `json:"bias,omitempty"`
+	N            int    `json:"n"`
+	T            int    `json:"t"`
+	// Budget, SeedProbes, GenSize, FuzzSeed and Horizon mirror the
+	// fuzzer fields (zero = the fuzzer's own defaults).
+	Budget     int   `json:"budget"`
+	SeedProbes int   `json:"seed_probes,omitempty"`
+	GenSize    int   `json:"gen_size,omitempty"`
+	FuzzSeed   int64 `json:"fuzz_seed,omitempty"`
+	Horizon    int   `json:"horizon,omitempty"`
+	// Batch is the probes-per-unit shipped to workers (default 16).
+	Batch int `json:"batch,omitempty"`
+	// Shrink, MaxViolations and StopOnViolation mirror the fuzzer
+	// fields; shrinking runs coordinator-side in Session.Finish.
+	Shrink          bool `json:"shrink,omitempty"`
+	MaxViolations   int  `json:"max_violations,omitempty"`
+	StopOnViolation bool `json:"stop_on_violation,omitempty"`
+}
+
+// MatrixJob distributes one catalog/matrix sweep: one unit per cell in
+// matrix.CellIndex order. Cells run complete on workers (shrinking
+// included — cells are independent), and the coordinator assembles the
+// grid. Cell parameters always come from catalog.DefaultParams, the
+// reproducible default.
+type MatrixJob struct {
+	// Protocols and Strategies are registry/library ID lists; Sizes the
+	// (n, t) grid points. All are required and ordered — they define the
+	// cell enumeration.
+	Protocols  []string      `json:"protocols"`
+	Strategies []string      `json:"strategies"`
+	Sizes      []matrix.Size `json:"sizes"`
+	Bias       int           `json:"bias,omitempty"`
+	// Seeds is the per-cell seed range.
+	Seeds adversary.SeedRange `json:"seeds"`
+	// MaxViolations, Shrink and RecordFull mirror the matrix fields.
+	MaxViolations int  `json:"max_violations,omitempty"`
+	Shrink        bool `json:"shrink,omitempty"`
+	RecordFull    bool `json:"record_full,omitempty"`
+}
+
+// normalize fills job defaults in place (idempotent).
+func (j *Job) normalize() {
+	if j.Hunt != nil && j.Hunt.Units <= 0 {
+		j.Hunt.Units = 16
+	}
+	if j.Fuzz != nil && j.Fuzz.Batch <= 0 {
+		j.Fuzz.Batch = 16
+	}
+}
+
+// validate checks the job shape and that every registry ID resolves —
+// cheap coordinator-side rejection before anything ships to a worker.
+func (j *Job) validate() error {
+	if j == nil {
+		return fmt.Errorf("dist: nil job")
+	}
+	set := 0
+	for _, ok := range []bool{j.Hunt != nil, j.Fuzz != nil, j.Matrix != nil} {
+		if ok {
+			set++
+		}
+	}
+	if set != 1 {
+		return fmt.Errorf("dist: job needs exactly one of hunt/fuzz/matrix, has %d", set)
+	}
+	switch {
+	case j.Hunt != nil:
+		if j.Kind != "hunt" {
+			return fmt.Errorf("dist: hunt job with kind %q", j.Kind)
+		}
+		if _, err := catalog.Get(j.Hunt.Protocol); err != nil {
+			return fmt.Errorf("dist: %w", err)
+		}
+		if _, ok := adversary.FromLibrary(j.Hunt.Strategy, j.Hunt.Bias); !ok {
+			return fmt.Errorf("dist: unknown strategy %q", j.Hunt.Strategy)
+		}
+		if err := j.Hunt.Seeds.Err(); err != nil {
+			return fmt.Errorf("dist: %w", err)
+		}
+	case j.Fuzz != nil:
+		if j.Kind != "fuzz" {
+			return fmt.Errorf("dist: fuzz job with kind %q", j.Kind)
+		}
+		if _, err := catalog.Get(j.Fuzz.Protocol); err != nil {
+			return fmt.Errorf("dist: %w", err)
+		}
+		if j.Fuzz.SeedStrategy != "" {
+			if _, ok := adversary.FromLibrary(j.Fuzz.SeedStrategy, j.Fuzz.Bias); !ok {
+				return fmt.Errorf("dist: unknown seed strategy %q", j.Fuzz.SeedStrategy)
+			}
+		}
+		if j.Fuzz.Budget <= 0 {
+			return fmt.Errorf("dist: fuzz budget must be positive, got %d", j.Fuzz.Budget)
+		}
+	case j.Matrix != nil:
+		if j.Kind != "matrix" {
+			return fmt.Errorf("dist: matrix job with kind %q", j.Kind)
+		}
+		m := j.Matrix
+		if len(m.Protocols) == 0 || len(m.Strategies) == 0 || len(m.Sizes) == 0 {
+			return fmt.Errorf("dist: matrix job needs protocols, strategies and sizes")
+		}
+		for _, id := range m.Protocols {
+			if _, err := catalog.Get(id); err != nil {
+				return fmt.Errorf("dist: %w", err)
+			}
+		}
+		for _, id := range m.Strategies {
+			if _, ok := adversary.FromLibrary(id, m.Bias); !ok {
+				return fmt.Errorf("dist: unknown strategy %q", id)
+			}
+		}
+		if err := m.Seeds.Err(); err != nil {
+			return fmt.Errorf("dist: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"expensive/internal/adversary"
+	"expensive/internal/catalog"
+	_ "expensive/internal/catalog/all" // register every protocol
+	"expensive/internal/catalog/matrix"
+)
+
+// huntJob is the canonical distributed hunt: FloodSet at t = n-1 under
+// targeted withholding, a range wide enough to span several units and
+// violating seeds to exercise the merge's violation paths.
+func huntJob() *Job {
+	return &Job{Kind: "hunt", Hunt: &HuntJob{
+		Protocol: "floodset",
+		Strategy: "targeted-withhold",
+		N:        4,
+		T:        3,
+		Seeds:    adversary.SeedRange{From: 0, To: 64},
+		Units:    8,
+		Shrink:   true,
+
+		MaxViolations: 3,
+	}}
+}
+
+func fuzzJob() *Job {
+	return &Job{Kind: "fuzz", Fuzz: &FuzzJob{
+		Protocol:     "floodset",
+		SeedStrategy: "random-send-omission",
+		Bias:         40,
+		N:            4,
+		T:            3,
+		Budget:       256,
+		Batch:        16,
+		Shrink:       true,
+
+		MaxViolations: 2,
+	}}
+}
+
+func matrixJob() *Job {
+	return &Job{Kind: "matrix", Matrix: &MatrixJob{
+		Protocols:  []string{"floodset", "phase-king"},
+		Strategies: []string{"silent-crash", "targeted-withhold"},
+		Sizes:      []matrix.Size{{N: 4, T: 1}, {N: 8, T: 2}},
+		Bias:       40,
+		Seeds:      adversary.SeedRange{From: 0, To: 8},
+
+		MaxViolations: 1,
+	}}
+}
+
+// singleHunt runs the hunt single-process through the same engine
+// construction the workers use and returns the report JSON.
+func singleHunt(t *testing.T, j *HuntJob) []byte {
+	t.Helper()
+	c, err := campaignFor(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Shrink = j.Shrink
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// singleFuzz runs the fuzz campaign single-process and returns report
+// and corpus JSON.
+func singleFuzz(t *testing.T, j *FuzzJob) ([]byte, []byte) {
+	t.Helper()
+	f, err := fuzzerFor(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Shrink = j.Shrink
+	f.MaxViolations = j.MaxViolations
+	f.StopOnViolation = j.StopOnViolation
+	rep, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repJSON, _ := json.Marshal(rep)
+	corpusJSON, _ := json.Marshal(f.Corpus)
+	return repJSON, corpusJSON
+}
+
+// coordinate runs a job through a coordinator with n local workers.
+func coordinate(t *testing.T, job *Job, workers int, tune func(*Coordinator)) *Report {
+	t.Helper()
+	c := &Coordinator{Job: job, LocalWorkers: workers, WorkerParallelism: 2}
+	if tune != nil {
+		tune(c)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatalf("coordinator (%d workers): %v", workers, err)
+	}
+	return rep
+}
+
+// TestDistHuntByteIdentical is the subsystem's core acceptance: the
+// merged hunt report is byte-identical to the single-process run at
+// every worker count.
+func TestDistHuntByteIdentical(t *testing.T) {
+	want := singleHunt(t, huntJob().Hunt)
+	for _, n := range []int{1, 2, 4} {
+		rep := coordinate(t, huntJob(), n, nil)
+		got, _ := json.Marshal(rep.Hunt)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%d workers: merged hunt report diverged\ngot:  %s\nwant: %s", n, got, want)
+		}
+	}
+}
+
+// TestDistFuzzByteIdentical: distributed fuzzing reproduces the local
+// report and corpus bytes at every worker count.
+func TestDistFuzzByteIdentical(t *testing.T) {
+	wantRep, wantCorpus := singleFuzz(t, fuzzJob().Fuzz)
+	for _, n := range []int{1, 2, 4} {
+		rep := coordinate(t, fuzzJob(), n, nil)
+		gotRep, _ := json.Marshal(rep.Fuzz)
+		gotCorpus, _ := json.Marshal(rep.Corpus)
+		if !bytes.Equal(gotRep, wantRep) {
+			t.Errorf("%d workers: fuzz report diverged\ngot:  %s\nwant: %s", n, gotRep, wantRep)
+		}
+		if !bytes.Equal(gotCorpus, wantCorpus) {
+			t.Errorf("%d workers: fuzz corpus diverged from the local run's", n)
+		}
+	}
+}
+
+// TestDistMatrixByteIdentical: the assembled grid matches matrix.Run.
+func TestDistMatrixByteIdentical(t *testing.T) {
+	j := matrixJob().Matrix
+	specs := make([]catalog.Spec, len(j.Protocols))
+	for i, id := range j.Protocols {
+		s, err := catalog.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = s
+	}
+	named := make([]adversary.Named, len(j.Strategies))
+	for i, id := range j.Strategies {
+		strat, ok := adversary.FromLibrary(id, j.Bias)
+		if !ok {
+			t.Fatalf("unknown strategy %q", id)
+		}
+		named[i] = adversary.Named{ID: id, Strategy: strat}
+	}
+	m := &matrix.Matrix{
+		Protocols:     specs,
+		Strategies:    named,
+		Sizes:         j.Sizes,
+		Seeds:         j.Seeds,
+		MaxViolations: j.MaxViolations,
+	}
+	grid, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(grid)
+	for _, n := range []int{1, 4} {
+		rep := coordinate(t, matrixJob(), n, nil)
+		got, _ := json.Marshal(rep.Grid)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%d workers: grid diverged\ngot:  %s\nwant: %s", n, got, want)
+		}
+	}
+}
+
+// TestDistHuntKillResume kills the coordinator after three units (the
+// checkpoint survives), resumes from the checkpoint, and requires the
+// final report byte-identical to an uninterrupted run.
+func TestDistHuntKillResume(t *testing.T) {
+	want := singleHunt(t, huntJob().Hunt)
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+
+	c1 := &Coordinator{Job: huntJob(), LocalWorkers: 2, WorkerParallelism: 2, CheckpointPath: path, stopAfterUnits: 3}
+	if _, err := c1.Run(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("stop hook: got %v, want ErrStopped", err)
+	}
+
+	c2 := &Coordinator{Job: huntJob(), LocalWorkers: 2, WorkerParallelism: 2, CheckpointPath: path}
+	rep, err := c2.Run()
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !rep.Resumed {
+		t.Error("resumed run did not load the checkpoint")
+	}
+	got, _ := json.Marshal(rep.Hunt)
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed hunt report diverged\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestDistFuzzKillResume: same contract for fuzzing — the corpus and
+// report survive a mid-campaign kill byte-for-byte.
+func TestDistFuzzKillResume(t *testing.T) {
+	wantRep, wantCorpus := singleFuzz(t, fuzzJob().Fuzz)
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+
+	c1 := &Coordinator{Job: fuzzJob(), LocalWorkers: 2, WorkerParallelism: 2, CheckpointPath: path, stopAfterUnits: 2}
+	if _, err := c1.Run(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("stop hook: got %v, want ErrStopped", err)
+	}
+
+	c2 := &Coordinator{Job: fuzzJob(), LocalWorkers: 2, WorkerParallelism: 2, CheckpointPath: path}
+	rep, err := c2.Run()
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !rep.Resumed {
+		t.Error("resumed run did not load the checkpoint")
+	}
+	gotRep, _ := json.Marshal(rep.Fuzz)
+	gotCorpus, _ := json.Marshal(rep.Corpus)
+	if !bytes.Equal(gotRep, wantRep) {
+		t.Errorf("resumed fuzz report diverged\ngot:  %s\nwant: %s", gotRep, wantRep)
+	}
+	if !bytes.Equal(gotCorpus, wantCorpus) {
+		t.Error("resumed fuzz corpus diverged from the uninterrupted run's")
+	}
+}
+
+// TestDistReassignsDeadWorkerUnits connects a worker that accepts a unit
+// and then goes silent: the coordinator must declare it dead after the
+// heartbeat timeout, reassign its unit to the healthy worker, and still
+// produce the byte-identical report.
+func TestDistReassignsDeadWorkerUnits(t *testing.T) {
+	want := singleHunt(t, huntJob().Hunt)
+	c := &Coordinator{Job: huntJob(), LocalWorkers: 1, WorkerParallelism: 2, HeartbeatTimeout: 300 * time.Millisecond}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stalled worker: a valid hello, then silence. It joins before
+	// any local worker exists, so the first unit lands on it.
+	stalled, err := Dial(c.ListenAddr(), 3, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	if err := stalled.Send(&Message{Kind: MsgHello, Hello: &Hello{Version: ProtocolVersion, Name: "stalled"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stalled.Recv(5 * time.Second); err != nil { // the job
+		t.Fatal(err)
+	}
+
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if rep.Reassigned < 1 {
+		t.Errorf("no unit was reassigned (reassigned=%d, workers=%d)", rep.Reassigned, rep.Workers)
+	}
+	got, _ := json.Marshal(rep.Hunt)
+	if !bytes.Equal(got, want) {
+		t.Errorf("report diverged after reassignment\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestDistJobValidation rejects malformed jobs before any socket work.
+func TestDistJobValidation(t *testing.T) {
+	bad := []*Job{
+		nil,
+		{},
+		{Kind: "hunt"},
+		{Kind: "fuzz", Hunt: huntJob().Hunt},
+		{Kind: "hunt", Hunt: &HuntJob{Protocol: "no-such-protocol", Strategy: "chaos", N: 4, T: 1, Seeds: adversary.SeedRange{From: 0, To: 8}}},
+		{Kind: "hunt", Hunt: &HuntJob{Protocol: "floodset", Strategy: "no-such-strategy", N: 4, T: 1, Seeds: adversary.SeedRange{From: 0, To: 8}}},
+		{Kind: "hunt", Hunt: &HuntJob{Protocol: "floodset", Strategy: "chaos", N: 4, T: 1, Seeds: adversary.SeedRange{From: 8, To: 8}}},
+		{Kind: "fuzz", Fuzz: &FuzzJob{Protocol: "floodset", SeedStrategy: "chaos", N: 4, T: 3}},
+		{Kind: "matrix", Matrix: &MatrixJob{}},
+	}
+	for i, j := range bad {
+		if err := j.validate(); err == nil {
+			t.Errorf("job %d validated; want error", i)
+		}
+	}
+	good := huntJob()
+	good.normalize()
+	if err := good.validate(); err != nil {
+		t.Errorf("good job rejected: %v", err)
+	}
+}

@@ -1,0 +1,247 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"expensive/internal/obs"
+)
+
+// schedEvent is one occurrence posted by the accept/reader goroutines
+// into the scheduler's single-threaded core: a worker joined, returned a
+// result, or failed.
+type schedEvent struct {
+	w      *remoteWorker
+	join   bool
+	result *Result
+	fail   error
+}
+
+// remoteWorker is the coordinator's view of one connected worker. All
+// fields past the connection are owned by the scheduler goroutine (the
+// one running execute) — readers only post events.
+type remoteWorker struct {
+	id   int
+	name string
+	conn *Conn
+
+	unit *Unit // in-flight unit, nil when idle
+	dead bool
+}
+
+// scheduler multiplexes work units over the live worker population. Its
+// core is deliberately single-threaded: execute owns all worker state
+// and consumes a single event channel, so assignment, reassignment and
+// result folding never race — determinism comes from folding in unit
+// order, not from scheduling order.
+type scheduler struct {
+	ctx       context.Context
+	job       *Job
+	hbTimeout time.Duration
+	sink      *obs.Sink
+
+	events chan schedEvent
+	closed chan struct{}
+	once   sync.Once
+
+	// workers is every worker that ever joined, in join order; dead ones
+	// stay (slots keep history, and slices keep map iteration out of the
+	// fold path).
+	workers    []*remoteWorker
+	nextID     int
+	reassigned int
+}
+
+func newScheduler(ctx context.Context, job *Job, hbTimeout time.Duration) *scheduler {
+	return &scheduler{
+		ctx:       ctx,
+		job:       job,
+		hbTimeout: hbTimeout,
+		sink:      obs.From(ctx).Sink(),
+		events:    make(chan schedEvent, 256),
+		closed:    make(chan struct{}),
+	}
+}
+
+// log emits a coordinator trace event when telemetry is on.
+func (s *scheduler) log(name string, kv ...any) {
+	if s.sink != nil {
+		s.sink.Emit(name, kv...)
+	}
+}
+
+// post delivers an event unless the scheduler has shut down.
+func (s *scheduler) post(ev schedEvent) {
+	select {
+	case s.events <- ev:
+	case <-s.closed:
+	}
+}
+
+// acceptLoop admits workers until the listener closes.
+func (s *scheduler) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.handshake(NewConn(conn))
+	}
+}
+
+// handshake validates a new worker, ships it the job, and starts its
+// reader. Runs on its own goroutine so a stalled dialer cannot block
+// admission of others.
+func (s *scheduler) handshake(conn *Conn) {
+	m, err := conn.Recv(s.hbTimeout)
+	if err != nil || m.Kind != MsgHello || m.Hello == nil {
+		_ = conn.Close()
+		return
+	}
+	if m.Hello.Version != ProtocolVersion {
+		_ = conn.Send(&Message{Kind: MsgError, Error: fmt.Sprintf("protocol version %d, want %d", m.Hello.Version, ProtocolVersion)})
+		_ = conn.Close()
+		return
+	}
+	if err := conn.Send(&Message{Kind: MsgJob, Job: s.job}); err != nil {
+		_ = conn.Close()
+		return
+	}
+	w := &remoteWorker{name: m.Hello.Name, conn: conn}
+	s.post(schedEvent{w: w, join: true})
+	go s.reader(w)
+}
+
+// reader drains one worker's connection. Every Recv is bounded by the
+// heartbeat timeout, so a worker that goes silent — crashed, wedged, or
+// partitioned — surfaces as a fail event and its unit gets reassigned.
+func (s *scheduler) reader(w *remoteWorker) {
+	for {
+		m, err := w.conn.Recv(s.hbTimeout)
+		if err != nil {
+			s.post(schedEvent{w: w, fail: fmt.Errorf("dist: worker %s: %w", w.name, err)})
+			return
+		}
+		switch m.Kind {
+		case MsgHeartbeat:
+			// Liveness only; the bounded Recv above is the detector.
+		case MsgResult:
+			if m.Result != nil {
+				s.post(schedEvent{w: w, result: m.Result})
+			}
+		case MsgEvent:
+			// Forwarded worker telemetry: re-emitted under the worker's
+			// name, with the original event carried verbatim.
+			s.log("worker-event", "worker", w.name, "event", m.Event)
+		case MsgError:
+			s.post(schedEvent{w: w, fail: fmt.Errorf("dist: worker %s: %s", w.name, m.Error)})
+			return
+		}
+	}
+}
+
+// execute distributes units over the worker population and invokes
+// onResult once per unit, in completion order. It returns when every
+// unit has a result, the context is cancelled, or onResult errs.
+// Workers may join at any time; a worker death requeues its unit at the
+// front of the queue. Duplicate results (a slow worker racing its own
+// death sentence) are dropped — first result wins, and since results are
+// deterministic, which copy wins is unobservable.
+func (s *scheduler) execute(pending []*Unit, onResult func(*Result) error) error {
+	if len(pending) == 0 {
+		return nil
+	}
+	queue := make([]*Unit, len(pending))
+	copy(queue, pending)
+	done := make(map[int]bool, len(pending))
+	outstanding := len(pending)
+
+	for outstanding > 0 {
+		// Hand queued units to idle live workers.
+		for len(queue) > 0 {
+			w := s.idle()
+			if w == nil {
+				break
+			}
+			u := queue[0]
+			queue = queue[1:]
+			w.unit = u
+			if err := w.conn.Send(&Message{Kind: MsgUnit, Unit: u}); err != nil {
+				queue = s.drop(w, queue, err)
+			}
+		}
+		select {
+		case ev := <-s.events:
+			switch {
+			case ev.join:
+				ev.w.id = s.nextID
+				s.nextID++
+				s.workers = append(s.workers, ev.w)
+				s.log("worker-join", "worker", ev.w.name, "id", ev.w.id)
+			case ev.result != nil:
+				if !ev.w.dead {
+					ev.w.unit = nil
+				}
+				if done[ev.result.Unit] {
+					continue // duplicate after reassignment
+				}
+				done[ev.result.Unit] = true
+				outstanding--
+				if err := onResult(ev.result); err != nil {
+					return err
+				}
+			case ev.fail != nil:
+				queue = s.drop(ev.w, queue, ev.fail)
+			}
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		}
+	}
+	return nil
+}
+
+// idle returns a live worker without an in-flight unit, nil when all are
+// busy or dead.
+func (s *scheduler) idle() *remoteWorker {
+	for _, w := range s.workers {
+		if !w.dead && w.unit == nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// drop declares a worker dead and requeues its in-flight unit at the
+// front of the queue (front, not back: the lost unit is the oldest
+// outstanding work, and resuming it first keeps fold latency bounded).
+func (s *scheduler) drop(w *remoteWorker, queue []*Unit, cause error) []*Unit {
+	if w.dead {
+		return queue
+	}
+	w.dead = true
+	_ = w.conn.Close()
+	s.log("worker-dead", "worker", w.name, "cause", cause.Error())
+	if u := w.unit; u != nil {
+		w.unit = nil
+		s.reassigned++
+		s.log("unit-reassigned", "unit", u.ID)
+		return append([]*Unit{u}, queue...)
+	}
+	return queue
+}
+
+// shutdown sends done to every live worker and stops event delivery.
+func (s *scheduler) shutdown() {
+	s.once.Do(func() {
+		close(s.closed)
+		for _, w := range s.workers {
+			if !w.dead {
+				_ = w.conn.Send(&Message{Kind: MsgDone})
+				_ = w.conn.Close()
+			}
+		}
+	})
+}

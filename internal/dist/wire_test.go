@@ -1,0 +1,71 @@
+package dist
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pipeConns returns both ends of an in-memory connection wrapped as wire
+// Conns.
+func pipeConns() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+
+	sent := &Message{Kind: MsgJob, Job: huntJob()}
+	errc := make(chan error, 1)
+	go func() { errc <- a.Send(sent) }()
+	got, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != MsgJob || got.Job == nil || got.Job.Hunt == nil {
+		t.Fatalf("round trip dropped payload: %+v", got)
+	}
+	if got.Job.Hunt.Protocol != "floodset" || got.Job.Hunt.Seeds.To != 64 {
+		t.Errorf("job fields corrupted in transit: %+v", got.Job.Hunt)
+	}
+}
+
+func TestWireRecvTimeout(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+
+	start := time.Now()
+	if _, err := b.Recv(50 * time.Millisecond); err == nil {
+		t.Fatal("Recv on a silent connection returned without error")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("Recv took %v; the deadline did not bound it", d)
+	}
+	_ = a
+}
+
+// TestWireOversizeFrame: a peer announcing a frame beyond maxFrame is
+// rejected before any allocation of that size.
+func TestWireOversizeFrame(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	conn := NewConn(b)
+	defer conn.Close()
+
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(maxFrame+1))
+	go a.Write(prefix[:])
+	_, err := conn.Recv(time.Second)
+	if err == nil || !strings.Contains(err.Error(), "frame") {
+		t.Fatalf("oversize frame not rejected: %v", err)
+	}
+}

@@ -1,0 +1,318 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"expensive/internal/adversary"
+	"expensive/internal/adversary/fuzz"
+	"expensive/internal/catalog"
+	"expensive/internal/catalog/matrix"
+	"expensive/internal/experiments/runner"
+	"expensive/internal/obs"
+)
+
+// Worker is one probe-executing process: it dials a coordinator, reports
+// in, and loops — receive a unit, run it on the existing engines, ship
+// the result back — until the coordinator says done. Workers hold no
+// campaign state; killing one costs at most its in-flight unit, which
+// the coordinator reassigns.
+type Worker struct {
+	// Addr is the coordinator's listen address (required).
+	Addr string
+	// Name identifies the worker in coordinator logs and telemetry;
+	// default "worker-<pid>".
+	Name string
+	// Parallelism is the probe parallelism inside each unit; <= 0 means
+	// NumCPU. It never changes result bytes — units are
+	// scheduling-independent.
+	Parallelism int
+	// DialAttempts and DialBackoff configure the connect retry (defaults
+	// 10 attempts, 100ms initial backoff) — workers routinely start
+	// before their coordinator finishes binding.
+	DialAttempts int
+	DialBackoff  time.Duration
+	// Ctx cancels the worker; nil means background.
+	Ctx context.Context
+}
+
+// Run executes the worker loop until the coordinator completes the
+// campaign (nil), the connection drops, or a unit fails.
+func (w *Worker) Run() error {
+	name := w.Name
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	attempts := w.DialAttempts
+	if attempts <= 0 {
+		attempts = 10
+	}
+	backoff := w.DialBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	conn, err := Dial(w.Addr, attempts, backoff)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Send(&Message{Kind: MsgHello, Hello: &Hello{Version: ProtocolVersion, Name: name}}); err != nil {
+		return err
+	}
+	m, err := conn.Recv(30 * time.Second)
+	if err != nil {
+		return fmt.Errorf("dist: %s: waiting for job: %w", name, err)
+	}
+	if m.Kind == MsgError {
+		return fmt.Errorf("dist: %s: coordinator rejected: %s", name, m.Error)
+	}
+	if m.Kind != MsgJob || m.Job == nil {
+		return fmt.Errorf("dist: %s: expected a job, got %s", name, m.Kind)
+	}
+	job := m.Job
+	job.normalize()
+
+	ctx := w.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if job.WantEvents {
+		// Forward engine telemetry to the coordinator: a local recorder
+		// whose sink writes each JSONL event line as one wire message.
+		rec := obs.New()
+		rec.SetSink(obs.NewSink(&eventForwarder{conn: conn}))
+		ctx = obs.Into(ctx, rec)
+	}
+
+	ex, err := newExecutor(job, ctx, w.Parallelism)
+	if err != nil {
+		_ = conn.Send(&Message{Kind: MsgError, Error: err.Error()})
+		return err
+	}
+
+	// Heartbeats keep the coordinator's liveness tracking fed while this
+	// goroutine crunches a unit.
+	stopHB := make(chan struct{})
+	defer close(stopHB)
+	if job.HeartbeatMS > 0 {
+		go func() {
+			t := time.NewTicker(time.Duration(job.HeartbeatMS) * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := conn.Send(&Message{Kind: MsgHeartbeat}); err != nil {
+						return
+					}
+				case <-stopHB:
+					return
+				}
+			}
+		}()
+	}
+
+	for {
+		m, err := conn.Recv(0)
+		if err != nil {
+			return fmt.Errorf("dist: %s: %w", name, err)
+		}
+		switch m.Kind {
+		case MsgDone:
+			return nil
+		case MsgUnit:
+			res, err := ex.run(m.Unit)
+			if err != nil {
+				_ = conn.Send(&Message{Kind: MsgError, Error: err.Error()})
+				return fmt.Errorf("dist: %s: unit %d: %w", name, m.Unit.ID, err)
+			}
+			if err := conn.Send(&Message{Kind: MsgResult, Result: res}); err != nil {
+				return fmt.Errorf("dist: %s: %w", name, err)
+			}
+		default:
+			return fmt.Errorf("dist: %s: unexpected %s message", name, m.Kind)
+		}
+	}
+}
+
+// eventForwarder adapts the obs JSONL sink to the wire: every Write is
+// one complete event line (json.Encoder writes each value in a single
+// call), shipped as an event message. Forwarding failures are swallowed
+// — telemetry must never fail the work.
+type eventForwarder struct {
+	conn *Conn
+}
+
+func (f *eventForwarder) Write(p []byte) (int, error) {
+	line := make([]byte, len(p))
+	copy(line, p)
+	for len(line) > 0 && line[len(line)-1] == '\n' {
+		line = line[:len(line)-1]
+	}
+	if len(line) > 0 {
+		_ = f.conn.Send(&Message{Kind: MsgEvent, Event: line})
+	}
+	return len(p), nil
+}
+
+// executor resolves a job's probe engines once and runs its units. The
+// hunt campaign and fuzz prober are built from the registries exactly as
+// the coordinator's merge-side twins are, so both ends agree on every
+// derived constant (round bounds, horizons, validity properties).
+type executor struct {
+	job         *Job
+	ctx         context.Context
+	parallelism int
+
+	campaign *adversary.Campaign // hunt template (Seeds overridden per unit)
+	prober   *fuzz.Prober        // fuzz probe executor
+}
+
+func newExecutor(job *Job, ctx context.Context, parallelism int) (*executor, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	ex := &executor{job: job, ctx: ctx, parallelism: parallelism}
+	switch {
+	case job.Hunt != nil:
+		c, err := campaignFor(job.Hunt)
+		if err != nil {
+			return nil, err
+		}
+		c.Ctx = ctx
+		ex.campaign = c
+	case job.Fuzz != nil:
+		f, err := fuzzerFor(job.Fuzz)
+		if err != nil {
+			return nil, err
+		}
+		f.Ctx = ctx
+		ex.prober = f.Prober()
+	}
+	return ex, nil
+}
+
+// campaignFor rebuilds the hunt campaign from registry IDs. Shrinking is
+// off and stays off worker-side — the coordinator shrinks the merged
+// report once.
+func campaignFor(j *HuntJob) (*adversary.Campaign, error) {
+	spec, err := catalog.Get(j.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	strat, ok := adversary.FromLibrary(j.Strategy, j.Bias)
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown strategy %q", j.Strategy)
+	}
+	c, err := matrix.CampaignFor(spec, catalog.DefaultParams(j.N, j.T), strat, j.Seeds)
+	if err != nil {
+		return nil, err
+	}
+	c.MaxViolations = j.MaxViolations
+	c.RecordFull = j.RecordFull
+	return c, nil
+}
+
+// fuzzerFor rebuilds the fuzzer from registry IDs. Only the probe
+// environment matters worker-side (Prober); session-level knobs like
+// Shrink and StopOnViolation live with the coordinator.
+func fuzzerFor(j *FuzzJob) (*fuzz.Fuzzer, error) {
+	spec, err := catalog.Get(j.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	var seed adversary.Strategy
+	if j.SeedStrategy != "" {
+		var ok bool
+		seed, ok = adversary.FromLibrary(j.SeedStrategy, j.Bias)
+		if !ok {
+			return nil, fmt.Errorf("dist: unknown seed strategy %q", j.SeedStrategy)
+		}
+	}
+	f, err := matrix.FuzzerFor(spec, catalog.DefaultParams(j.N, j.T), seed, j.Budget)
+	if err != nil {
+		return nil, err
+	}
+	f.SeedProbes = j.SeedProbes
+	f.GenSize = j.GenSize
+	f.FuzzSeed = j.FuzzSeed
+	f.Horizon = j.Horizon
+	return f, nil
+}
+
+// run executes one unit.
+func (ex *executor) run(u *Unit) (*Result, error) {
+	if u == nil {
+		return nil, fmt.Errorf("dist: nil unit")
+	}
+	switch {
+	case u.Seeds != nil && ex.campaign != nil:
+		return ex.runHunt(u)
+	case u.Batch != nil && ex.prober != nil:
+		return ex.runFuzz(u)
+	case u.Cell != nil && ex.job.Matrix != nil:
+		return ex.runCell(u)
+	}
+	return nil, fmt.Errorf("dist: unit %d does not match job kind %q", u.ID, ex.job.Kind)
+}
+
+func (ex *executor) runHunt(u *Unit) (*Result, error) {
+	c := *ex.campaign
+	c.Seeds = *u.Seeds
+	c.Parallelism = ex.parallelism
+	rep, err := c.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Unit: u.ID, Probes: rep.Probes, Hunt: rep}, nil
+}
+
+func (ex *executor) runFuzz(u *Unit) (*Result, error) {
+	b := u.Batch
+	outs, err := runner.Map(ex.ctx, runner.Workers(ex.parallelism), b.Count, func(i int) (fuzz.Outcome, error) {
+		if b.Seed {
+			return ex.prober.Seed(b.Start + i)
+		}
+		return ex.prober.Candidate(&b.Candidates[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !b.Seed {
+		// The coordinator reattaches its own candidates — shipping them
+		// back would only echo what it already derived.
+		for i := range outs {
+			outs[i].Cand = nil
+		}
+	}
+	return &Result{Unit: u.ID, Probes: b.Count, Fuzz: outs}, nil
+}
+
+func (ex *executor) runCell(u *Unit) (*Result, error) {
+	j := ex.job.Matrix
+	ref := u.Cell
+	if ref.Protocol >= len(j.Protocols) || ref.Strategy >= len(j.Strategies) || ref.Size >= len(j.Sizes) {
+		return nil, fmt.Errorf("dist: unit %d cell reference out of range", u.ID)
+	}
+	spec, err := catalog.Get(j.Protocols[ref.Protocol])
+	if err != nil {
+		return nil, err
+	}
+	id := j.Strategies[ref.Strategy]
+	strat, ok := adversary.FromLibrary(id, j.Bias)
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown strategy %q", id)
+	}
+	cell, err := matrix.ProbeCell(spec, adversary.Named{ID: id, Strategy: strat}, j.Sizes[ref.Size], j.Seeds, matrix.CellOptions{
+		MaxViolations: j.MaxViolations,
+		Shrink:        j.Shrink,
+		RecordFull:    j.RecordFull,
+		Parallelism:   ex.parallelism,
+		Ctx:           ex.ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Unit: u.ID, Probes: cell.Probes, Cell: &cell}, nil
+}

@@ -12,14 +12,30 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"expensive/internal/proc"
 	"expensive/internal/transport"
 )
 
+// Options hardens a mesh against flaky construction and hung peers. The
+// zero value keeps the historical behavior except for dialing, which
+// always retries a few times (construction races each listener coming up).
+type Options struct {
+	// DialAttempts and DialBackoff configure transport.DialRetry for the
+	// mesh-construction dials (defaults: 3 attempts, 25ms initial backoff).
+	DialAttempts int
+	DialBackoff  time.Duration
+	// RecvTimeout bounds every endpoint Recv: a peer that stalls past it
+	// fails the round with an error instead of blocking forever. 0 means
+	// block indefinitely (the historical behavior).
+	RecvTimeout time.Duration
+}
+
 // Mesh is a full TCP mesh over 127.0.0.1.
 type Mesh struct {
 	n     int
+	opts  Options
 	conns [][]net.Conn // conns[i][j]: i's connection to j (nil on diagonal)
 	inbox []chan frameOrErr
 	done  chan struct{} // closed by Close; unblocks pumps wedged on full inboxes
@@ -34,10 +50,16 @@ type frameOrErr struct {
 	err error
 }
 
-// New builds a connected mesh of n nodes on loopback ports. It returns an
-// error if any listen/dial step fails.
-func New(n int) (*Mesh, error) {
-	m := &Mesh{n: n, conns: make([][]net.Conn, n), inbox: make([]chan frameOrErr, n), done: make(chan struct{})}
+// New builds a connected mesh of n nodes on loopback ports with default
+// options. It returns an error if any listen/dial step fails.
+func New(n int) (*Mesh, error) { return NewWithOptions(n, Options{}) }
+
+// NewWithOptions builds a connected mesh of n nodes on loopback ports.
+func NewWithOptions(n int, o Options) (*Mesh, error) {
+	if o.DialAttempts <= 0 {
+		o.DialAttempts = 3
+	}
+	m := &Mesh{n: n, opts: o, conns: make([][]net.Conn, n), inbox: make([]chan frameOrErr, n), done: make(chan struct{})}
 	for i := range m.conns {
 		m.conns[i] = make([]net.Conn, n)
 		m.inbox[i] = make(chan frameOrErr, 4*n)
@@ -93,7 +115,7 @@ func New(n int) (*Mesh, error) {
 	// Dial peers with higher IDs.
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			conn, err := net.Dial("tcp", addrs[j])
+			conn, err := transport.DialRetry("tcp", addrs[j], o.DialAttempts, o.DialBackoff)
 			if err != nil {
 				m.Close()
 				return nil, fmt.Errorf("tcpnet: dial %d->%d: %w", i, j, err)
@@ -228,16 +250,28 @@ func (e *endpoint) Send(to proc.ID, f transport.Frame) error {
 	return enc.Encode(f)
 }
 
-// Recv implements transport.Endpoint.
+// Recv implements transport.Endpoint. With Options.RecvTimeout set, a
+// peer that stalls past the deadline fails this round instead of wedging
+// the node forever.
 func (e *endpoint) Recv() (transport.Frame, error) {
-	fe, ok := <-e.mesh.inbox[e.id]
-	if !ok {
-		return transport.Frame{}, fmt.Errorf("tcpnet: mesh closed")
+	var timeout <-chan time.Time
+	if d := e.mesh.opts.RecvTimeout; d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
 	}
-	if fe.err != nil {
-		return transport.Frame{}, fe.err
+	select {
+	case fe, ok := <-e.mesh.inbox[e.id]:
+		if !ok {
+			return transport.Frame{}, fmt.Errorf("tcpnet: mesh closed")
+		}
+		if fe.err != nil {
+			return transport.Frame{}, fe.err
+		}
+		return fe.f, nil
+	case <-timeout:
+		return transport.Frame{}, fmt.Errorf("tcpnet: node %v: no frame within %v (stalled peer)", e.id, e.mesh.opts.RecvTimeout)
 	}
-	return fe.f, nil
 }
 
 // Close implements transport.Endpoint: closes the whole mesh (idempotent).

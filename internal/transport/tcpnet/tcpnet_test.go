@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -169,5 +170,55 @@ func TestEndpointCloseClosesMesh(t *testing.T) {
 		if err := mesh.Endpoints()[0].Send(1, transport.Frame{From: 0, To: 1, Round: 2}); err == nil {
 			t.Error("Send kept succeeding on a closed mesh")
 		}
+	}
+}
+
+// TestRecvTimeoutOnStalledPeer is the hardening regression: with a
+// RecvTimeout configured, a Recv against a peer that never sends must
+// fail with a timeout error instead of blocking forever.
+func TestRecvTimeoutOnStalledPeer(t *testing.T) {
+	mesh, err := NewWithOptions(2, Options{RecvTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewWithOptions: %v", err)
+	}
+	defer mesh.Close()
+	done := make(chan error, 1)
+	go func() {
+		// Node 0 waits for a frame node 1 never sends.
+		_, err := mesh.Endpoints()[0].Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv returned a frame from a silent peer")
+		}
+		if !strings.Contains(err.Error(), "stalled peer") {
+			t.Fatalf("Recv error = %v, want a stalled-peer timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv blocked past its timeout on a stalled peer")
+	}
+}
+
+// TestRecvTimeoutStillDelivers checks the deadline path does not drop
+// frames that arrive in time.
+func TestRecvTimeoutStillDelivers(t *testing.T) {
+	mesh, err := NewWithOptions(2, Options{RecvTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("NewWithOptions: %v", err)
+	}
+	defer mesh.Close()
+	eps := mesh.Endpoints()
+	want := transport.Frame{From: 0, To: 1, Round: 1, Has: true, Payload: "x"}
+	if err := eps[0].Send(1, want); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := eps[1].Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got != want {
+		t.Fatalf("Recv = %+v, want %+v", got, want)
 	}
 }

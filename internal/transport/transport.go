@@ -14,12 +14,46 @@ package transport
 
 import (
 	"fmt"
+	"net"
 	"sync"
+	"time"
 
 	"expensive/internal/msg"
 	"expensive/internal/proc"
 	"expensive/internal/sim"
 )
+
+// DialRetry dials with bounded exponential backoff: up to attempts tries,
+// sleeping backoff, 2*backoff, ... (capped at one second) between them.
+// It exists because both mesh construction and distributed workers race
+// their peer's listener coming up — a failed first dial should wait for
+// the listener, not kill the run. attempts <= 0 means 1; backoff <= 0
+// defaults to 25ms.
+func DialRetry(network, addr string, attempts int, backoff time.Duration) (net.Conn, error) {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	const maxBackoff = time.Second
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		conn, err := net.Dial(network, addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if i == attempts-1 {
+			break
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+	return nil, fmt.Errorf("transport: dial %s %s: %d attempts: %w", network, addr, attempts, lastErr)
+}
 
 // Frame is the wire unit: one per (sender, receiver, round), possibly
 // empty. Empty frames carry the round structure; payloads carry protocol

@@ -1,7 +1,9 @@
 package transport_test
 
 import (
+	"net"
 	"testing"
+	"time"
 
 	"expensive/internal/crypto/sig"
 	"expensive/internal/msg"
@@ -146,5 +148,51 @@ func TestClusterValidation(t *testing.T) {
 	bad2 := transport.Cluster{N: 3, Endpoints: mesh.Endpoints(), Factory: cheap.Silent(), Proposals: uniform(3, "0"), Rounds: 0}
 	if _, err := bad2.Run(); err == nil {
 		t.Error("expected rounds error")
+	}
+}
+
+// TestDialRetryLateListener starts the listener only after the first dial
+// attempt has already failed: DialRetry must ride its backoff through the
+// gap and connect.
+func TestDialRetryLateListener(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close() // free the port; nothing is listening now
+
+	ready := make(chan net.Listener, 1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		l2, err := net.Listen("tcp", addr)
+		if err != nil {
+			ready <- nil
+			return
+		}
+		ready <- l2
+	}()
+
+	conn, err := transport.DialRetry("tcp", addr, 10, 20*time.Millisecond)
+	l2 := <-ready
+	if l2 != nil {
+		defer l2.Close()
+	}
+	if err != nil {
+		t.Fatalf("DialRetry never connected to the late listener: %v", err)
+	}
+	conn.Close()
+}
+
+// TestDialRetryExhausted checks the bounded-attempts failure path.
+func TestDialRetryExhausted(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	if _, err := transport.DialRetry("tcp", addr, 2, time.Millisecond); err == nil {
+		t.Fatal("DialRetry succeeded against a dead address")
 	}
 }
