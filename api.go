@@ -11,6 +11,7 @@ import (
 	"expensive/internal/catalog/matrix"
 	"expensive/internal/crypto/sig"
 	"expensive/internal/dist"
+	"expensive/internal/dist/churn"
 	"expensive/internal/experiments"
 	"expensive/internal/experiments/runner"
 	"expensive/internal/lowerbound"
@@ -25,6 +26,7 @@ import (
 	"expensive/internal/smr"
 	"expensive/internal/solve"
 	"expensive/internal/transport"
+	"expensive/internal/transport/chaosnet"
 	"expensive/internal/transport/memnet"
 	"expensive/internal/transport/tcpnet"
 	"expensive/internal/validity"
@@ -731,6 +733,88 @@ func NewReplicatedLog(n, t int, protocol func(slot int) (Factory, int), noOp Val
 // validation.
 func NewReplicatedLogFor(p Protocol, params ProtocolParams, noOp Value) (*ReplicatedLog, error) {
 	return matrix.LogFor(p, params, noOp)
+}
+
+// Chaos & soak testing: deterministic wire faults, worker churn, and the
+// live replicated log with online safety/liveness monitors.
+
+type (
+	// ChaosRule is one composable fault rule of a chaos plan: a kind, a
+	// firing percentage, and an optional seq window.
+	ChaosRule = chaosnet.Rule
+	// ChaosPlan is a frozen fault schedule: every fault is a pure function
+	// of (seed, link, seq), so a chaotic run replays exactly.
+	ChaosPlan = chaosnet.Plan
+	// ChaosEnv describes the mesh a chaos plan draws against.
+	ChaosEnv = chaosnet.Env
+	// ChaosFaults is one (link, seq)'s verdict: which faults fire.
+	ChaosFaults = chaosnet.Faults
+	// ChaosProfile is a named chaos plan constructor (flaky, storm, ...).
+	ChaosProfile = chaosnet.Profile
+	// ChurnEvent schedules one worker-process kill.
+	ChurnEvent = churn.Event
+	// ChurnHarness SIGKILLs and respawns worker processes on a schedule.
+	ChurnHarness = churn.Harness
+	// LiveReplicatedLog commits replicated-log slots over a real transport
+	// mesh with online safety and liveness monitors.
+	LiveReplicatedLog = smr.LiveLog
+	// LiveReplicatedLogConfig parameterizes a live replicated log.
+	LiveReplicatedLogConfig = smr.LiveConfig
+	// SafetyDivergence is a recorded safety-monitor violation: trusted
+	// replicas disagreed at a slot.
+	SafetyDivergence = smr.Divergence
+)
+
+// Chaos fault kinds.
+const (
+	ChaosDrop      = chaosnet.Drop
+	ChaosDelay     = chaosnet.Delay
+	ChaosDuplicate = chaosnet.Duplicate
+	ChaosReorder   = chaosnet.Reorder
+	ChaosCorrupt   = chaosnet.Corrupt
+	ChaosCut       = chaosnet.Cut
+	ChaosPartition = chaosnet.Partition
+)
+
+// ErrCoordinatorDrained is returned by a drained DistCoordinator's Run:
+// progress was checkpointed, no new units will be assigned.
+var ErrCoordinatorDrained = dist.ErrDrained
+
+// NewChaosPlan freezes a deterministic fault schedule over a mesh.
+func NewChaosPlan(name string, seed int64, env ChaosEnv, rules ...ChaosRule) *ChaosPlan {
+	return chaosnet.NewPlan(name, seed, env, rules...)
+}
+
+// ChaosProfiles returns the built-in chaos profile library.
+func ChaosProfiles() []ChaosProfile { return chaosnet.Library() }
+
+// ChaosProfileByID looks a built-in chaos profile up.
+func ChaosProfileByID(id string) (ChaosProfile, bool) { return chaosnet.ByID(id) }
+
+// WrapChaos wraps every endpoint of a mesh in the plan's deterministic
+// faults; rec (nil-safe) records injected faults in the flight recorder.
+func WrapChaos(m Mesh, plan *ChaosPlan, rec *Telemetry) Mesh {
+	return chaosMesh{chaosnet.Wrap(m.Endpoints(), plan, rec)}
+}
+
+type chaosMesh struct{ eps []transport.Endpoint }
+
+func (m chaosMesh) Endpoints() []transport.Endpoint { return m.eps }
+
+// ParseChurnSchedule parses a kill schedule like "400ms:0,900ms:1"
+// (kill slot 0 at 400ms, slot 1 at 900ms).
+func ParseChurnSchedule(s string) ([]ChurnEvent, error) { return churn.Parse(s) }
+
+// DistSerial runs a distributed job in-process on the single campaign
+// engine — the byte-identity oracle every soak compares against.
+func DistSerial(ctx context.Context, job *DistJob) (*DistReport, error) {
+	return dist.Serial(ctx, job)
+}
+
+// NewLiveReplicatedLog builds a replicated log that commits slots over
+// the configured transport mesh with online monitors armed.
+func NewLiveReplicatedLog(cfg LiveReplicatedLogConfig) (*LiveReplicatedLog, error) {
+	return smr.NewLive(cfg)
 }
 
 // RenderExecution draws an execution as a per-process, per-round text

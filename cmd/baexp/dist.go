@@ -14,14 +14,17 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"expensive/internal/adversary"
 	"expensive/internal/adversary/fuzz"
 	"expensive/internal/catalog"
 	"expensive/internal/dist"
+	"expensive/internal/transport/chaosnet"
 )
 
 // defaultSizes mirrors the `baexp matrix` default grid.
@@ -37,42 +40,18 @@ func runCoord(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: progress persists there and a matching checkpoint resumes")
 	every := fs.Int("every", 1, "completed units between checkpoint saves")
 	hb := fs.Duration("hb", 0, "heartbeat timeout before a silent worker is declared dead (0 = 10s)")
+	unitDeadline := fs.Duration("unit-deadline", 0, "per-unit execution deadline before a live straggler's unit is reassigned (0 = off)")
+	retryBudget := fs.Int("retry-budget", 0, "reassignments per unit before it is quarantined (0 = default 3, negative = unlimited)")
 	jsonOut := fs.Bool("json", false, "emit the deterministic JSON report (identical to the single-process subcommand's)")
-
-	protoFlag := fs.String("proto", "", "protocol ID (hunt/fuzz; empty = floodset), or comma-separated IDs (matrix; empty = all)")
-	strategyFlag := fs.String("strategy", "", "strategy ID (hunt/fuzz; default per kind), or comma-separated IDs (matrix; empty = full library)")
-	n := fs.Int("n", 8, "system size (hunt/fuzz)")
-	t := fs.Int("t", 2, "fault budget (hunt/fuzz)")
-	seedsFlag := fs.String("seeds", "0:64", "half-open seed range FROM:TO (hunt; per-cell for matrix)")
-	units := fs.Int("units", 0, "hunt work units to cut the seed range into (0 = default 16)")
-	shrink := fs.Bool("shrink", true, "minimize found violations (merged report, coordinator-side)")
-	full := fs.Bool("full", false, "record full traces and validate every probe")
-	keep := fs.Int("keep", 3, "record at most this many violations (0 = all)")
-	bias := fs.Int("bias", 40, "omission percentage for the random strategies")
-
-	budget := fs.Int("budget", 2048, "total candidate probes (fuzz)")
-	genSize := fs.Int("gen", 0, "candidates per mutation generation (fuzz; 0 = default 64)")
-	fuzzSeed := fs.Int64("seed", 0, "master seed for the deterministic search (fuzz)")
-	batch := fs.Int("batch", 0, "probes per fuzz work unit (0 = default 16)")
-	stop := fs.Bool("stop", false, "stop after the first generation that found a violation (fuzz)")
 	corpusPath := fs.String("corpus", "", "corpus file: loaded if present, saved after the run (fuzz)")
 
-	sizesFlag := fs.String("sizes", "", "comma-separated N:T grid points (matrix; empty = "+defaultSizes+")")
-
+	collect := addJobFlags(fs)
 	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *bias < 0 || *bias > 100 {
-		return fmt.Errorf("bias must be a percentage within 0..100, got %d", *bias)
-	}
 
-	job, err := buildJob(*kind, jobFlags{
-		proto: *protoFlag, strategy: *strategyFlag, n: *n, t: *t,
-		seeds: *seedsFlag, units: *units, shrink: *shrink, full: *full,
-		keep: *keep, bias: *bias, budget: *budget, genSize: *genSize,
-		fuzzSeed: *fuzzSeed, batch: *batch, stop: *stop, sizes: *sizesFlag,
-	})
+	job, err := buildJob(*kind, collect())
 	if err != nil {
 		return err
 	}
@@ -89,6 +68,8 @@ func runCoord(args []string) error {
 		CheckpointPath:    *checkpoint,
 		CheckpointEvery:   *every,
 		HeartbeatTimeout:  *hb,
+		UnitDeadline:      *unitDeadline,
+		RetryBudget:       *retryBudget,
 		LocalWorkers:      *inproc,
 		WorkerParallelism: *parallel,
 		Ctx:               tel.ctx,
@@ -112,6 +93,21 @@ func runCoord(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// SIGTERM means "stop cleanly, keep the progress": fold whatever is
+	// in flight, persist the checkpoint, and exit 0 so a supervisor's
+	// graceful shutdown (or a soak harness's kill) is resumable with the
+	// same -checkpoint file.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGTERM)
+	defer signal.Stop(sigC)
+	go func() {
+		if _, ok := <-sigC; ok {
+			fmt.Fprintln(os.Stderr, "baexp coord: SIGTERM — draining: folding in-flight units, checkpointing")
+			c.Drain()
+		}
+	}()
+
 	report, runErr := c.Run()
 	// Forked workers exit on the coordinator's done message; reap them
 	// before reporting so their stderr lands ahead of the verdict.
@@ -119,6 +115,13 @@ func runCoord(args []string) error {
 		if werr := p.Wait(); werr != nil && runErr == nil {
 			fmt.Fprintln(os.Stderr, "baexp coord: worker exited:", werr)
 		}
+	}
+	if errors.Is(runErr, dist.ErrDrained) {
+		if *checkpoint == "" {
+			return fmt.Errorf("%w — but no -checkpoint was set, so the folded progress was discarded", dist.ErrDrained)
+		}
+		fmt.Fprintf(os.Stderr, "baexp coord: drained; rerun with -checkpoint %s to resume\n", *checkpoint)
+		return tel.finish()
 	}
 	if runErr != nil {
 		return runErr
@@ -156,6 +159,9 @@ func runCoord(args []string) error {
 	fmt.Printf("coord %s: %d units over %d workers (%d reassigned)%s\n",
 		report.Kind, report.Units, report.Workers, report.Reassigned, resumed)
 	fmt.Printf("  [%.1f ms wall]\n", float64(report.Wall)/float64(time.Millisecond))
+	if len(report.Quarantined) > 0 {
+		fmt.Printf("  QUARANTINED units %v: retry budget exhausted, results below exclude them\n", report.Quarantined)
+	}
 	switch {
 	case report.Hunt != nil:
 		r := report.Hunt
@@ -194,7 +200,7 @@ func runCoord(args []string) error {
 	return tel.finish()
 }
 
-// jobFlags carries the parsed coord flags into job construction.
+// jobFlags carries the parsed campaign-shape flags into job construction.
 type jobFlags struct {
 	proto, strategy, seeds, sizes string
 	n, t, units, keep, bias       int
@@ -203,10 +209,42 @@ type jobFlags struct {
 	shrink, full, stop            bool
 }
 
+// addJobFlags registers the campaign-shape flags shared by `coord` and
+// `soak` on fs and returns a closure that collects the parsed values.
+func addJobFlags(fs *flag.FlagSet) func() jobFlags {
+	proto := fs.String("proto", "", "protocol ID (hunt/fuzz; empty = floodset), or comma-separated IDs (matrix; empty = all)")
+	strategy := fs.String("strategy", "", "strategy ID (hunt/fuzz; default per kind), or comma-separated IDs (matrix; empty = full library)")
+	n := fs.Int("n", 8, "system size (hunt/fuzz)")
+	t := fs.Int("t", 2, "fault budget (hunt/fuzz)")
+	seeds := fs.String("seeds", "0:64", "half-open seed range FROM:TO (hunt; per-cell for matrix)")
+	units := fs.Int("units", 0, "hunt work units to cut the seed range into (0 = default 16)")
+	shrink := fs.Bool("shrink", true, "minimize found violations (merged report, coordinator-side)")
+	full := fs.Bool("full", false, "record full traces and validate every probe")
+	keep := fs.Int("keep", 3, "record at most this many violations (0 = all)")
+	bias := fs.Int("bias", 40, "omission percentage for the random strategies")
+	budget := fs.Int("budget", 2048, "total candidate probes (fuzz)")
+	genSize := fs.Int("gen", 0, "candidates per mutation generation (fuzz; 0 = default 64)")
+	fuzzSeed := fs.Int64("seed", 0, "master seed for the deterministic search (fuzz)")
+	batch := fs.Int("batch", 0, "probes per fuzz work unit (0 = default 16)")
+	stop := fs.Bool("stop", false, "stop after the first generation that found a violation (fuzz)")
+	sizes := fs.String("sizes", "", "comma-separated N:T grid points (matrix; empty = "+defaultSizes+")")
+	return func() jobFlags {
+		return jobFlags{
+			proto: *proto, strategy: *strategy, n: *n, t: *t,
+			seeds: *seeds, units: *units, shrink: *shrink, full: *full,
+			keep: *keep, bias: *bias, budget: *budget, genSize: *genSize,
+			fuzzSeed: *fuzzSeed, batch: *batch, stop: *stop, sizes: *sizes,
+		}
+	}
+}
+
 // buildJob translates CLI flags into the wire-format job for one kind.
 // Registry IDs travel as strings; workers resolve them against their own
 // catalog, so coordinator and workers must run the same binary version.
 func buildJob(kind string, f jobFlags) (*dist.Job, error) {
+	if f.bias < 0 || f.bias > 100 {
+		return nil, fmt.Errorf("bias must be a percentage within 0..100, got %d", f.bias)
+	}
 	switch kind {
 	case "hunt":
 		proto := f.proto
@@ -316,6 +354,10 @@ func runWorker(args []string) error {
 	name := fs.String("name", "", "worker name in coordinator telemetry (default worker-<pid>)")
 	attempts := fs.Int("retries", 10, "dial attempts before giving up")
 	backoff := fs.Duration("backoff", 100*time.Millisecond, "initial dial retry backoff (doubles, capped)")
+	reconnect := fs.Int("reconnect", 0, "times a lost coordinator link is re-dialed and the session resumed (0 = exit on first loss)")
+	chaosProfile := fs.String("chaos", "", "chaosnet profile ID injected on the coordinator link ("+strings.Join(chaosnet.IDs(), "|")+"; empty = clean wire)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the -chaos plan (same seed = same faults)")
+	chaosNode := fs.Int("chaos-node", 1, "this worker's process ID in the chaos plan's link space (coordinator is 63)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -328,6 +370,15 @@ func runWorker(args []string) error {
 		Parallelism:  *parallel,
 		DialAttempts: *attempts,
 		DialBackoff:  *backoff,
+		Reconnect:    *reconnect,
+		ChaosNode:    *chaosNode,
+	}
+	if *chaosProfile != "" {
+		p, ok := chaosnet.ByID(*chaosProfile)
+		if !ok {
+			return fmt.Errorf("unknown chaos profile %q (have %s)", *chaosProfile, strings.Join(chaosnet.IDs(), ", "))
+		}
+		w.Chaos = p.Build(*chaosSeed, chaosnet.Env{})
 	}
 	return w.Run()
 }

@@ -15,6 +15,8 @@
 //	baexp coord ...         coordinate a hunt/fuzz/matrix campaign sharded
 //	                        across worker processes (deterministic merge)
 //	baexp worker ...        connect to a coordinator and probe work units
+//	baexp soak ...          run a campaign under worker churn and wire chaos
+//	                        and demand byte-identity with the serial oracle
 //	baexp lint ...          run the balint analyzer suite over the module
 //
 // Every protocol offering is derived from the catalog registry
@@ -85,6 +87,8 @@ func run(args []string) error {
 		return runCoord(args[1:])
 	case "worker":
 		return runWorker(args[1:])
+	case "soak":
+		return runSoak(args[1:])
 	case "lint":
 		return runLint(args[1:])
 	case "help", "-h", "--help":
@@ -116,7 +120,13 @@ subcommands:
   coord          coordinate a distributed hunt/fuzz/matrix campaign: shard
                  work units over TCP workers, merge deterministically,
                  checkpoint/resume; -workers N forks local workers
-  worker         connect to a coordinator and execute its work units
+  worker         connect to a coordinator and execute its work units; -chaos
+                 injects a deterministic fault profile on the coordinator
+                 link, -reconnect resumes sessions across link loss
+  soak           run a hunt/fuzz/matrix campaign under a -churn kill schedule
+                 and -chaos wire faults, then demand byte-identity with the
+                 serial oracle; -kind smr soaks the replicated log with
+                 online safety/liveness monitors instead
   lint [-list] [-v] [-dir D]
                  run the balint analyzer suite (determinism, lean-tier and
                  registry contracts) over the module

@@ -50,6 +50,11 @@ func TestRunSubcommands(t *testing.T) {
 		{"solve strong frontier", []string{"solve", "-problem", "strong", "-n", "5", "-t", "2"}},
 		{"solve unsolvable", []string{"solve", "-problem", "strong", "-n", "4", "-t", "2"}},
 		{"solve unauth", []string{"solve", "-problem", "weak", "-n", "4", "-t", "1", "-auth=false"}},
+		// The dist soak kinds fork worker processes of the real binary, so
+		// they are exercised by the CI soak-smoke step; the smr kind runs
+		// fully in-process and smokes here.
+		{"soak smr clean", []string{"soak", "-kind", "smr", "-n", "5", "-t", "1", "-duration", "300ms"}},
+		{"soak smr storm", []string{"soak", "-kind", "smr", "-n", "5", "-t", "1", "-chaos", "storm", "-chaos-seed", "33", "-duration", "300ms"}},
 		{"run mem", []string{"run", "-proto", "phase-king", "-n", "5", "-t", "1"}},
 		{"run tcp", []string{"run", "-proto", "weak-eig", "-n", "4", "-t", "1", "-transport", "tcp"}},
 		{"run decoded", []string{"run", "-proto", "ic", "-n", "4", "-t", "1"}},
@@ -95,6 +100,12 @@ func TestRunErrors(t *testing.T) {
 		{"proposal count", []string{"run", "-proto", "phase-king", "-n", "5", "-t", "1", "-propose", "0,1"}, "proposals"},
 		{"unknown transport", []string{"run", "-transport", "carrier-pigeon"}, "transport"},
 		{"falsify t too small", []string{"falsify", "-proto", "leader", "-n", "10", "-t", "2"}, "t"},
+		{"soak unknown kind", []string{"soak", "-kind", "bogus"}, "unknown campaign kind"},
+		{"soak unknown chaos", []string{"soak", "-chaos", "bogus"}, "unknown chaos profile"},
+		{"soak bad churn", []string{"soak", "-churn", "junk"}, "churn"},
+		{"soak smr resilience", []string{"soak", "-kind", "smr", "-n", "4", "-t", "1"}, "n > 4t"},
+		{"soak no workers", []string{"soak", "-workers", "0"}, "worker"},
+		{"worker unknown chaos", []string{"worker", "-coord", "127.0.0.1:1", "-chaos", "bogus"}, "unknown chaos profile"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

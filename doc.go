@@ -226,6 +226,26 @@
 //	baexp coord -workers 4 -checkpoint cp.json   # the same from the CLI
 //	baexp worker -coord host:9000                # join from another machine
 //
+// # Chaos and soak testing
+//
+// The chaos layer makes hostility deterministic so robustness is a test
+// assertion. A ChaosPlan (internal/transport/chaosnet, NewChaosPlan /
+// ChaosProfiles / WrapChaos) freezes composable fault rules — drop,
+// delay, duplicate, reorder, corrupt, cut, windowed partitions — where
+// every fault is a pure function of (seed, link, seq); it wraps any
+// transport mesh and any worker's coordinator link (`baexp worker
+// -chaos`). A ChurnHarness (internal/dist/churn, ParseChurnSchedule)
+// SIGKILLs and respawns worker processes on a schedule. The hardened
+// coordinator reassigns a live straggler's unit past its deadline,
+// quarantines a unit that exhausts its retry budget instead of hanging
+// (DistReport.Quarantined), and drains on demand — SIGTERM to `baexp
+// coord` checkpoints in-flight progress and exits resumable
+// (ErrCoordinatorDrained). `baexp soak` runs a campaign under churn and
+// chaos and demands byte-identity with the serial oracle (DistSerial);
+// `baexp soak -kind smr` drives a LiveReplicatedLog — replicated-log
+// slots over a chaosnet-wrapped mesh — with online safety and liveness
+// monitors (NewLiveReplicatedLog, SafetyDivergence).
+//
 // # Performance: recording tiers
 //
 // Every result in this library is bought with probe volume — the

@@ -1,0 +1,17 @@
+// Fixture for the wallclock analyzer: churn is inside the dist/ scope
+// prefix but sanctioned — a kill schedule is a wall-clock artifact by
+// nature (sleep until the next event, stamp the kill), and the harness
+// keeps that nondeterminism out of the fold by contract: churned
+// campaigns must still merge byte-identically.
+package churn
+
+import "time"
+
+// nextKill sleeps out the schedule gap and stamps the kill — real clock
+// work, clean here because the package is sanctioned.
+func nextKill(after time.Duration) time.Time {
+	start := time.Now()
+	for time.Since(start) < after {
+	}
+	return time.Now()
+}

@@ -1,0 +1,20 @@
+// Fixture for the wallclock analyzer: chaosnet is scoped AND
+// sanctioned, like obs — the fault injector owns delay timing (holding a
+// reordered frame, pacing an injected latency), so its own clock reads
+// are clean while scoped callers of it are still checked. The replay
+// subpackage next door proves the scope prefix fences unsanctioned
+// chaosnet code.
+package chaosnet
+
+import "time"
+
+// holdUntil paces an injected delay — the sanctioned clock site.
+func holdUntil(deadline time.Time) {
+	for time.Now().Before(deadline) {
+	}
+}
+
+// age measures how long a held frame has waited.
+func age(since time.Time) time.Duration {
+	return time.Since(since)
+}

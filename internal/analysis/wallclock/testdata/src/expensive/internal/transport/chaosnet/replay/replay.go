@@ -1,0 +1,12 @@
+// Fixture for the wallclock analyzer: a chaosnet subpackage is inside
+// the fence (the scopes list fences by prefix) but NOT sanctioned — only
+// the injector package itself owns the clock. A raw read here flags.
+package replay
+
+import "time"
+
+// Stamp reads the clock on the replay path — flagged: replayed chaos
+// must be a pure function of the recorded plan, never of real time.
+func Stamp() time.Time {
+	return time.Now() // want "thread timing through runner.Stopwatch"
+}

@@ -46,6 +46,7 @@ var scopes = []string{
 	"expensive/internal/omission",
 	"expensive/internal/sim",
 	"expensive/internal/solve",
+	"expensive/internal/transport/chaosnet",
 }
 
 // sanctioned are whole packages allowed to read the clock: the telemetry
@@ -57,9 +58,16 @@ var scopes = []string{
 // cadence, dial backoff and dead-worker detection are inherently
 // wall-clock concerns, and the layer keeps them out of the deterministic
 // fold (its reports exclude scheduling stats from the JSON encoding).
+// chaosnet and churn join dist in the sanctioned set: a fault injector's
+// delays and a churn harness's kill schedule are wall-clock by nature,
+// and both keep their nondeterminism off the fold path by contract —
+// chaos plans draw faults from (seed, link, seq) hashes, never from the
+// clock, and churned campaigns must still merge byte-identically.
 var sanctioned = map[string]bool{
-	"expensive/internal/dist": true,
-	"expensive/internal/obs":  true,
+	"expensive/internal/dist":               true,
+	"expensive/internal/dist/churn":         true,
+	"expensive/internal/obs":                true,
+	"expensive/internal/transport/chaosnet": true,
 }
 
 // clockFuncs are the forbidden direct reads.

@@ -11,6 +11,10 @@ import (
 func TestWallclock(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{wallclock.Analyzer},
 		"expensive/internal/adversary", "expensive/internal/dist",
+		"expensive/internal/dist/churn",
 		"expensive/internal/experiments/runner",
-		"expensive/internal/obs", "outside")
+		"expensive/internal/obs",
+		"expensive/internal/transport/chaosnet",
+		"expensive/internal/transport/chaosnet/replay",
+		"outside")
 }

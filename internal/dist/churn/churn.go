@@ -1,0 +1,266 @@
+// Package churn kills and restarts worker processes on a deterministic
+// schedule — the process-level half of the soak harness (the wire-level
+// half is transport/chaosnet). A Harness owns a fleet of worker slots;
+// each scheduled event SIGKILLs one slot's process mid-campaign and
+// respawns it with a bumped incarnation number, exercising exactly the
+// recovery machinery dist claims to have: heartbeat-timeout death
+// detection, front-of-queue reassignment, checkpoint/resume, and
+// reconnect-with-resume on the worker side.
+//
+// The schedule is wall-clock driven by necessity — killing a process at
+// a fixed virtual time would require controlling the victim's clock —
+// so this package, like dist itself, is sanctioned by the wallclock
+// analyzer. The determinism claim lives one level down: WHATEVER the
+// kill timing does to scheduling, the campaign's report bytes must not
+// change, and the soak tests assert exactly that.
+package churn
+
+import (
+	"context"
+	"fmt"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"expensive/internal/obs"
+)
+
+// Event is one scheduled kill: After the harness starts, the process in
+// Slot is SIGKILLed and immediately respawned (incarnation + 1).
+type Event struct {
+	After time.Duration
+	Slot  int
+}
+
+// Parse decodes a churn schedule of the form "400ms:0,900ms:1" —
+// comma-separated duration:slot pairs, in any order.
+func Parse(s string) ([]Event, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var events []Event
+	for _, part := range strings.Split(s, ",") {
+		d, slot, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("churn: event %q: want duration:slot", part)
+		}
+		after, err := time.ParseDuration(d)
+		if err != nil {
+			return nil, fmt.Errorf("churn: event %q: %w", part, err)
+		}
+		if after < 0 {
+			return nil, fmt.Errorf("churn: event %q: negative delay", part)
+		}
+		n, err := strconv.Atoi(slot)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("churn: event %q: bad slot %q", part, slot)
+		}
+		events = append(events, Event{After: after, Slot: n})
+	}
+	return events, nil
+}
+
+// Harness runs Workers worker processes and executes a kill/restart
+// schedule against them. Zero value is unusable; fill the exported
+// fields and call Start.
+type Harness struct {
+	// Workers is the number of slots (required, > 0).
+	Workers int
+	// Spawn builds the command for one slot's next incarnation (required).
+	// It is called with incarnation 0 at Start and incarnation k+1 after
+	// the k-th kill of that slot. The command must be ready to Start —
+	// the harness owns Process lifetime from there.
+	Spawn func(slot, incarnation int) (*exec.Cmd, error)
+	// Schedule lists the kills. Events are executed in After order.
+	Schedule []Event
+	// Ctx stops the schedule early and carries the obs recorder for the
+	// churn_kills / churn_restarts counters; nil means background.
+	Ctx context.Context
+
+	mu          sync.Mutex
+	procs       []*worker
+	kills       int
+	restarts    int
+	stopped     bool
+	stopCh      chan struct{}
+	scheduleEnd sync.WaitGroup
+
+	killsC    *obs.Counter
+	restartsC *obs.Counter
+}
+
+// worker is one slot's current process.
+type worker struct {
+	cmd         *exec.Cmd
+	incarnation int
+	waited      chan struct{} // closed once Wait returns (process reaped)
+}
+
+// Start spawns every slot at incarnation 0 and launches the schedule.
+func (h *Harness) Start() error {
+	if h.Workers <= 0 {
+		return fmt.Errorf("churn: need at least one worker slot")
+	}
+	if h.Spawn == nil {
+		return fmt.Errorf("churn: Spawn is required")
+	}
+	for _, ev := range h.Schedule {
+		if ev.Slot < 0 || ev.Slot >= h.Workers {
+			return fmt.Errorf("churn: event slot %d out of range [0, %d)", ev.Slot, h.Workers)
+		}
+	}
+	rec := obs.From(h.Ctx)
+	h.killsC = rec.Counter("churn_kills")
+	h.restartsC = rec.Counter("churn_restarts")
+	h.stopCh = make(chan struct{})
+	h.procs = make([]*worker, h.Workers)
+	for slot := 0; slot < h.Workers; slot++ {
+		w, err := h.spawn(slot, 0)
+		if err != nil {
+			h.Stop()
+			return err
+		}
+		h.procs[slot] = w
+	}
+	h.scheduleEnd.Add(1)
+	go h.run()
+	return nil
+}
+
+// spawn starts one incarnation and its reaper.
+func (h *Harness) spawn(slot, incarnation int) (*worker, error) {
+	cmd, err := h.Spawn(slot, incarnation)
+	if err != nil {
+		return nil, fmt.Errorf("churn: spawn slot %d incarnation %d: %w", slot, incarnation, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("churn: start slot %d incarnation %d: %w", slot, incarnation, err)
+	}
+	w := &worker{cmd: cmd, incarnation: incarnation, waited: make(chan struct{})}
+	go func() {
+		_ = cmd.Wait()
+		close(w.waited)
+	}()
+	return w, nil
+}
+
+// run executes the schedule: sleep to each event's offset, kill, respawn.
+func (h *Harness) run() {
+	defer h.scheduleEnd.Done()
+	events := make([]Event, len(h.Schedule))
+	copy(events, h.Schedule)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].After < events[j].After })
+	var ctxDone <-chan struct{}
+	if h.Ctx != nil {
+		ctxDone = h.Ctx.Done()
+	}
+	elapsed := time.Duration(0)
+	for _, ev := range events {
+		if wait := ev.After - elapsed; wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-h.stopCh:
+				t.Stop()
+				return
+			case <-ctxDone:
+				t.Stop()
+				return
+			}
+			elapsed = ev.After
+		}
+		h.killAndRespawn(ev.Slot)
+	}
+}
+
+// killAndRespawn executes one churn event against a slot.
+func (h *Harness) killAndRespawn(slot int) {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return
+	}
+	w := h.procs[slot]
+	h.mu.Unlock()
+	if w == nil {
+		return
+	}
+	if w.cmd.Process != nil {
+		_ = w.cmd.Process.Kill()
+	}
+	<-w.waited // reap before respawn: at most one live process per slot
+	h.killsC.Inc()
+	h.mu.Lock()
+	h.kills++
+	h.mu.Unlock()
+	next, err := h.spawn(slot, w.incarnation+1)
+	if err != nil {
+		return // slot stays down; the campaign sees one fewer worker
+	}
+	h.restartsC.Inc()
+	h.mu.Lock()
+	if h.stopped {
+		// Stop raced the respawn: do not leak the new process.
+		h.mu.Unlock()
+		_ = next.cmd.Process.Kill()
+		<-next.waited
+		return
+	}
+	h.procs[slot] = next
+	h.restarts++
+	h.mu.Unlock()
+}
+
+// Stop halts the schedule and kills every live worker, reaping them all
+// before returning. Idempotent.
+func (h *Harness) Stop() {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return
+	}
+	h.stopped = true
+	if h.stopCh != nil {
+		close(h.stopCh)
+	}
+	procs := make([]*worker, len(h.procs))
+	copy(procs, h.procs)
+	h.mu.Unlock()
+	h.scheduleEnd.Wait()
+	for _, w := range procs {
+		if w == nil {
+			continue
+		}
+		if w.cmd.Process != nil {
+			_ = w.cmd.Process.Kill()
+		}
+		<-w.waited
+	}
+}
+
+// Kills returns how many scheduled kills completed (kill + respawn).
+func (h *Harness) Kills() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.kills
+}
+
+// Restarts returns how many respawns succeeded.
+func (h *Harness) Restarts() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.restarts
+}
+
+// Incarnation returns a slot's current incarnation number.
+func (h *Harness) Incarnation(slot int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if slot < 0 || slot >= len(h.procs) || h.procs[slot] == nil {
+		return -1
+	}
+	return h.procs[slot].incarnation
+}

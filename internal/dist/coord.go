@@ -18,6 +18,12 @@ import (
 // test hook fires: the campaign is checkpointed but unfinished.
 var ErrStopped = errors.New("dist: coordinator stopped before completion")
 
+// ErrDrained is returned by Coordinator.Run after Drain: no new units
+// were assigned, in-flight units folded, and the checkpoint was saved. A
+// later run with the same CheckpointPath resumes where the drain left
+// off.
+var ErrDrained = errors.New("dist: coordinator drained: progress checkpointed")
+
 // Report is the coordinator's outcome. The JSON encoding is exactly the
 // inner engine report — byte-identical to the single-process run of the
 // same campaign — while the dist-level statistics ride alongside,
@@ -38,6 +44,12 @@ type Report struct {
 	// Resumed reports whether a checkpoint was loaded.
 	Resumed bool          `json:"-"`
 	Wall    time.Duration `json:"-"`
+
+	// Quarantined lists unit IDs abandoned after exhausting the retry
+	// budget, in quarantine order. It IS part of the JSON encoding — a
+	// degraded report must say so — but is omitted when empty, which keeps
+	// clean runs byte-identical to the single-process baseline.
+	Quarantined []int `json:"quarantined,omitempty"`
 }
 
 // Coordinator owns one distributed campaign: it listens for workers,
@@ -61,6 +73,16 @@ type Coordinator struct {
 	// HeartbeatTimeout declares a silent worker dead (default 10s);
 	// workers are told to heartbeat at a third of it.
 	HeartbeatTimeout time.Duration
+	// UnitDeadline bounds one unit's execution: an assignment held past
+	// it is reassigned to an idle worker (the straggler stays alive — its
+	// late result is deduped). Zero disables straggler detection;
+	// heartbeats remain the liveness channel either way.
+	UnitDeadline time.Duration
+	// RetryBudget caps how many times a lost unit (worker death, unit
+	// failure, or blown deadline) is requeued before being quarantined
+	// and reported instead of retried forever. 0 means the default of 3;
+	// negative means unlimited retries.
+	RetryBudget int
 	// LocalWorkers forks that many in-process workers connected over
 	// loopback TCP — the `-workers N` convenience mode. Zero means only
 	// external workers probe.
@@ -117,9 +139,26 @@ func (c *Coordinator) Start() error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c.sched = newScheduler(ctx, c.Job, c.HeartbeatTimeout)
+	budget := c.RetryBudget
+	switch {
+	case budget == 0:
+		budget = 3
+	case budget < 0:
+		budget = 0 // scheduler convention: 0 = unlimited
+	}
+	c.sched = newScheduler(ctx, c.Job, c.HeartbeatTimeout, c.UnitDeadline, budget)
 	go c.sched.acceptLoop(ln)
 	return nil
+}
+
+// Drain asks a running campaign to stop gracefully: no new units are
+// assigned, in-flight units finish and fold, the checkpoint is saved,
+// and Run returns ErrDrained. Safe to call from any goroutine (signal
+// handlers included); before Start it is a no-op.
+func (c *Coordinator) Drain() {
+	if c.sched != nil {
+		c.sched.requestDrain()
+	}
 }
 
 // ListenAddr returns the bound address (after Start).
@@ -179,11 +218,19 @@ func (c *Coordinator) Run() (*Report, error) {
 	case c.Job.Matrix != nil:
 		err = c.runMatrix(cp, report)
 	}
+	if errors.Is(err, ErrDrained) {
+		// The drain path's contract is the checkpoint, not the report:
+		// persist whatever folded before returning.
+		if serr := c.save(cp); serr != nil {
+			return nil, serr
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
 	report.Reassigned = c.sched.reassigned
 	report.Workers = len(c.sched.workers)
+	report.Quarantined = append([]int(nil), c.sched.quarantined...)
 	report.Wall = sw.Wall()
 	return report, nil
 }
@@ -242,7 +289,7 @@ func (c *Coordinator) runHunt(cp *Checkpoint, report *Report) error {
 		return err
 	}
 	camp.Ctx = c.Ctx
-	merged, err := mergeHunt(camp, results)
+	merged, err := mergeHunt(camp, results, c.sched.quarantineSet())
 	if err != nil {
 		return err
 	}
@@ -307,8 +354,12 @@ func (c *Coordinator) runMatrix(cp *Checkpoint, report *Report) error {
 		return err
 	}
 	cells := make([]matrix.Cell, len(results))
+	quarantined := c.sched.quarantineSet()
 	for i, r := range results {
 		if r == nil || r.Cell == nil {
+			if quarantined[i] {
+				return fmt.Errorf("dist: matrix cell unit %d quarantined after repeated failures; the grid cannot be assembled without it", i)
+			}
 			return fmt.Errorf("dist: missing cell result for unit %d", i)
 		}
 		cells[i] = *r.Cell
@@ -369,6 +420,9 @@ func (c *Coordinator) runFuzz(cp *Checkpoint, report *Report) error {
 		}
 		for i, ok := range filled {
 			if !ok {
+				if c.sched.quarantineSet()[units[i].ID] {
+					return fmt.Errorf("dist: fuzz unit %d quarantined after repeated failures; the generation fold cannot proceed without it", units[i].ID)
+				}
 				return fmt.Errorf("dist: fuzz unit %d never completed", units[i].ID)
 			}
 		}

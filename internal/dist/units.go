@@ -102,7 +102,12 @@ func batchUnits(g *fuzz.Generation, size int, nextID *int) []*Unit {
 // first-K lists, first-violation indices shift by the probe count of the
 // preceding units, and exact-value histograms merge losslessly.
 // Shrinking is the caller's job (it runs once, on the merged report).
-func mergeHunt(c *adversary.Campaign, results []*Result) (*adversary.CampaignReport, error) {
+//
+// quarantined marks units abandoned after exhausting their retry budget:
+// their nil results are skipped instead of erred on, degrading the report
+// (those probes are simply missing, and Report.Quarantined says so)
+// rather than failing the whole campaign.
+func mergeHunt(c *adversary.Campaign, results []*Result, quarantined map[int]bool) (*adversary.CampaignReport, error) {
 	env := c.RecheckOptions()
 	report := &adversary.CampaignReport{
 		Protocol: c.Protocol,
@@ -115,6 +120,9 @@ func mergeHunt(c *adversary.Campaign, results []*Result) (*adversary.CampaignRep
 	}
 	for i, r := range results {
 		if r == nil || r.Hunt == nil {
+			if quarantined[i] {
+				continue // abandoned unit: its seeds go unprobed, reported via Quarantined
+			}
 			return nil, fmt.Errorf("dist: merge: missing hunt result for unit %d", i)
 		}
 		sub := r.Hunt

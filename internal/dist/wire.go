@@ -3,9 +3,11 @@ package dist
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -13,8 +15,9 @@ import (
 )
 
 // ProtocolVersion gates coordinator/worker compatibility: a hello with a
-// different version is rejected at handshake.
-const ProtocolVersion = 1
+// different version is rejected at handshake. Version 2 added
+// MsgUnitFailed (unit-level failure without worker death).
+const ProtocolVersion = 2
 
 // maxFrame bounds one wire frame (64 MiB) — far above any real message,
 // low enough that a corrupt length prefix cannot allocate the machine
@@ -38,12 +41,22 @@ const (
 	// MsgEvent forwards one obs trace event (a JSONL line) from worker
 	// to coordinator.
 	MsgEvent MsgKind = "event"
+	// MsgUnitFailed reports that one unit failed worker-side; the worker
+	// stays alive and keeps serving other units. The coordinator requeues
+	// the unit against its retry budget, quarantining it when exhausted.
+	MsgUnitFailed MsgKind = "unit_failed"
 	// MsgError reports a fatal worker-side harness failure.
 	MsgError MsgKind = "error"
 	// MsgDone tells a worker the campaign is over; the worker exits
 	// cleanly.
 	MsgDone MsgKind = "done"
 )
+
+// UnitFailed is the MsgUnitFailed payload.
+type UnitFailed struct {
+	Unit  int    `json:"unit"`
+	Error string `json:"error"`
+}
 
 // Hello opens a worker connection.
 type Hello struct {
@@ -58,6 +71,7 @@ type Message struct {
 	Job    *Job            `json:"job,omitempty"`
 	Unit   *Unit           `json:"unit,omitempty"`
 	Result *Result         `json:"result,omitempty"`
+	Failed *UnitFailed     `json:"failed,omitempty"`
 	Event  json.RawMessage `json:"event,omitempty"`
 	Error  string          `json:"error,omitempty"`
 }
@@ -101,9 +115,34 @@ func (c *Conn) Send(m *Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if _, err := c.c.Write(frame); err != nil {
-		return fmt.Errorf("dist: write %s: %w", m.Kind, err)
+		return fmt.Errorf("dist: write %s: %w", m.Kind, classify(err))
 	}
 	return nil
+}
+
+// classify folds raw socket errors into the transport sentinels, so the
+// scheduler's dead-worker detector and the worker's reconnect loop can
+// decide with errors.Is instead of string matching: a blown read deadline
+// is transport.ErrTimeout (the peer stalled), a vanished connection is
+// transport.ErrClosed (the peer is gone, or we were told to go).
+func classify(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return fmt.Errorf("%w (%v)", transport.ErrTimeout, err)
+	case errors.Is(err, net.ErrClosed), errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return fmt.Errorf("%w (%v)", transport.ErrClosed, err)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w (%v)", transport.ErrTimeout, err)
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return fmt.Errorf("%w (%v)", transport.ErrClosed, err)
+	}
+	return err
 }
 
 // Recv reads one framed message. A positive timeout arms a read deadline
@@ -121,7 +160,7 @@ func (c *Conn) Recv(timeout time.Duration) (*Message, error) {
 	}
 	var prefix [4]byte
 	if _, err := io.ReadFull(c.c, prefix[:]); err != nil {
-		return nil, fmt.Errorf("dist: read frame length: %w", err)
+		return nil, fmt.Errorf("dist: read frame length: %w", classify(err))
 	}
 	n := binary.BigEndian.Uint32(prefix[:])
 	if n == 0 || n > maxFrame {
@@ -129,7 +168,7 @@ func (c *Conn) Recv(timeout time.Duration) (*Message, error) {
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(c.c, body); err != nil {
-		return nil, fmt.Errorf("dist: read frame body: %w", err)
+		return nil, fmt.Errorf("dist: read frame body: %w", classify(err))
 	}
 	var m Message
 	if err := json.Unmarshal(body, &m); err != nil {

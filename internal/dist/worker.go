@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -12,6 +13,8 @@ import (
 	"expensive/internal/catalog/matrix"
 	"expensive/internal/experiments/runner"
 	"expensive/internal/obs"
+	"expensive/internal/proc"
+	"expensive/internal/transport/chaosnet"
 )
 
 // Worker is one probe-executing process: it dials a coordinator, reports
@@ -34,17 +37,55 @@ type Worker struct {
 	// before their coordinator finishes binding.
 	DialAttempts int
 	DialBackoff  time.Duration
+	// Reconnect is how many times a dropped coordinator connection is
+	// redialed with a fresh session after the initial one (the job is
+	// re-shipped at the new handshake; lost in-flight units are the
+	// coordinator's to reassign). Zero keeps the historical
+	// fail-on-disconnect behavior. Protocol rejections never retry.
+	Reconnect int
+	// Chaos optionally injects deterministic faults into this worker's
+	// coordinator link — the soak harness's wire-level churn. Control
+	// messages (hello, job, done) are immune; units, results, heartbeats
+	// and events are fair game. Nil means a clean link.
+	Chaos *chaosnet.Plan
+	// ChaosNode is this worker's identity in the chaos plan's link space
+	// (the coordinator is node 63); only meaningful with Chaos set.
+	ChaosNode int
 	// Ctx cancels the worker; nil means background.
 	Ctx context.Context
 }
 
-// Run executes the worker loop until the coordinator completes the
-// campaign (nil), the connection drops, or a unit fails.
+// errFatal marks worker errors a reconnect cannot cure: protocol
+// rejections, malformed jobs, executor construction failures.
+var errFatal = errors.New("dist: worker error is not retryable")
+
+// Run executes worker sessions until the coordinator completes the
+// campaign (nil), a non-retryable error occurs, or the reconnect budget
+// is spent. Each session dials fresh, handshakes, and works the unit
+// loop; a dropped connection burns one reconnect and starts over.
 func (w *Worker) Run() error {
 	name := w.Name
 	if name == "" {
 		name = fmt.Sprintf("worker-%d", os.Getpid())
 	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = w.session(name)
+		if err == nil || errors.Is(err, errFatal) || attempt >= w.Reconnect {
+			return err
+		}
+		if ctx := w.Ctx; ctx != nil {
+			select {
+			case <-ctx.Done():
+				return err
+			default:
+			}
+		}
+	}
+}
+
+// session runs one connect-handshake-work cycle.
+func (w *Worker) session(name string) error {
 	attempts := w.DialAttempts
 	if attempts <= 0 {
 		attempts = 10
@@ -53,9 +94,13 @@ func (w *Worker) Run() error {
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
-	conn, err := Dial(w.Addr, attempts, backoff)
+	raw, err := Dial(w.Addr, attempts, backoff)
 	if err != nil {
 		return err
+	}
+	var conn wireConn = raw
+	if w.Chaos != nil {
+		conn = newChaosConn(raw, w.Chaos, proc.ID(w.ChaosNode))
 	}
 	defer conn.Close()
 	if err := conn.Send(&Message{Kind: MsgHello, Hello: &Hello{Version: ProtocolVersion, Name: name}}); err != nil {
@@ -66,10 +111,10 @@ func (w *Worker) Run() error {
 		return fmt.Errorf("dist: %s: waiting for job: %w", name, err)
 	}
 	if m.Kind == MsgError {
-		return fmt.Errorf("dist: %s: coordinator rejected: %s", name, m.Error)
+		return fmt.Errorf("%w: %s: coordinator rejected: %s", errFatal, name, m.Error)
 	}
 	if m.Kind != MsgJob || m.Job == nil {
-		return fmt.Errorf("dist: %s: expected a job, got %s", name, m.Kind)
+		return fmt.Errorf("%w: %s: expected a job, got %s", errFatal, name, m.Kind)
 	}
 	job := m.Job
 	job.normalize()
@@ -89,7 +134,7 @@ func (w *Worker) Run() error {
 	ex, err := newExecutor(job, ctx, w.Parallelism)
 	if err != nil {
 		_ = conn.Send(&Message{Kind: MsgError, Error: err.Error()})
-		return err
+		return fmt.Errorf("%w: %s: %v", errFatal, name, err)
 	}
 
 	// Heartbeats keep the coordinator's liveness tracking fed while this
@@ -124,14 +169,19 @@ func (w *Worker) Run() error {
 		case MsgUnit:
 			res, err := ex.run(m.Unit)
 			if err != nil {
-				_ = conn.Send(&Message{Kind: MsgError, Error: err.Error()})
-				return fmt.Errorf("dist: %s: unit %d: %w", name, m.Unit.ID, err)
+				// A failed unit is the unit's problem, not the worker's:
+				// report it and stay in the loop. The coordinator charges
+				// the unit's retry budget and quarantines repeat offenders.
+				if serr := conn.Send(&Message{Kind: MsgUnitFailed, Failed: &UnitFailed{Unit: m.Unit.ID, Error: err.Error()}}); serr != nil {
+					return fmt.Errorf("dist: %s: %w", name, serr)
+				}
+				continue
 			}
 			if err := conn.Send(&Message{Kind: MsgResult, Result: res}); err != nil {
 				return fmt.Errorf("dist: %s: %w", name, err)
 			}
 		default:
-			return fmt.Errorf("dist: %s: unexpected %s message", name, m.Kind)
+			return fmt.Errorf("%w: %s: unexpected %s message", errFatal, name, m.Kind)
 		}
 	}
 }
@@ -141,7 +191,7 @@ func (w *Worker) Run() error {
 // call), shipped as an event message. Forwarding failures are swallowed
 // — telemetry must never fail the work.
 type eventForwarder struct {
-	conn *Conn
+	conn wireConn
 }
 
 func (f *eventForwarder) Write(p []byte) (int, error) {

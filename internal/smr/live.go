@@ -1,0 +1,229 @@
+package smr
+
+import (
+	"context"
+	"fmt"
+
+	"expensive/internal/experiments/runner"
+	"expensive/internal/msg"
+	"expensive/internal/obs"
+	"expensive/internal/proc"
+	"expensive/internal/sim"
+	"expensive/internal/transport"
+)
+
+// LiveConfig wires a replicated log that commits slots over a real
+// transport mesh instead of the recording simulator — the configuration
+// the chaos soak drives: each slot is one live agreement instance, and
+// the mesh builder typically hands back chaosnet-wrapped endpoints so
+// every slot runs under deterministic wire faults.
+type LiveConfig struct {
+	N int
+	T int
+	// Protocol builds one agreement instance per slot: the machine factory
+	// and its round bound.
+	Protocol func(slot int) (sim.Factory, int)
+	// Mesh builds a fresh mesh for one slot: the endpoints and a teardown.
+	// Fresh per slot by design — cross-slot frame leakage would alias
+	// rounds between agreement instances. Wrap the endpoints here
+	// (chaosnet.Wrap, tcpnet, ...) to pick the substrate and faults.
+	Mesh func(slot int) (eps []transport.Endpoint, closeMesh func() error, err error)
+	// Faulty names the processes the safety monitor must not trust at a
+	// slot (a chaos plan's budget set, typically). Nil means all correct.
+	Faulty func(slot int) proc.Set
+	// NoOp is proposed by replicas with empty queues.
+	NoOp Command
+	// Ctx carries the obs recorder for the liveness monitor's metrics
+	// (smr_live_commits, smr_live_divergences, smr_commit_ns histogram).
+	Ctx context.Context
+}
+
+// Divergence is a safety-monitor finding: at a slot, processes outside
+// the faulty set failed to agree. Under a chaos plan whose faults stay
+// within the protocol's resilience this must never happen — one recorded
+// divergence fails the soak.
+type Divergence struct {
+	Slot      int
+	Detail    string
+	Decisions map[proc.ID]msg.Value
+}
+
+// LiveLog is the over-the-wire replicated log with online monitors:
+// safety (non-faulty replicas never diverge) checked at every commit,
+// liveness (slots keep committing, latency histogram) fed to obs.
+type LiveLog struct {
+	cfg    LiveConfig
+	queues [][]Command
+
+	entries     []Entry
+	divergences []Divergence
+
+	commitsC   *obs.Counter
+	divergedC  *obs.Counter
+	commitHist *obs.Histogram
+}
+
+// NewLive creates an empty live replicated log.
+func NewLive(cfg LiveConfig) (*LiveLog, error) {
+	switch {
+	case cfg.N < 2 || cfg.T < 0 || cfg.T >= cfg.N:
+		return nil, fmt.Errorf("smr: need 0 <= t < n, n >= 2 (n=%d t=%d)", cfg.N, cfg.T)
+	case cfg.Protocol == nil:
+		return nil, fmt.Errorf("smr: nil protocol constructor")
+	case cfg.Mesh == nil:
+		return nil, fmt.Errorf("smr: live log needs a mesh builder")
+	}
+	rec := obs.From(cfg.Ctx)
+	return &LiveLog{
+		cfg:        cfg,
+		queues:     make([][]Command, cfg.N),
+		commitsC:   rec.Counter("smr_live_commits"),
+		divergedC:  rec.Counter("smr_live_divergences"),
+		commitHist: rec.Histogram("smr_commit_ns"),
+	}, nil
+}
+
+// Submit enqueues a command at one replica.
+func (l *LiveLog) Submit(replica proc.ID, cmd Command) error {
+	if replica < 0 || int(replica) >= l.cfg.N {
+		return fmt.Errorf("smr: unknown replica %v", replica)
+	}
+	l.queues[replica] = append(l.queues[replica], cmd)
+	return nil
+}
+
+// Entries returns the committed log.
+func (l *LiveLog) Entries() []Entry {
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Divergences returns every safety violation the monitor recorded.
+func (l *LiveLog) Divergences() []Divergence {
+	out := make([]Divergence, len(l.divergences))
+	copy(out, l.divergences)
+	return out
+}
+
+// Pending reports the number of commands still queued across replicas.
+func (l *LiveLog) Pending() int {
+	total := 0
+	for _, q := range l.queues {
+		total += len(q)
+	}
+	return total
+}
+
+// correct is the trusted set at a slot: everyone minus the faulty set.
+func (l *LiveLog) correct(slot int) proc.Set {
+	all := proc.Universe(l.cfg.N)
+	if l.cfg.Faulty == nil {
+		return all
+	}
+	return all.Diff(l.cfg.Faulty(slot))
+}
+
+// CommitSlot runs one live agreement instance over a fresh mesh and
+// appends the committed entry. The safety monitor runs inline: if the
+// trusted replicas split, the divergence is recorded (and counted in
+// obs) and the slot commits the lowest-ID trusted decision so the log —
+// and the soak driving it — keeps moving and can report every violation
+// instead of dying on the first.
+func (l *LiveLog) CommitSlot() (Entry, error) {
+	if ctx := l.cfg.Ctx; ctx != nil {
+		select {
+		case <-ctx.Done():
+			return Entry{}, ctx.Err()
+		default:
+		}
+	}
+	slot := len(l.entries)
+	factory, rounds := l.cfg.Protocol(slot)
+	proposals := make([]msg.Value, l.cfg.N)
+	for i := range proposals {
+		if len(l.queues[i]) > 0 {
+			proposals[i] = l.queues[i][0]
+		} else {
+			proposals[i] = l.cfg.NoOp
+		}
+	}
+	eps, closeMesh, err := l.cfg.Mesh(slot)
+	if err != nil {
+		return Entry{}, fmt.Errorf("smr slot %d: mesh: %w", slot, err)
+	}
+	sw := runner.StartWall()
+	results, err := transport.Cluster{
+		N:         l.cfg.N,
+		Endpoints: eps,
+		Factory:   factory,
+		Proposals: proposals,
+		Rounds:    rounds,
+	}.Run()
+	if closeMesh != nil {
+		_ = closeMesh()
+	}
+	if err != nil {
+		return Entry{}, fmt.Errorf("smr slot %d: %w", slot, err)
+	}
+	l.commitHist.Observe(int64(sw.Wall()))
+
+	correct := l.correct(slot)
+	decision, derr := transport.CommonDecision(results, correct)
+	if derr != nil {
+		// Safety violation (or a trusted replica stuck undecided): record
+		// it, pick the lowest-ID trusted decision, and keep committing.
+		seen := make(map[proc.ID]msg.Value, correct.Len())
+		decision = msg.NoDecision
+		for _, id := range correct.Members() {
+			if results[id].Decided {
+				seen[id] = results[id].Decision
+				if decision == msg.NoDecision {
+					decision = results[id].Decision
+				}
+			}
+		}
+		l.divergences = append(l.divergences, Divergence{Slot: slot, Detail: derr.Error(), Decisions: seen})
+		l.divergedC.Inc()
+		if decision == msg.NoDecision {
+			return Entry{}, fmt.Errorf("smr slot %d: no trusted replica decided: %w", slot, derr)
+		}
+	}
+
+	for i := range l.queues {
+		for j, cmd := range l.queues[i] {
+			if cmd == decision {
+				l.queues[i] = append(l.queues[i][:j], l.queues[i][j+1:]...)
+				break
+			}
+		}
+	}
+	sent := 0
+	for _, id := range correct.Members() {
+		sent += results[id].Sent
+	}
+	entry := Entry{Slot: slot, Command: decision, Messages: sent, Rounds: rounds}
+	l.entries = append(l.entries, entry)
+	l.commitsC.Inc()
+	return entry, nil
+}
+
+// Drain commits slots until no commands are pending or maxSlots is
+// reached, returning the committed entries.
+func (l *LiveLog) Drain(maxSlots int) ([]Entry, error) {
+	var out []Entry
+	for len(out) < maxSlots && l.Pending() > 0 {
+		e, err := l.CommitSlot()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// LatencyP50P99 reads the liveness monitor: the p50 and p99 commit
+// latencies in nanoseconds observed so far (zeros before any commit).
+func (l *LiveLog) LatencyP50P99() (p50, p99 int64) {
+	return l.commitHist.Quantile(0.50), l.commitHist.Quantile(0.99)
+}

@@ -1,0 +1,245 @@
+package chaosnet
+
+import (
+	"testing"
+	"time"
+
+	"expensive/internal/msg"
+	"expensive/internal/obs"
+	"expensive/internal/proc"
+	"expensive/internal/protocols/phaseking"
+	"expensive/internal/transport"
+	"expensive/internal/transport/memnet"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	build := func(seed int64) *Plan {
+		p, ok := ByID("storm")
+		if !ok {
+			t.Fatal("storm profile missing")
+		}
+		return p.Build(seed, Env{N: 8, T: 2})
+	}
+	a, b := build(7), build(7)
+	if !a.Budget().Equal(b.Budget()) {
+		t.Fatalf("budget not deterministic: %v vs %v", a.Budget(), b.Budget())
+	}
+	other, differs := build(8), false
+	for from := proc.ID(0); from < 8; from++ {
+		for to := proc.ID(0); to < 8; to++ {
+			if from == to {
+				continue
+			}
+			for seq := 0; seq < 64; seq++ {
+				fa, fb := a.Faults(from, to, seq), b.Faults(from, to, seq)
+				if fa != fb {
+					t.Fatalf("plan not deterministic at (%v,%v,%d): %+v vs %+v", from, to, seq, fa, fb)
+				}
+				if fa != other.Faults(from, to, seq) || !a.Budget().Equal(other.Budget()) {
+					differs = true
+				}
+			}
+		}
+	}
+	if !differs {
+		t.Error("seeds 7 and 8 produced identical plans — the seed is not feeding the streams")
+	}
+}
+
+func TestLibraryProfiles(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Library() {
+		if p.ID == "" || p.Doc == "" || p.Build == nil {
+			t.Errorf("profile %+v incomplete", p)
+		}
+		if seen[p.ID] {
+			t.Errorf("duplicate profile ID %q", p.ID)
+		}
+		seen[p.ID] = true
+		if plan := p.Build(1, Env{N: 4}); plan == nil || plan.Name() != p.ID {
+			t.Errorf("profile %q built plan %v", p.ID, plan)
+		}
+	}
+	if _, ok := ByID("no-such-profile"); ok {
+		t.Error("ByID invented a profile")
+	}
+	if len(IDs()) != len(seen) {
+		t.Errorf("IDs() returned %d entries, want %d", len(IDs()), len(seen))
+	}
+}
+
+func TestBudgetRestrictsFaults(t *testing.T) {
+	plan := NewPlan("budgeted", 3, Env{N: 6, T: 1}, Rule{Kind: Drop, Pct: 100})
+	budget := plan.Budget()
+	if budget.Len() != 1 {
+		t.Fatalf("budget %v, want exactly one process under T=1", budget)
+	}
+	for from := proc.ID(0); from < 6; from++ {
+		for to := proc.ID(0); to < 6; to++ {
+			if from == to {
+				continue
+			}
+			f := plan.Faults(from, to, 1)
+			touches := budget.Contains(from) || budget.Contains(to)
+			if f.Drop != touches {
+				t.Errorf("link %v->%v: Drop=%v, budget=%v", from, to, f.Drop, budget)
+			}
+		}
+	}
+}
+
+func TestDropIsOmission(t *testing.T) {
+	mesh := memnet.New(2, nil)
+	eps := Wrap(mesh.Endpoints(), NewPlan("all-drop", 1, Env{N: 2}, Rule{Kind: Drop, Pct: 100}), nil)
+	if err := eps[0].Send(1, transport.Frame{From: 0, To: 1, Round: 1, Has: true, Payload: "v"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := eps[1].Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got.Has || got.Payload != "" {
+		t.Errorf("dropped payload leaked: %+v", got)
+	}
+	if got.Round != 1 {
+		t.Errorf("frame structure mangled: %+v", got)
+	}
+}
+
+func TestCorruptionDetectedAndVoided(t *testing.T) {
+	rec := obs.New()
+	mesh := memnet.New(2, nil)
+	eps := Wrap(mesh.Endpoints(), NewPlan("all-corrupt", 1, Env{N: 2}, Rule{Kind: Corrupt, Pct: 100}), rec)
+	if err := eps[0].Send(1, transport.Frame{From: 0, To: 1, Round: 1, Has: true, Payload: "v"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := eps[1].Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got.Has {
+		t.Errorf("corrupted payload survived verification: %+v", got)
+	}
+	if rec.Counter("chaos_corrupted").Value() != 1 || rec.Counter("chaos_detected").Value() != 1 {
+		t.Errorf("counters corrupted=%d detected=%d, want 1/1",
+			rec.Counter("chaos_corrupted").Value(), rec.Counter("chaos_detected").Value())
+	}
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	for _, payload := range []string{"", "x", `{"V":"1"}`, "cs:looks-like-a-sum"} {
+		got, ok := checkSum(sum(payload))
+		if !ok || got != payload {
+			t.Errorf("checksum round trip of %q: got %q ok=%v", payload, got, ok)
+		}
+		if _, ok := checkSum(corruptSum(payload)); ok {
+			t.Errorf("corrupt sum of %q passed verification", payload)
+		}
+	}
+	// Unsummed payloads (unwrapped senders) pass through unverified.
+	if got, ok := checkSum("plain"); !ok || got != "plain" {
+		t.Errorf("plain payload: got %q ok=%v", got, ok)
+	}
+}
+
+// runCluster drives phase-king over a wrapped memnet mesh and returns the
+// per-node results. Phase-king tolerates arbitrary behavior of up to t
+// processes, so any budgeted plan must leave the correct group agreed.
+func runCluster(t *testing.T, n, tf int, plan *Plan, proposals []msg.Value) []transport.NodeResult {
+	t.Helper()
+	mesh := memnet.New(n, nil)
+	eps := Wrap(mesh.Endpoints(), plan, nil)
+	cluster := transport.Cluster{
+		N:         n,
+		Endpoints: eps,
+		Factory:   phaseking.New(phaseking.Config{N: n, T: tf}),
+		Proposals: proposals,
+		Rounds:    phaseking.RoundBound(tf),
+	}
+	results, err := cluster.Run()
+	if err != nil {
+		t.Fatalf("cluster under %s: %v", plan.Name(), err)
+	}
+	return results
+}
+
+func TestDuplicateReorderPreservesDecisions(t *testing.T) {
+	// Duplicate and reorder touch timing and copies only — the hardened
+	// round barrier must absorb them, leaving decisions identical to the
+	// fault-free run.
+	n, tf := 4, 0
+	proposals := []msg.Value{"1", "0", "1", "1"}
+	clean := runCluster(t, n, tf, NewPlan("none", 1, Env{N: n}), proposals)
+	noisy := runCluster(t, n, tf,
+		NewPlan("dup-reorder", 9, Env{N: n},
+			Rule{Kind: Duplicate, Pct: 40},
+			Rule{Kind: Reorder, Pct: 40}),
+		proposals)
+	for i := range clean {
+		if clean[i].Decided != noisy[i].Decided || clean[i].Decision != noisy[i].Decision {
+			t.Errorf("node %d: clean %v/%q, noisy %v/%q",
+				i, clean[i].Decided, clean[i].Decision, noisy[i].Decided, noisy[i].Decision)
+		}
+	}
+}
+
+func TestClusterAgreesUnderBudgetedStorm(t *testing.T) {
+	// The acceptance profile (drop + delay + partition) with the paper's
+	// fault budget: phase-king n=5 t=1 must keep every process outside the
+	// budget set agreed on one value.
+	profile, ok := ByID("storm")
+	if !ok {
+		t.Fatal("storm profile missing")
+	}
+	n, tf := 5, 1
+	plan := profile.Build(42, Env{N: n, T: tf})
+	results := runCluster(t, n, tf, plan, []msg.Value{"1", "0", "1", "1", "0"})
+	correct := proc.Universe(n).Diff(plan.Budget())
+	if _, err := transport.CommonDecision(results, correct); err != nil {
+		t.Errorf("correct group split under budgeted storm (budget %v): %v", plan.Budget(), err)
+	}
+}
+
+func TestDeterministicDecisionsUnderStorm(t *testing.T) {
+	// Same seed, same chaos: two runs under the full storm profile must
+	// land identical decisions even though delays perturb real time.
+	profile, _ := ByID("storm")
+	n, tf := 5, 1
+	proposals := []msg.Value{"1", "0", "1", "1", "0"}
+	run := func() []transport.NodeResult {
+		return runCluster(t, n, tf, profile.Build(11, Env{N: n, T: tf}), proposals)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Decided != b[i].Decided || a[i].Decision != b[i].Decision {
+			t.Errorf("node %d diverged across identical chaos runs: %v/%q vs %v/%q",
+				i, a[i].Decided, a[i].Decision, b[i].Decided, b[i].Decision)
+		}
+	}
+}
+
+func TestReorderHeldFrameFlushedByTimer(t *testing.T) {
+	// A reordered frame with no successor to overtake it must still arrive
+	// (via the hold timer), or final rounds would deadlock.
+	mesh := memnet.New(2, nil)
+	eps := Wrap(mesh.Endpoints(), NewPlan("all-reorder", 1, Env{N: 2}, Rule{Kind: Reorder, Pct: 100}), nil)
+	if err := eps[0].Send(1, transport.Frame{From: 0, To: 1, Round: 1, Has: true, Payload: "held"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	done := make(chan transport.Frame, 1)
+	go func() {
+		f, err := eps[1].Recv()
+		if err != nil {
+			t.Errorf("Recv: %v", err)
+		}
+		done <- f
+	}()
+	select {
+	case f := <-done:
+		if !f.Has || f.Payload != "held" {
+			t.Errorf("flushed frame mangled: %+v", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("held frame never flushed")
+	}
+}

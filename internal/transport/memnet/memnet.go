@@ -75,7 +75,7 @@ func (e *endpoint) Send(to proc.ID, f transport.Frame) error {
 func (e *endpoint) Recv() (transport.Frame, error) {
 	f, ok := <-e.mesh.inbox[e.id]
 	if !ok {
-		return transport.Frame{}, fmt.Errorf("memnet: mesh closed")
+		return transport.Frame{}, fmt.Errorf("memnet: mesh: %w", transport.ErrClosed)
 	}
 	return f, nil
 }

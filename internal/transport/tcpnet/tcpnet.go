@@ -34,15 +34,17 @@ type Options struct {
 
 // Mesh is a full TCP mesh over 127.0.0.1.
 type Mesh struct {
-	n     int
-	opts  Options
-	conns [][]net.Conn // conns[i][j]: i's connection to j (nil on diagonal)
-	inbox []chan frameOrErr
-	done  chan struct{} // closed by Close; unblocks pumps wedged on full inboxes
+	n      int
+	opts   Options
+	conns  [][]net.Conn // conns[i][j]: i's connection to j (nil on diagonal)
+	inbox  []chan frameOrErr
+	done   chan struct{}   // closed by Close; unblocks pumps wedged on full inboxes
+	epDone []chan struct{} // closed per endpoint by endpoint.Close
 
-	mu      sync.Mutex
-	closed  bool
-	readers sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	epClosed []bool
+	readers  sync.WaitGroup
 }
 
 type frameOrErr struct {
@@ -59,10 +61,18 @@ func NewWithOptions(n int, o Options) (*Mesh, error) {
 	if o.DialAttempts <= 0 {
 		o.DialAttempts = 3
 	}
-	m := &Mesh{n: n, opts: o, conns: make([][]net.Conn, n), inbox: make([]chan frameOrErr, n), done: make(chan struct{})}
+	m := &Mesh{
+		n: n, opts: o,
+		conns:    make([][]net.Conn, n),
+		inbox:    make([]chan frameOrErr, n),
+		done:     make(chan struct{}),
+		epDone:   make([]chan struct{}, n),
+		epClosed: make([]bool, n),
+	}
 	for i := range m.conns {
 		m.conns[i] = make([]net.Conn, n)
 		m.inbox[i] = make(chan frameOrErr, 4*n)
+		m.epDone[i] = make(chan struct{})
 	}
 
 	listeners := make([]net.Listener, n)
@@ -145,22 +155,28 @@ func NewWithOptions(n int, o Options) (*Mesh, error) {
 				continue
 			}
 			m.readers.Add(1)
-			go m.pump(i, m.conns[i][j])
+			go m.pump(i, j, m.conns[i][j])
 		}
 	}
 	return m, nil
 }
 
-func (m *Mesh) pump(owner int, conn net.Conn) {
+// pump reads frames from owner's connection to peer and delivers them to
+// owner's inbox. A decode failure is a real error only while both ends of
+// the link are still open: once the mesh or either endpoint has been
+// closed, the broken read is the teardown itself and the pump exits
+// silently, so siblings of a closed endpoint keep exchanging frames
+// undisturbed.
+func (m *Mesh) pump(owner, peer int, conn net.Conn) {
 	defer m.readers.Done()
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	for {
 		var f transport.Frame
 		if err := dec.Decode(&f); err != nil {
 			m.mu.Lock()
-			closed := m.closed
+			quiet := m.closed || m.epClosed[owner] || m.epClosed[peer]
 			m.mu.Unlock()
-			if !closed {
+			if !quiet {
 				select {
 				case m.inbox[owner] <- frameOrErr{err: err}:
 				default:
@@ -169,11 +185,14 @@ func (m *Mesh) pump(owner int, conn net.Conn) {
 			return
 		}
 		// The delivery must not wedge the pump forever: if the owner stops
-		// draining (it errored out, or the mesh is being torn down), Close
-		// still has to be able to join this goroutine.
+		// draining (it errored out, closed its endpoint, or the mesh is
+		// being torn down), Close still has to be able to join this
+		// goroutine.
 		select {
 		case m.inbox[owner] <- frameOrErr{f: f}:
 		case <-m.done:
+			return
+		case <-m.epDone[owner]:
 			return
 		}
 	}
@@ -233,6 +252,12 @@ func (e *endpoint) Send(to proc.ID, f transport.Frame) error {
 	if to < 0 || int(to) >= e.mesh.n || to == e.id {
 		return fmt.Errorf("tcpnet: bad peer %v", to)
 	}
+	e.mesh.mu.Lock()
+	down := e.mesh.closed || e.mesh.epClosed[e.id]
+	e.mesh.mu.Unlock()
+	if down {
+		return fmt.Errorf("tcpnet: endpoint %v: %w", e.id, transport.ErrClosed)
+	}
 	conn := e.mesh.conns[e.id][to]
 	if conn == nil {
 		return fmt.Errorf("tcpnet: no connection %v -> %v", e.id, to)
@@ -263,16 +288,43 @@ func (e *endpoint) Recv() (transport.Frame, error) {
 	select {
 	case fe, ok := <-e.mesh.inbox[e.id]:
 		if !ok {
-			return transport.Frame{}, fmt.Errorf("tcpnet: mesh closed")
+			return transport.Frame{}, fmt.Errorf("tcpnet: mesh: %w", transport.ErrClosed)
 		}
 		if fe.err != nil {
 			return transport.Frame{}, fe.err
 		}
 		return fe.f, nil
+	case <-e.mesh.epDone[e.id]:
+		return transport.Frame{}, fmt.Errorf("tcpnet: endpoint %v: %w", e.id, transport.ErrClosed)
 	case <-timeout:
-		return transport.Frame{}, fmt.Errorf("tcpnet: node %v: no frame within %v (stalled peer)", e.id, e.mesh.opts.RecvTimeout)
+		return transport.Frame{}, fmt.Errorf("tcpnet: node %v: no frame within %v (stalled peer): %w",
+			e.id, e.mesh.opts.RecvTimeout, transport.ErrTimeout)
 	}
 }
 
-// Close implements transport.Endpoint: closes the whole mesh (idempotent).
-func (e *endpoint) Close() error { return e.mesh.Close() }
+// Close implements transport.Endpoint. It is scoped to this endpoint: it
+// severs only this node's connections and wakes only this node's pumps,
+// leaving the rest of the mesh exchanging frames. Use Mesh.Close for full
+// teardown. Idempotent.
+func (e *endpoint) Close() error { return e.mesh.closeEndpoint(int(e.id)) }
+
+// closeEndpoint severs one node's connections. Because each conns[i][j]
+// pairs with conns[j][i] as the two ends of one TCP connection, siblings'
+// pumps on links to this node observe a read failure — which they treat
+// as the expected teardown (see pump), not an error.
+func (m *Mesh) closeEndpoint(i int) error {
+	m.mu.Lock()
+	if m.closed || m.epClosed[i] {
+		m.mu.Unlock()
+		return nil
+	}
+	m.epClosed[i] = true
+	m.mu.Unlock()
+	close(m.epDone[i])
+	for _, c := range m.conns[i] {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+	return nil
+}

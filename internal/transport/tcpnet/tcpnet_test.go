@@ -1,8 +1,8 @@
 package tcpnet
 
 import (
+	"errors"
 	"fmt"
-	"strings"
 	"testing"
 	"time"
 
@@ -156,20 +156,60 @@ func TestCloseUnblocksWedgedPump(t *testing.T) {
 	}
 }
 
-func TestEndpointCloseClosesMesh(t *testing.T) {
-	mesh, err := New(2)
+// TestEndpointCloseScopedToEndpoint is the regression for the scoping
+// fix: closing one endpoint must sever only that node's links — siblings
+// keep exchanging frames over theirs, and Mesh.Close still tears the
+// whole mesh down afterwards.
+func TestEndpointCloseScopedToEndpoint(t *testing.T) {
+	mesh, err := New(3)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if err := mesh.Endpoints()[1].Close(); err != nil {
+	eps := mesh.Endpoints()
+	if err := eps[2].Close(); err != nil {
 		t.Fatalf("endpoint Close: %v", err)
 	}
-	if err := mesh.Endpoints()[0].Send(1, transport.Frame{From: 0, To: 1, Round: 1}); err == nil {
-		// The socket may buffer one write after close; a follow-up must fail.
-		time.Sleep(10 * time.Millisecond)
-		if err := mesh.Endpoints()[0].Send(1, transport.Frame{From: 0, To: 1, Round: 2}); err == nil {
-			t.Error("Send kept succeeding on a closed mesh")
+	if err := eps[2].Close(); err != nil {
+		t.Fatalf("second endpoint Close: %v", err)
+	}
+
+	// The closed endpoint fails fast with the typed sentinel.
+	if err := eps[2].Send(0, transport.Frame{From: 2, To: 0, Round: 1}); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("Send on closed endpoint = %v, want ErrClosed", err)
+	}
+	if _, err := eps[2].Recv(); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("Recv on closed endpoint = %v, want ErrClosed", err)
+	}
+
+	// Siblings of the closed endpoint keep working: 0 <-> 1 both ways.
+	for _, dir := range [][2]int{{0, 1}, {1, 0}} {
+		from, to := dir[0], dir[1]
+		want := transport.Frame{From: from, To: to, Round: 1, Has: true, Payload: fmt.Sprintf("%d->%d", from, to)}
+		if err := eps[from].Send(proc.ID(to), want); err != nil {
+			t.Fatalf("sibling Send %d->%d after endpoint close: %v", from, to, err)
 		}
+		got, err := eps[to].Recv()
+		if err != nil {
+			t.Fatalf("sibling Recv at %d after endpoint close: %v", to, err)
+		}
+		if got != want {
+			t.Fatalf("sibling Recv = %+v, want %+v", got, want)
+		}
+	}
+
+	// Full teardown still works and joins every pump.
+	if err := mesh.Close(); err != nil {
+		t.Fatalf("mesh Close after endpoint close: %v", err)
+	}
+	pumpsDone := make(chan struct{})
+	go func() {
+		mesh.readers.Wait()
+		close(pumpsDone)
+	}()
+	select {
+	case <-pumpsDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader pumps still running 5s after mesh Close")
 	}
 }
 
@@ -193,8 +233,8 @@ func TestRecvTimeoutOnStalledPeer(t *testing.T) {
 		if err == nil {
 			t.Fatal("Recv returned a frame from a silent peer")
 		}
-		if !strings.Contains(err.Error(), "stalled peer") {
-			t.Fatalf("Recv error = %v, want a stalled-peer timeout", err)
+		if !errors.Is(err, transport.ErrTimeout) {
+			t.Fatalf("Recv error = %v, want transport.ErrTimeout", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Recv blocked past its timeout on a stalled peer")

@@ -13,6 +13,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -21,6 +22,19 @@ import (
 	"expensive/internal/msg"
 	"expensive/internal/proc"
 	"expensive/internal/sim"
+)
+
+// Typed transport failures. Every mesh implementation wraps its own
+// timeout and shutdown errors with these sentinels so callers classify
+// failures with errors.Is instead of string matching: the dist scheduler
+// distinguishes a stalled peer (ErrTimeout, reassign its work) from an
+// orderly teardown (ErrClosed, stop quietly), and reconnecting workers
+// retry exactly the errors a redial can cure.
+var (
+	// ErrTimeout marks a receive that gave up waiting on a peer.
+	ErrTimeout = errors.New("transport: timeout")
+	// ErrClosed marks an operation on a closed endpoint or mesh.
+	ErrClosed = errors.New("transport: closed")
 )
 
 // DialRetry dials with bounded exponential backoff: up to attempts tries,
@@ -92,9 +106,13 @@ type NodeResult struct {
 func RunNode(ep Endpoint, n int, id proc.ID, machine sim.Machine, rounds int) NodeResult {
 	res := NodeResult{ID: id}
 	out := machine.Init()
-	// future buffers frames that arrive ahead of the local round counter
-	// (a peer may finish round r and emit r+1 before we drain r).
-	future := make(map[int][]Frame)
+	// future buffers frames keyed (round, sender), first frame winning: a
+	// peer may finish round r and emit r+1 before we drain r, and a chaotic
+	// link may duplicate or reorder frames. Keeping exactly one frame per
+	// (round, sender) and dropping stale rounds makes the bulk-synchronous
+	// step immune to both — the round barrier itself provides the dedup
+	// point, so no sequence numbers are needed on the wire.
+	future := make(map[int]map[int]Frame)
 
 	for r := 1; r <= rounds; r++ {
 		payloads := make(map[proc.ID]string, len(out))
@@ -117,6 +135,9 @@ func RunNode(ep Endpoint, n int, id proc.ID, machine sim.Machine, rounds int) No
 		}
 
 		frames := future[r]
+		if frames == nil {
+			frames = make(map[int]Frame, n-1)
+		}
 		delete(future, r)
 		for len(frames) < n-1 {
 			f, err := ep.Recv()
@@ -124,21 +145,29 @@ func RunNode(ep Endpoint, n int, id proc.ID, machine sim.Machine, rounds int) No
 				res.Err = fmt.Errorf("%s round %d: recv: %w", id, r, err)
 				return res
 			}
-			switch {
-			case f.Round == r:
-				frames = append(frames, f)
-			case f.Round > r:
-				future[f.Round] = append(future[f.Round], f)
-			default:
-				// Stale frame: a violation of the FIFO round protocol.
-				res.Err = fmt.Errorf("%s round %d: stale frame from p%d (round %d)", id, r, f.From, f.Round)
-				return res
+			if f.Round < r || f.From == int(id) || f.From < 0 || f.From >= n {
+				continue // stale duplicate of a completed round, or nonsense
+			}
+			if f.Round == r {
+				if _, dup := frames[f.From]; !dup {
+					frames[f.From] = f
+				}
+				continue
+			}
+			ahead := future[f.Round]
+			if ahead == nil {
+				ahead = make(map[int]Frame, n-1)
+				future[f.Round] = ahead
+			}
+			if _, dup := ahead[f.From]; !dup {
+				ahead[f.From] = f
 			}
 		}
 
 		var received []msg.Message
-		for _, f := range frames {
-			if !f.Has {
+		for p := 0; p < n; p++ {
+			f, ok := frames[p]
+			if !ok || !f.Has {
 				continue
 			}
 			received = append(received, msg.Message{
