@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"expensive"
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/balint"
 	"expensive/internal/crypto/sig"
 	"expensive/internal/experiments"
 	"expensive/internal/experiments/runner"
@@ -393,6 +395,26 @@ func BenchmarkShrink(b *testing.B) {
 		steps = sh.Steps
 	}
 	b.ReportMetric(float64(steps), "replays")
+}
+
+// BenchmarkBalint is the static-analysis gate's wall time: load the
+// whole module, type-check it, build the call graph and taint summaries,
+// and run all eight analyzers — the cost every `scripts/lint.sh` run and
+// CI lint job pays. A clean tree must yield only suppressed findings.
+func BenchmarkBalint(b *testing.B) {
+	b.ReportAllocs()
+	var findings int
+	for i := 0; i < b.N; i++ {
+		diags, err := balint.LintModule(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := len(analysis.Unsuppressed(diags)); n != 0 {
+			b.Fatalf("%d unsuppressed findings in a clean tree", n)
+		}
+		findings = len(diags)
+	}
+	b.ReportMetric(float64(findings), "findings")
 }
 
 func BenchmarkCheckCC(b *testing.B) {

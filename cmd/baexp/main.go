@@ -127,9 +127,11 @@ subcommands:
                  and -chaos wire faults, then demand byte-identity with the
                  serial oracle; -kind smr soaks the replicated log with
                  online safety/liveness monitors instead
-  lint [-list] [-v] [-dir D]
-                 run the balint analyzer suite (determinism, lean-tier and
-                 registry contracts) over the module
+  lint [-list] [-v] [-json] [-dir D]
+                 run the balint analyzer suite (determinism, lean-tier,
+                 registry, telemetry side-channel, sentinel and goroutine
+                 shutdown contracts) over the module; -json emits the
+                 findings array on stdout
 
 telemetry (exp, falsify, hunt, fuzz, matrix):
   -progress      live progress lines + final summary block on stderr
@@ -181,6 +183,7 @@ func runLint(args []string) error {
 	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the suite's analyzers and exit")
 	verbose := fs.Bool("v", false, "also print suppressed findings with their reasons")
+	jsonOut := fs.Bool("json", false, "write the findings (suppressed included) as a JSON array on stdout")
 	dir := fs.String("dir", ".", "module root to lint")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -199,13 +202,25 @@ func runLint(args []string) error {
 		return err
 	}
 	failing := analysis.Unsuppressed(diags)
-	for _, d := range failing {
-		fmt.Printf("%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	if *jsonOut {
+		if err := balint.EncodeJSON(os.Stdout, diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range failing {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if *verbose {
+		// Same stream contract as the telemetry flags: under -json the
+		// findings document owns stdout, chatter goes to stderr.
+		out := os.Stdout
+		if *jsonOut {
+			out = os.Stderr
+		}
 		for _, d := range diags {
 			if d.Suppressed {
-				fmt.Printf("%s:%d:%d: %s: suppressed (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Reason)
+				fmt.Fprintf(out, "%s:%d:%d: %s: suppressed (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Reason)
 			}
 		}
 	}

@@ -105,6 +105,31 @@ func TestTelemetryKeepsJSONStdoutClean(t *testing.T) {
 	}
 }
 
+// TestLintJSONStdoutClean extends the clean-stdout contract to `lint
+// -json`: the findings array (suppressed findings included) is the only
+// stdout content, and -v chatter lands on stderr.
+func TestLintJSONStdoutClean(t *testing.T) {
+	stdout, stderr, err := captureRun(t, []string{"lint", "-json", "-v", "-dir", "../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var findings []map[string]any
+	if uerr := json.Unmarshal(stdout, &findings); uerr != nil {
+		t.Fatalf("lint -json stdout is not one clean JSON document: %v\n%s", uerr, stdout)
+	}
+	if len(findings) == 0 {
+		t.Error("findings array is empty; the module's suppressed findings should be recorded")
+	}
+	for _, f := range findings {
+		if sup, _ := f["suppressed"].(bool); !sup {
+			t.Errorf("unsuppressed finding in a clean tree: %v", f)
+		}
+	}
+	if !bytes.Contains(stderr, []byte("suppressed (")) {
+		t.Errorf("-v chatter missing from stderr:\n%s", stderr)
+	}
+}
+
 // TestUsageOnErrorStaysOffStdout pins the stream split for diagnostics:
 // an unknown subcommand prints usage on stderr only.
 func TestUsageOnErrorStaysOffStdout(t *testing.T) {

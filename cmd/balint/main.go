@@ -1,16 +1,24 @@
-// Command balint runs the repo's analyzer suite — the five checks that
-// enforce the determinism, lean-tier and registry contracts — over the
+// Command balint runs the repo's analyzer suite — the eight checks that
+// enforce the determinism, lean-tier, registry, telemetry-side-channel,
+// sentinel-classification and goroutine-shutdown contracts — over the
 // whole module and exits non-zero on any unsuppressed diagnostic.
 //
 // Usage:
 //
-//	balint [-list] [-v] [dir]
+//	balint [-list] [-v] [-json] [dir]
 //
 // dir is the module root (default "."). Unlike a `go vet -vettool`
 // pass, balint loads the entire module into one type universe: the
 // maporder and leantier contracts are whole-program reachability
-// properties, which the per-package unitchecker protocol cannot see.
-// scripts/lint.sh runs balint alongside plain `go vet`.
+// properties, and the obstaint/goleak dataflow runs on the same shared
+// callgraph — none of which the per-package unitchecker protocol can
+// see. scripts/lint.sh runs balint alongside plain `go vet`.
+//
+// With -json, stdout carries exactly one JSON array of findings
+// (suppressed ones included and marked, deterministically ordered) and
+// nothing else; all human-oriented output moves to stderr, so the
+// artifact pipes into jq or an upload step unfiltered. The exit code
+// still reflects only unsuppressed findings.
 package main
 
 import (
@@ -23,44 +31,69 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "print the registered analyzers and exit")
-	verbose := flag.Bool("v", false, "also print suppressed diagnostics with their reasons")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: balint [-list] [-v] [dir]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main with the process edges cut off: flags in, exit code out,
+// streams via os.Stdout/os.Stderr so tests can capture them.
+func run(args []string) int {
+	fs := flag.NewFlagSet("balint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	verbose := fs.Bool("v", false, "also print suppressed diagnostics with their reasons")
+	jsonOut := fs.Bool("json", false, "write the findings (suppressed included) as a JSON array on stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: balint [-list] [-v] [-json] [dir]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range balint.Suite() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Summary())
 		}
-		return
+		return 0
 	}
 
 	dir := "."
-	if flag.NArg() > 0 {
-		dir = flag.Arg(0)
+	if fs.NArg() > 0 {
+		dir = fs.Arg(0)
 	}
 	diags, err := balint.LintModule(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "balint:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	failing := analysis.Unsuppressed(diags)
-	for _, d := range failing {
-		fmt.Printf("%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	if *jsonOut {
+		if err := balint.EncodeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "balint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range failing {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if *verbose {
+		// Human chatter: stdout in text mode, stderr under -json so the
+		// findings document stays the only stdout bytes.
+		out := os.Stdout
+		if *jsonOut {
+			out = os.Stderr
+		}
 		for _, d := range diags {
 			if d.Suppressed {
-				fmt.Printf("%s:%d:%d: %s: suppressed (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Reason)
+				fmt.Fprintf(out, "%s:%d:%d: %s: suppressed (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Reason)
 			}
 		}
 	}
 	if len(failing) > 0 {
 		fmt.Fprintf(os.Stderr, "balint: %d unsuppressed diagnostic(s)\n", len(failing))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

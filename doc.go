@@ -305,7 +305,7 @@
 // level and recording tier, lean probes never touching full-trace APIs,
 // every protocol discoverable through the registry — are enforced
 // mechanically, not just by tests. The balint suite (internal/analysis,
-// cmd/balint, `baexp lint`) runs five analyzers over the whole module:
+// cmd/balint, `baexp lint`) runs eight analyzers over the whole module:
 // maporder (no map iteration on report-encoding paths unless the keys
 // are collected and sorted), wallclock (no time.Now/time.Since in probe
 // or fold code outside the runner.Stopwatch wrappers and the sanctioned
@@ -313,8 +313,23 @@
 // process-global math/rand), leantier (no full-trace-only API reachable
 // from a RecordDecisions probe loop unless guarded on the recording
 // tier), and regcheck (a package defining a catalog.Spec must Register
-// it at init and be linked into internal/catalog/all). Deliberate
-// exceptions carry a `//balint:allow <analyzer> <reason>` directive —
-// the reason is mandatory, and scripts/lint.sh (run by CI on every
-// push) fails on any unsuppressed finding.
+// it at init and be linked into internal/catalog/all).
+//
+// Three more ride on a forward taint engine (internal/analysis/taint —
+// intraprocedural fixpoint plus one-level interprocedural summaries
+// over the shared call graph) and on call-graph v2's go-statement and
+// channel-operation sites: obstaint (telemetry- and stopwatch-derived
+// values must not reach an encoded report field or a json.Marshal
+// argument; matrix.Grid.Timing is the sanctioned -timing sink and
+// runner.Result.wall_ms carries an explicit allow), errcmp (sentinel
+// errors classify via errors.Is, never ==/switch, and fmt.Errorf wraps
+// them with %w so classification survives wrapping), and goleak (every
+// goroutine launched in dist, transport, smr, churn and obs must be
+// provably stoppable — unbounded loops need a done/ctx receive or a
+// Recv/Accept-and-return shape, and unseen bodies need a documented
+// lifetime). Deliberate exceptions carry a `//balint:allow <analyzer>
+// <reason>` directive — the reason is mandatory, and scripts/lint.sh
+// (run by CI on every push) fails on any unsuppressed finding; `balint
+// -json` emits the full findings array, suppressed ones marked, which
+// CI uploads as a build artifact.
 package expensive

@@ -1,15 +1,24 @@
 // Package balint assembles the repo's analyzer suite: maporder,
-// wallclock, globalrand, leantier and regcheck, the five checks that
-// mechanically enforce the determinism, lean-tier and registry contracts
-// documented in the README's "Static analysis" section. cmd/balint and
-// `baexp lint` are thin frontends over this package.
+// wallclock, globalrand, leantier and regcheck enforce the determinism,
+// lean-tier and registry contracts; obstaint, errcmp and goleak — the
+// dataflow tier built on the taint engine and callgraph v2 — enforce
+// the telemetry side-channel, sentinel-classification and
+// goroutine-shutdown contracts of the concurrent subsystems. All eight
+// are documented in the README's "Static analysis" section. cmd/balint
+// and `baexp lint` are thin frontends over this package.
 package balint
 
 import (
+	"encoding/json"
+	"io"
+
 	"expensive/internal/analysis"
+	"expensive/internal/analysis/errcmp"
 	"expensive/internal/analysis/globalrand"
+	"expensive/internal/analysis/goleak"
 	"expensive/internal/analysis/leantier"
 	"expensive/internal/analysis/maporder"
+	"expensive/internal/analysis/obstaint"
 	"expensive/internal/analysis/regcheck"
 	"expensive/internal/analysis/wallclock"
 )
@@ -23,6 +32,9 @@ func Suite() []*analysis.Analyzer {
 		globalrand.Analyzer,
 		leantier.Analyzer,
 		regcheck.Analyzer,
+		obstaint.Analyzer,
+		errcmp.Analyzer,
+		goleak.Analyzer,
 	}
 }
 
@@ -44,4 +56,43 @@ func LintModule(dir string) ([]analysis.Diagnostic, error) {
 		return nil, err
 	}
 	return analysis.Run(prog, Suite(), Names())
+}
+
+// Finding is the machine-readable form of one diagnostic, the element
+// type of `balint -json` output and the CI findings artifact.
+type Finding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// Findings converts diagnostics to their machine-readable form,
+// preserving the deterministic position order analysis.Run returns.
+func Findings(diags []analysis.Diagnostic) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, Finding{
+			File:       d.Pos.Filename,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+			Reason:     d.Reason,
+		})
+	}
+	return out
+}
+
+// EncodeJSON writes every diagnostic — suppressed ones marked, so the
+// artifact records the allow decisions too — as one JSON array followed
+// by a newline. The array is never null: a clean tree encodes as [],
+// keeping downstream jq pipelines unconditional.
+func EncodeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(Findings(diags))
 }

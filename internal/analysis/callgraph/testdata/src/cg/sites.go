@@ -1,0 +1,38 @@
+// Fixture exercising the v2 site recording: go statements (static
+// target and literal), channel send/receive/close, and done-receive
+// detection for ctx.Done() calls and done-named channels.
+package cg
+
+type ctxLike struct{}
+
+func (ctxLike) Done() <-chan struct{} { return nil }
+
+// Spawn launches one named worker and one literal, then drives the
+// channel: a send, a close, and — inside the literal — plain and
+// shutdown receives.
+func Spawn(c ctxLike) {
+	ch := make(chan int)
+	stop := make(chan struct{})
+	go worker(ch) // go site with static target
+	go func() {   // go site with literal
+		for {
+			select {
+			case v := <-ch: // plain receive
+				_ = v
+			case <-stop: // done receive by name
+				return
+			case <-c.Done(): // done receive via Done()
+				return
+			}
+		}
+	}()
+	ch <- 1
+	close(ch)
+}
+
+// worker ranges over the channel: a receive site that ends when the
+// channel closes.
+func worker(ch chan int) {
+	for range ch {
+	}
+}

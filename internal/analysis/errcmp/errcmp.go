@@ -1,0 +1,188 @@
+// Package errcmp implements the balint analyzer that enforces sentinel
+// error hygiene everywhere in the module: comparisons against typed
+// sentinels — the module's own Err* package variables (transport.ErrTimeout,
+// transport.ErrClosed, dist.ErrDrained, ...) and the usual stdlib set
+// (io.EOF, net.ErrClosed, os.ErrDeadlineExceeded, ...) — must go through
+// errors.Is, never `==`, `!=` or `switch err { case sentinel }`. The
+// classification paths in dist and transport wrap socket errors in
+// fmt.Errorf chains; a raw equality silently stops matching the moment
+// anyone adds context with %w, and that kind of misclassification
+// quarantines healthy workers. For the same reason, wrapping a sentinel
+// with fmt.Errorf requires the %w verb — %v flattens the chain and
+// errors.Is on the far side goes blind.
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"expensive/internal/analysis"
+)
+
+// Analyzer is the errcmp analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc: "flags ==/!=/switch comparisons against error sentinels and %w-less sentinel wrapping\n\n" +
+		"Typed sentinels classify link and scheduler errors across wrap\n" +
+		"boundaries; only errors.Is follows the chain. Raw equality breaks\n" +
+		"silently when a call site adds fmt.Errorf context, and fmt.Errorf\n" +
+		"without %w is exactly that break, one level earlier.",
+	Run: run,
+}
+
+// stdlibSentinels are well-known stdlib error values compared by
+// identity in careless code; the module's own sentinels are any
+// package-level error variable named Err*.
+var stdlibSentinels = map[string]bool{
+	"io.EOF":                   true,
+	"io.ErrUnexpectedEOF":      true,
+	"io.ErrClosedPipe":         true,
+	"net.ErrClosed":            true,
+	"os.ErrDeadlineExceeded":   true,
+	"os.ErrNotExist":           true,
+	"os.ErrExist":              true,
+	"io/fs.ErrNotExist":        true,
+	"io/fs.ErrClosed":          true,
+	"context.Canceled":         true,
+	"context.DeadlineExceeded": true,
+}
+
+const sentinelsKey = "errcmp.sentinels"
+
+// sentinels collects the sentinel objects once per program: every
+// package-level var of an error-implementing type whose name starts
+// with Err in a program package, plus the stdlib set (matched by
+// qualified name so it works through any import).
+func sentinels(prog *analysis.Program) map[types.Object]bool {
+	if s, ok := prog.Cache[sentinelsKey].(map[types.Object]bool); ok {
+		return s
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	set := map[types.Object]bool{}
+	for _, pkg := range prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			v, ok := scope.Lookup(name).(*types.Var)
+			if !ok || !strings.HasPrefix(name, "Err") {
+				continue
+			}
+			if types.Implements(v.Type(), errType) {
+				set[v] = true
+			}
+		}
+	}
+	prog.Cache[sentinelsKey] = set
+	return set
+}
+
+// sentinelOf resolves e to a sentinel object, returning its display
+// name ("transport.ErrTimeout", "io.EOF") or "" when e is no sentinel.
+func sentinelOf(prog *analysis.Program, info *types.Info, e ast.Expr) string {
+	var obj types.Object
+	switch x := analysis.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		obj = info.ObjectOf(x.Sel)
+	default:
+		return ""
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	qualified := v.Pkg().Path() + "." + v.Name()
+	if stdlibSentinels[qualified] || sentinels(prog)[v] {
+		short := qualified
+		if i := strings.LastIndex(short, "/"); i >= 0 {
+			short = short[i+1:]
+		}
+		return short
+	}
+	return ""
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := analysis.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := info.ObjectOf(id).(*types.Nil)
+	return isNilObj
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.BinaryExpr:
+				if s.Op != token.EQL && s.Op != token.NEQ {
+					return true
+				}
+				for _, pair := range [2][2]ast.Expr{{s.X, s.Y}, {s.Y, s.X}} {
+					name := sentinelOf(pass.Program, info, pair[0])
+					if name == "" || isNil(info, pair[1]) {
+						continue
+					}
+					pass.Reportf(s.Pos(),
+						"%s compared with %s: use errors.Is so wrapped sentinels still classify",
+						name, s.Op)
+					break
+				}
+			case *ast.SwitchStmt:
+				if s.Tag == nil {
+					return true
+				}
+				if t := info.TypeOf(s.Tag); t == nil || !isErrorType(t) {
+					return true
+				}
+				for _, clause := range s.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name := sentinelOf(pass.Program, info, e); name != "" {
+							pass.Reportf(e.Pos(),
+								"%s matched by switch case: use errors.Is so wrapped sentinels still classify",
+								name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorf(pass, info, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf flags fmt.Errorf calls that pass a sentinel without
+// wrapping it: a literal format string with no %w verb loses the chain.
+// Non-literal formats are skipped — the verb cannot be read statically.
+func checkErrorf(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	fn := analysis.FuncObject(info, call.Fun)
+	if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := analysis.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if name := sentinelOf(pass.Program, info, arg); name != "" {
+			pass.Reportf(arg.Pos(),
+				"%s wrapped without %%w: fmt.Errorf with %%v/%%s breaks errors.Is downstream",
+				name)
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}

@@ -1,0 +1,14 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/analysistest"
+	"expensive/internal/analysis/errcmp"
+)
+
+func TestErrcmp(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{errcmp.Analyzer},
+		"ec", "expensive/internal/transport")
+}

@@ -1,0 +1,55 @@
+// Fixture with every errcmp shape: raw equality, switch cases, %w-less
+// wrapping — against module sentinels (stubbed transport and this
+// package's own Err* var) and stdlib ones. errors.Is, nil comparisons
+// and %w wrapping stay clean.
+package ec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"expensive/internal/transport"
+)
+
+var ErrLocal = errors.New("ec: local")
+
+func Classify(err error) string {
+	if err == transport.ErrTimeout { // want "transport.ErrTimeout compared with =="
+		return "timeout"
+	}
+	if err != io.EOF { // want "io.EOF compared with !="
+		return "other"
+	}
+	if ErrLocal == err { // want "ec.ErrLocal compared with =="
+		return "local"
+	}
+	switch err {
+	case transport.ErrClosed: // want "transport.ErrClosed matched by switch case"
+		return "closed"
+	case nil:
+		return ""
+	}
+	return ""
+}
+
+func Wrap(err error) error {
+	if errors.Is(err, transport.ErrTimeout) {
+		return fmt.Errorf("attempt: %w", transport.ErrTimeout)
+	}
+	return fmt.Errorf("attempt: %v", transport.ErrTimeout) // want "wrapped without %w"
+}
+
+func NilChecks(err error) bool {
+	// Comparisons against nil are the sanctioned use of ==.
+	return err == nil || transport.ErrTimeout != nil
+}
+
+func NonError(s string) bool {
+	// A string switch sharing a sentinel-ish name is no error switch.
+	switch s {
+	case "ErrTimeout":
+		return true
+	}
+	return false
+}

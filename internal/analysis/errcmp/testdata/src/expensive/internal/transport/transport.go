@@ -1,0 +1,9 @@
+// Fixture stub of the transport sentinels.
+package transport
+
+import "errors"
+
+var (
+	ErrTimeout = errors.New("transport: timeout")
+	ErrClosed  = errors.New("transport: closed")
+)

@@ -1,0 +1,214 @@
+// Package goleak implements the balint analyzer that demands a shutdown
+// path for every goroutine launched in the concurrent subsystems (dist,
+// transport, smr, obs, churn). The worker-churn soak kills and respawns
+// processes for hours; one goroutine that outlives its owner leaks a
+// connection or a timer per churn event and the harness drowns. A
+// launch is provably stoppable when every unbounded loop in what it
+// runs either receives from a shutdown channel (ctx.Done(), or a
+// channel named like done/stop/quit/close) or is a Recv/Accept loop
+// that returns on error once its endpoint closes. Bounded loops —
+// conditioned, range — need no proof.
+//
+// The proof looks at the launched body plus one level of statically
+// resolved module callees: `go h.run()` is judged by run's body, and
+// `go func(){ w.Run() }()` by the literal plus Run. Launches whose
+// target has no body in the module (stdlib, dynamic calls through
+// function values or interfaces) cannot be judged at all and are
+// findings by default — the //balint:allow reason is where the
+// lifecycle argument gets written down, as with http.Server.Serve,
+// whose accept loop is tied to DebugServer.Close.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/callgraph"
+)
+
+// Analyzer is the goleak analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "flags goroutines in the concurrent subsystems without a provable shutdown path\n\n" +
+		"Every go statement in dist, transport, smr and obs (churn and the\n" +
+		"transport substrates included) must be stoppable: unbounded loops\n" +
+		"need a done/ctx receive or a Recv/Accept return, and launches of\n" +
+		"bodiless targets need a written lifecycle argument in a\n" +
+		"//balint:allow reason.",
+	Run: run,
+}
+
+// scopes are the package prefixes whose goroutines must prove a
+// shutdown path: the long-lived concurrent subsystems the churn soak
+// exercises. dist covers churn, transport covers the substrates.
+var scopes = []string{
+	"expensive/internal/dist",
+	"expensive/internal/obs",
+	"expensive/internal/smr",
+	"expensive/internal/transport",
+}
+
+func inScope(path string) bool {
+	for _, s := range scopes {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path) {
+		return nil
+	}
+	g := callgraph.Of(pass.Program)
+	check := func(node *callgraph.Node) {
+		if node == nil {
+			return
+		}
+		for _, site := range node.GoSites {
+			checkSite(pass, g, site)
+		}
+	}
+	// Walk the package's declared functions in file order: the go sites
+	// recorded on their graph nodes are exactly the go statements in this
+	// package's files (literals flatten into the enclosing declaration).
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func); fn != nil {
+				check(g.Node(fn))
+			}
+		}
+	}
+	// Package-level variable initializers launching goroutines land on
+	// the synthetic init node.
+	check(g.InitNode(pass.Pkg))
+	return nil
+}
+
+// checkSite judges one go statement.
+func checkSite(pass *analysis.Pass, g *callgraph.Graph, site callgraph.GoSite) {
+	var root *ast.BlockStmt
+	switch {
+	case site.Lit != nil:
+		root = site.Lit.Body
+	case site.Target != nil:
+		node := g.Node(site.Target)
+		if node == nil || node.Decl == nil || node.Decl.Body == nil {
+			pass.Reportf(site.Stmt.Pos(),
+				"goroutine launches %s, which has no body in the module: not provably stoppable — tie its lifetime to a Close and record the argument in a //balint:allow reason",
+				site.Target.FullName())
+			return
+		}
+		root = node.Decl.Body
+	default:
+		pass.Reportf(site.Stmt.Pos(),
+			"goroutine launches a dynamic call: not provably stoppable — launch a named function, or record the lifecycle argument in a //balint:allow reason")
+		return
+	}
+
+	// The proof obligation: the launched body plus one level of static
+	// module callees.
+	bodies := []*ast.BlockStmt{root}
+	seen := map[*ast.BlockStmt]bool{root: true}
+	for _, body := range directCallees(pass, g, root) {
+		if !seen[body] {
+			seen[body] = true
+			bodies = append(bodies, body)
+		}
+	}
+	for _, body := range bodies {
+		if pos, ok := unstoppableLoop(body); ok {
+			p := pass.Program.Fset.Position(pos)
+			pass.Reportf(site.Stmt.Pos(),
+				"goroutine is not provably stoppable: unbounded loop at %s:%d has no done/ctx receive and no Recv/Accept return",
+				filepath.Base(p.Filename), p.Line)
+			return
+		}
+	}
+}
+
+// directCallees resolves the static module calls made directly by body,
+// returning their bodies. One level only, by contract: deeper loops are
+// the callee's own obligation when it is itself launched, and launching
+// a deep wrapper around an unbounded loop should restructure, not lint
+// its way through.
+func directCallees(pass *analysis.Pass, g *callgraph.Graph, body *ast.BlockStmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.FuncObject(pass.Pkg.Info, call.Fun)
+		if fn == nil {
+			return true
+		}
+		if node := g.Node(fn); node != nil && node.Decl != nil && node.Decl.Body != nil {
+			out = append(out, node.Decl.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// unstoppableLoop finds the first unbounded for loop in body with no
+// shutdown path, returning its position. Unbounded means no loop
+// condition (`for {` and `for ; ; {` alike — an init/post clause bounds
+// nothing). A loop is cleared by a receive from a shutdown channel
+// (callgraph.DoneChan) or by a Recv/Accept call paired with a return
+// statement — the endpoint-close-tied reader idiom, where Close makes
+// Recv fail and the error path exits. Nested function literals are
+// skipped in the clearing scan: their receives and returns run on some
+// other goroutine's clock.
+func unstoppableLoop(body *ast.BlockStmt) (token.Pos, bool) {
+	var found token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !stoppable(loop.Body) {
+			found = loop.Pos()
+			return false
+		}
+		return true
+	})
+	return found, found != token.NoPos
+}
+
+// stoppable scans one unbounded loop body for a shutdown path.
+func stoppable(body *ast.BlockStmt) bool {
+	doneRecv, recvCall, returns := false, false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW && callgraph.DoneChan(s.X) {
+				doneRecv = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := analysis.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Recv" || sel.Sel.Name == "Accept" {
+					recvCall = true
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = true
+		}
+		return true
+	})
+	return doneRecv || (recvCall && returns)
+}

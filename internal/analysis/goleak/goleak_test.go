@@ -1,0 +1,14 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/analysistest"
+	"expensive/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{goleak.Analyzer},
+		"expensive/internal/dist", "outside")
+}

@@ -1,0 +1,93 @@
+// Fixture covering every goleak verdict: done-channel and ctx-style
+// selects, Recv/Accept reader loops, bounded loops and one-level callee
+// proofs stay clean; unbounded loops without a shutdown path, bodiless
+// targets and dynamic launches are findings.
+package dist
+
+import "time"
+
+type conn struct{}
+
+func (conn) Recv() (int, error) { return 0, nil }
+
+type ctxLike struct{}
+
+func (ctxLike) Done() <-chan struct{} { return nil }
+
+type worker struct {
+	stopCh chan struct{}
+	ch     chan int
+}
+
+// run owns the done-select loop the one-level proof finds.
+func (w *worker) run() {
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case v := <-w.ch:
+			_ = v
+		}
+	}
+}
+
+func work() {}
+
+// Clean launches: every shape with a provable shutdown path.
+func Clean(c conn, ctx ctxLike, w *worker, n int) {
+	done := make(chan struct{})
+	go func() { // done-channel select
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-w.ch:
+				_ = v
+			}
+		}
+	}()
+	go func() { // ctx.Done() receive
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go reader(c) // Recv loop returning on error
+	go func() {  // bounded loop needs no proof
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+	go func() { w.run() }() // one level deep: run's loop is cleared
+}
+
+// reader is the endpoint-close-tied idiom: Close makes Recv fail and
+// the error path exits the loop.
+func reader(c conn) {
+	for {
+		if _, err := c.Recv(); err != nil {
+			return
+		}
+	}
+}
+
+// Leaky launches: findings.
+func Leaky(fn func()) {
+	go func() { // want "unbounded loop at dist.go:"
+		for {
+			work()
+		}
+	}()
+	go spin()                  // want "unbounded loop at dist.go:"
+	go time.Sleep(time.Second) // want "no body in the module"
+	go fn()                    // want "dynamic call"
+}
+
+// spin has the unbounded loop the named-target judgment must find.
+func spin() {
+	for {
+		work()
+	}
+}

@@ -1,0 +1,13 @@
+// Fixture outside the concurrent subsystems: the same leaky shape is
+// not goleak's business here.
+package outside
+
+func work() {}
+
+func Leaky() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,45 @@
+// Fixture with real violations: telemetry-derived values reaching
+// encoded report fields and marshal calls.
+package flagged
+
+import (
+	"encoding/json"
+
+	"expensive/internal/experiments/runner"
+	"expensive/internal/obs"
+)
+
+type Report struct {
+	Probes int     `json:"probes"`
+	WallMS float64 `json:"wall_ms"`
+	Wall   float64 `json:"-"`
+}
+
+// Build leaks a stopwatch wall and a counter read into encoded fields;
+// the json:"-" field stays clean.
+func Build(c *obs.Counter) *Report {
+	sw := runner.StartWall()
+	wall := sw.Wall()
+	r := &Report{
+		WallMS: float64(wall) / 1e6, // want "encoded field flagged.Report.WallMS"
+	}
+	r.Wall = float64(wall)
+	r.Probes = int(c.Value()) // want "encoded field flagged.Report.Probes"
+	return r
+}
+
+// ViaStats leaks through the WallStats wrapper: only the one-level
+// summary connects the dots.
+func ViaStats() Report {
+	sw := runner.StartWall()
+	_, ms, _ := sw.WallStats(10)
+	var r Report
+	r.WallMS = ms // want "encoded field flagged.Report.WallMS"
+	return r
+}
+
+// Dump marshals a histogram read directly.
+func Dump(h *obs.Histogram) ([]byte, error) {
+	p99 := h.Quantile(0.99)
+	return json.Marshal(p99) // want "marshaled into a report"
+}

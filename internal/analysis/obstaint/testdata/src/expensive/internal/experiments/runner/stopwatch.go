@@ -1,0 +1,23 @@
+// Fixture stub of runner.Stopwatch. Wall is the configured source;
+// WallStats is deliberately NOT listed as a source — the engine's
+// one-level summary must catch it because its results derive from Wall.
+package runner
+
+import "time"
+
+type Stopwatch struct {
+	start time.Time
+}
+
+func StartWall() Stopwatch { return Stopwatch{start: time.Now()} }
+
+func (s Stopwatch) Wall() time.Duration { return time.Since(s.start) }
+
+func (s Stopwatch) WallStats(probes int) (wall time.Duration, wallMS, perSec float64) {
+	wall = s.Wall()
+	wallMS = float64(wall) / 1e6
+	if wallMS > 0 {
+		perSec = float64(probes) / (wallMS / 1e3)
+	}
+	return wall, wallMS, perSec
+}

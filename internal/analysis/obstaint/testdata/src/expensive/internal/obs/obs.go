@@ -1,0 +1,13 @@
+// Fixture stub of the real obs instruments: the read methods are the
+// obstaint sources.
+package obs
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc()         { c.v++ }
+func (c *Counter) Value() int64 { return c.v }
+
+type Histogram struct{ sum int64 }
+
+func (h *Histogram) Observe(v int64)          { h.sum += v }
+func (h *Histogram) Quantile(q float64) int64 { return h.sum }

@@ -1,0 +1,14 @@
+// Fixture outside the scoped packages: the same leak shapes produce no
+// findings because the sink rule only covers report-producing packages.
+package outside
+
+import "expensive/internal/experiments/runner"
+
+type Report struct {
+	WallMS float64 `json:"wall_ms"`
+}
+
+func Build() Report {
+	sw := runner.StartWall()
+	return Report{WallMS: float64(sw.Wall()) / 1e6}
+}

@@ -1,0 +1,522 @@
+// Package taint implements the intraprocedural forward taint engine the
+// balint dataflow analyzers (obstaint) build on. Taint is seeded at
+// calls to configured source functions — matched by types.Func FullName
+// over the shared whole-program type universe — and propagated to a
+// fixpoint through assignments, composite literals, field reads and
+// writes, conversions, arithmetic, and range statements. Precision is
+// per-object plus per-(object, field): writing a tainted value into g.Wall
+// taints exactly that field of g, so reading g.Probes next to it stays
+// clean.
+//
+// Interprocedural reasoning is deliberately one level deep: every module
+// function gets a summary — "returns a source-derived value" and "passes
+// parameter i through to a result" — computed with the same
+// intraprocedural engine but consulting no further summaries. Call sites
+// consult callee summaries (interface calls widen over every concrete
+// implementation via the callgraph), which is exactly enough to catch
+// wrappers like Stopwatch.WallStats without whole-program fixpoints.
+// Deeper chains (a wrapper of a wrapper) are invisible by design; the
+// analyzers that need more list the wrapper itself as a source.
+//
+// Known propagation limits, chosen for explainable verdicts: taint does
+// not flow through channels, does not follow values stored via method
+// calls on other objects, and a method call on a tainted receiver is
+// considered tainted (reading any projection of a tainted value stays
+// tainted).
+package taint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/callgraph"
+)
+
+// Config selects the taint sources.
+type Config struct {
+	// Sources are the FullNames of functions and methods whose call
+	// results are tainted, e.g. "(expensive/internal/experiments/runner.Stopwatch).Wall".
+	Sources map[string]bool
+}
+
+// Engine runs taint analysis for one source configuration over one
+// program, memoizing function summaries.
+type Engine struct {
+	prog      *analysis.Program
+	graph     *callgraph.Graph
+	cfg       Config
+	summaries map[*types.Func]*summary
+}
+
+// summary is the one-level interprocedural abstraction of a module
+// function.
+type summary struct {
+	// sourceReturn: some result is derived from a source call in the body.
+	sourceReturn bool
+	// passThrough[i]: taint entering parameter i can reach a result.
+	passThrough []bool
+}
+
+// For returns the engine for (prog, key), building and caching it on
+// first use. Analyzers use their own name as key so source sets never
+// collide in the program cache.
+func For(prog *analysis.Program, key string, cfg Config) *Engine {
+	cacheKey := "taint." + key
+	if e, ok := prog.Cache[cacheKey].(*Engine); ok {
+		return e
+	}
+	e := &Engine{
+		prog:      prog,
+		graph:     callgraph.Of(prog),
+		cfg:       cfg,
+		summaries: map[*types.Func]*summary{},
+	}
+	prog.Cache[cacheKey] = e
+	return e
+}
+
+// fieldRef keys per-field taint: base is the root object of the selector
+// chain, field the selected field name. Nested chains collapse onto the
+// leaf field, an over-approximation with the strict polarity.
+type fieldRef struct {
+	base  types.Object
+	field string
+}
+
+// state is the monotone fact set of one fixpoint run.
+type state struct {
+	objs   map[types.Object]bool
+	fields map[fieldRef]bool
+}
+
+func newState() *state {
+	return &state{objs: map[types.Object]bool{}, fields: map[fieldRef]bool{}}
+}
+
+// Result answers taint queries about one analyzed function body.
+type Result struct {
+	eng  *Engine
+	pkg  *analysis.Package
+	st   *state
+	srcs bool
+}
+
+// Tainted reports whether expr evaluates to a source-derived value in
+// the analyzed body's fixpoint state.
+func (r *Result) Tainted(expr ast.Expr) bool {
+	return r.eng.taintedExpr(r.pkg, r.st, expr, r.srcs)
+}
+
+// Function analyzes fd's body (function literals inside it included) to
+// a fixpoint and returns the query handle. fd must belong to pkg.
+func (e *Engine) Function(pkg *analysis.Package, fd *ast.FuncDecl) *Result {
+	st := newState()
+	if fd.Body != nil {
+		e.fixpoint(pkg, fd.Body, st, true)
+	}
+	return &Result{eng: e, pkg: pkg, st: st, srcs: true}
+}
+
+// fixpoint applies the statement transfer functions until no new fact
+// appears. Facts only grow, so termination is bounded by the number of
+// objects and fields mentioned in the body.
+func (e *Engine) fixpoint(pkg *analysis.Package, body ast.Node, st *state, srcs bool) {
+	for e.pass(pkg, body, st, srcs) {
+	}
+}
+
+// pass runs one transfer sweep; reports whether the state grew.
+func (e *Engine) pass(pkg *analysis.Package, body ast.Node, st *state, srcs bool) bool {
+	changed := false
+	mark := func(lhs ast.Expr) {
+		if e.setTaint(pkg, st, lhs) {
+			changed = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+				// Tuple assignment from a call, map index or type assert:
+				// one tainted producer taints every destination.
+				if e.taintedExpr(pkg, st, s.Rhs[0], srcs) {
+					for _, lhs := range s.Lhs {
+						mark(lhs)
+					}
+				}
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				if i < len(s.Lhs) && e.taintedExpr(pkg, st, rhs, srcs) {
+					mark(s.Lhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if len(vs.Names) > 1 && len(vs.Values) == 1 {
+					if e.taintedExpr(pkg, st, vs.Values[0], srcs) {
+						for _, name := range vs.Names {
+							mark(name)
+						}
+					}
+					continue
+				}
+				for i, v := range vs.Values {
+					if i < len(vs.Names) && e.taintedExpr(pkg, st, v, srcs) {
+						mark(vs.Names[i])
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if e.taintedExpr(pkg, st, s.X, srcs) {
+				if s.Key != nil {
+					mark(s.Key)
+				}
+				if s.Value != nil {
+					mark(s.Value)
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// setTaint records taint at an assignment destination; reports whether
+// the fact is new. Blank identifiers absorb taint silently.
+func (e *Engine) setTaint(pkg *analysis.Package, st *state, lhs ast.Expr) bool {
+	switch x := analysis.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return false
+		}
+		obj := pkg.Info.ObjectOf(x)
+		if obj == nil || st.objs[obj] {
+			return false
+		}
+		st.objs[obj] = true
+		return true
+	case *ast.SelectorExpr:
+		obj := pkg.Info.ObjectOf(x.Sel)
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			// Package-qualified variable.
+			if st.objs[v] {
+				return false
+			}
+			st.objs[v] = true
+			return true
+		}
+		root := rootObject(pkg.Info, x.X)
+		if root == nil {
+			return false
+		}
+		ref := fieldRef{base: root, field: x.Sel.Name}
+		if st.fields[ref] {
+			return false
+		}
+		st.fields[ref] = true
+		return true
+	case *ast.IndexExpr:
+		// m[k] = tainted taints the whole container.
+		return e.setTaint(pkg, st, x.X)
+	case *ast.StarExpr:
+		// *p = tainted taints what p names, coarsely.
+		return e.setTaint(pkg, st, x.X)
+	}
+	return false
+}
+
+// rootObject walks a selector/index/deref chain down to its base
+// identifier's object.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := analysis.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// taintedExpr evaluates whether expr produces a tainted value under st.
+// srcs gates source seeding: summary computation for pass-through runs
+// with sources off so the two summary bits stay independent.
+func (e *Engine) taintedExpr(pkg *analysis.Package, st *state, expr ast.Expr, srcs bool) bool {
+	info := pkg.Info
+	switch x := analysis.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(x)
+		return obj != nil && st.objs[obj]
+	case *ast.SelectorExpr:
+		obj := info.ObjectOf(x.Sel)
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			return st.objs[v]
+		}
+		if root := rootObject(info, x.X); root != nil {
+			if st.fields[fieldRef{base: root, field: x.Sel.Name}] {
+				return true
+			}
+		}
+		// A projection of a tainted value is tainted.
+		return e.taintedExpr(pkg, st, x.X, srcs)
+	case *ast.CallExpr:
+		return e.taintedCall(pkg, st, x, srcs)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if e.taintedExpr(pkg, st, v, srcs) {
+				return true
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		return e.taintedExpr(pkg, st, x.X, srcs)
+	case *ast.BinaryExpr:
+		return e.taintedExpr(pkg, st, x.X, srcs) || e.taintedExpr(pkg, st, x.Y, srcs)
+	case *ast.StarExpr:
+		return e.taintedExpr(pkg, st, x.X, srcs)
+	case *ast.IndexExpr:
+		return e.taintedExpr(pkg, st, x.X, srcs)
+	case *ast.SliceExpr:
+		return e.taintedExpr(pkg, st, x.X, srcs)
+	case *ast.TypeAssertExpr:
+		return e.taintedExpr(pkg, st, x.X, srcs)
+	case *ast.KeyValueExpr:
+		return e.taintedExpr(pkg, st, x.Value, srcs)
+	}
+	return false
+}
+
+// taintedCall handles the call forms: conversions propagate their
+// operand, source calls seed, module callees answer via their one-level
+// summary, interface calls widen over every concrete implementation,
+// and any method call on a tainted receiver stays tainted.
+func (e *Engine) taintedCall(pkg *analysis.Package, st *state, call *ast.CallExpr, srcs bool) bool {
+	info := pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: T(x).
+		for _, arg := range call.Args {
+			if e.taintedExpr(pkg, st, arg, srcs) {
+				return true
+			}
+		}
+		return false
+	}
+	// A method call on a tainted receiver (wall.Microseconds() where wall
+	// came from a source) reads a projection of the tainted value.
+	if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selInfo, ok := info.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
+			if e.taintedExpr(pkg, st, sel.X, srcs) {
+				return true
+			}
+		}
+	}
+	fn := analysis.FuncObject(info, call.Fun)
+	if fn == nil {
+		return false
+	}
+	if srcs && e.cfg.Sources[fn.FullName()] {
+		return true
+	}
+	targets := []*types.Func{fn}
+	if e.graph.Node(fn) == nil {
+		// No body in the program: stdlib (no summary, stays clean unless
+		// listed as a source) or an interface method — widen.
+		targets = e.graph.Implementations(fn)
+	}
+	for _, t := range targets {
+		sum := e.summaryOf(t)
+		if sum == nil {
+			continue
+		}
+		if srcs && sum.sourceReturn {
+			return true
+		}
+		for i, arg := range call.Args {
+			if i < len(sum.passThrough) && sum.passThrough[i] && e.taintedExpr(pkg, st, arg, srcs) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// summaryOf computes (and memoizes) fn's one-level summary. Summary
+// bodies consult no further summaries — taintedCall is only reentered
+// from top-level Function runs — because summary fixpoints run the same
+// engine with an empty summary view: summaryOf returns a zero summary
+// for fn itself while it is being computed, which also breaks recursion.
+func (e *Engine) summaryOf(fn *types.Func) *summary {
+	if sum, ok := e.summaries[fn]; ok {
+		return sum
+	}
+	node := e.graph.Node(fn)
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		e.summaries[fn] = nil
+		return nil
+	}
+	sum := &summary{}
+	e.summaries[fn] = sum // breaks self-recursion: the in-flight view is zero
+
+	pkg := node.Pkg
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() > 0 {
+		// sourceReturn: seed nothing, let sources fire, check returns.
+		st := newState()
+		e.fixpoint(pkg, node.Decl.Body, st, true)
+		sum.sourceReturn = e.taintedReturn(pkg, node.Decl, st, true)
+
+		// passThrough: seed one parameter at a time, sources off.
+		params := paramObjects(pkg, node.Decl)
+		sum.passThrough = make([]bool, len(params))
+		for i, p := range params {
+			if p == nil {
+				continue
+			}
+			st := newState()
+			st.objs[p] = true
+			e.fixpoint(pkg, node.Decl.Body, st, false)
+			sum.passThrough[i] = e.taintedReturn(pkg, node.Decl, st, false)
+		}
+	}
+	return sum
+}
+
+// taintedReturn reports whether any return statement of fd's own body
+// (not of nested literals) yields a tainted value, or — for named
+// results — whether a named result object is tainted.
+func (e *Engine) taintedReturn(pkg *analysis.Package, fd *ast.FuncDecl, st *state, srcs bool) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literal returns are not fd's returns
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			if e.taintedExpr(pkg, st, r, srcs) {
+				found = true
+			}
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	// Named results assigned then returned bare.
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			for _, name := range f.Names {
+				if obj := pkg.Info.ObjectOf(name); obj != nil && st.objs[obj] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// paramObjects lists fd's parameter objects in declaration order,
+// receiver excluded.
+func paramObjects(pkg *analysis.Package, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			out = append(out, nil) // unnamed parameter cannot carry taint
+			continue
+		}
+		for _, name := range f.Names {
+			out = append(out, pkg.Info.ObjectOf(name))
+		}
+	}
+	return out
+}
+
+// EncodedField reports whether field i of struct st is encoded by
+// encoding/json: exported and not tagged json:"-". Sink checks share
+// this so "write into an encoded field" means the same thing in every
+// analyzer.
+func EncodedField(st *types.Struct, i int) bool {
+	f := st.Field(i)
+	if !f.Exported() {
+		return false
+	}
+	tag := parseJSONTag(st.Tag(i))
+	return tag != "-"
+}
+
+// parseJSONTag extracts the json tag name portion from a struct tag
+// literal, "" when untagged. A hand-rolled reflect.StructTag.Get: the
+// analysis packages avoid reflect so fixture behavior matches go/types
+// exactly.
+func parseJSONTag(tag string) string {
+	for tag != "" {
+		// Skip leading space.
+		i := 0
+		for i < len(tag) && tag[i] == ' ' {
+			i++
+		}
+		tag = tag[i:]
+		if tag == "" {
+			break
+		}
+		// Key ends at ':'.
+		i = 0
+		for i < len(tag) && tag[i] != ':' && tag[i] != ' ' && tag[i] != '"' {
+			i++
+		}
+		if i == len(tag) || tag[i] != ':' || i+1 >= len(tag) || tag[i+1] != '"' {
+			break
+		}
+		key := tag[:i]
+		tag = tag[i+2:]
+		// Value ends at the closing unescaped quote.
+		j := 0
+		for j < len(tag) && tag[j] != '"' {
+			if tag[j] == '\\' {
+				j++
+			}
+			j++
+		}
+		if j >= len(tag) {
+			break
+		}
+		val := tag[:j]
+		tag = tag[j+1:]
+		if key == "json" {
+			if k := strings.IndexByte(val, ','); k >= 0 {
+				return val[:k]
+			}
+			return val
+		}
+	}
+	return ""
+}

@@ -1,0 +1,122 @@
+package taint_test
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+
+	"expensive/internal/analysis"
+	"expensive/internal/analysis/taint"
+)
+
+func loadTF(t *testing.T) (*analysis.Program, *analysis.Package) {
+	t.Helper()
+	prog, err := analysis.LoadTree("testdata/src")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	pkg := prog.Package("tf")
+	if pkg == nil {
+		t.Fatal("fixture package tf not loaded")
+	}
+	return prog, pkg
+}
+
+func declOf(t *testing.T, pkg *analysis.Package, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	t.Fatalf("function %s not found in tf", name)
+	return nil
+}
+
+// lastIdent finds the final occurrence of an identifier in a body — the
+// fixture's trailing blank assignment mentions every local, so this is
+// a use site after all taint has flowed.
+func lastIdent(t *testing.T, fd *ast.FuncDecl, name string) *ast.Ident {
+	t.Helper()
+	var found *ast.Ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = id
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("identifier %s not found in %s", name, fd.Name.Name)
+	}
+	return found
+}
+
+func engine(prog *analysis.Program) *taint.Engine {
+	return taint.For(prog, "test", taint.Config{
+		Sources: map[string]bool{"(tf.Clock).Wall": true},
+	})
+}
+
+// TestPropagation checks the intraprocedural rules plus both one-level
+// summary kinds against the Use fixture.
+func TestPropagation(t *testing.T) {
+	prog, pkg := loadTF(t)
+	fd := declOf(t, pkg, "Use")
+	res := engine(prog).Function(pkg, fd)
+
+	wantTainted := []string{
+		"w",   // direct source call
+		"ms",  // conversion of tainted
+		"sum", // arithmetic with tainted operand
+		"s",   // Stats() source-return summary
+		"sc",  // Scale(w) pass-through summary
+		"a",   // read of the tainted field r.A
+		"lit", // composite literal holding tainted value
+	}
+	for _, name := range wantTainted {
+		if !res.Tainted(lastIdent(t, fd, name)) {
+			t.Errorf("%s should be tainted", name)
+		}
+	}
+	wantClean := []string{
+		"b",          // sibling field of a tainted field
+		"clean",      // untainted arithmetic
+		"cleanScale", // pass-through of a clean argument
+		"n",          // plain parameter
+	}
+	for _, name := range wantClean {
+		if res.Tainted(lastIdent(t, fd, name)) {
+			t.Errorf("%s should be clean", name)
+		}
+	}
+}
+
+// TestInterfaceWidening checks that a call through Src picks up the
+// source-return summary of the concrete Impl behind it.
+func TestInterfaceWidening(t *testing.T) {
+	prog, pkg := loadTF(t)
+	fd := declOf(t, pkg, "UseIface")
+	res := engine(prog).Function(pkg, fd)
+	if !res.Tainted(lastIdent(t, fd, "v")) {
+		t.Error("v should be tainted via the Impl.Get implementation summary")
+	}
+}
+
+// TestEncodedField pins the sink-side field classification on Rep.
+func TestEncodedField(t *testing.T) {
+	_, pkg := loadTF(t)
+	tn, _ := pkg.Types.Scope().Lookup("Rep").(*types.TypeName)
+	if tn == nil {
+		t.Fatal("type Rep not found")
+	}
+	st := tn.Type().Underlying().(*types.Struct)
+	want := map[string]bool{"Probes": true, "Wall": false, "hidden": false, "Plain": true}
+	for i := 0; i < st.NumFields(); i++ {
+		name := st.Field(i).Name()
+		if got := taint.EncodedField(st, i); got != want[name] {
+			t.Errorf("EncodedField(%s) = %v, want %v", name, got, want[name])
+		}
+	}
+}

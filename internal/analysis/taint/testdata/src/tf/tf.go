@@ -1,0 +1,67 @@
+// Fixture for the taint engine: a source method, a source-returning
+// wrapper, a pass-through scaler, field-precision records, and an
+// interface standing in front of a source-derived implementation.
+package tf
+
+type Clock struct{}
+
+// Wall is the configured taint source.
+func (Clock) Wall() int64 { return 0 }
+
+// Stats derives both results from the source: its summary must say
+// sourceReturn.
+func Stats(c Clock) (int64, float64) {
+	w := c.Wall()
+	return w, float64(w) / 1e6
+}
+
+// Scale passes its parameter through to the result: its summary must
+// say passThrough[0].
+func Scale(v int64) float64 { return float64(v) / 1e3 }
+
+type rec struct {
+	A int64
+	B int64
+}
+
+// Use exercises every propagation rule the engine claims.
+func Use(c Clock, n int64) {
+	w := c.Wall()    // seeded
+	ms := float64(w) // conversion
+	sum := w + n     // arithmetic
+	s, _ := Stats(c) // one-level summary: source return
+	sc := Scale(w)   // one-level summary: pass-through of tainted arg
+	cleanScale := Scale(n)
+	var r rec
+	r.A = w
+	a := r.A // per-field taint
+	b := r.B // sibling field stays clean
+	lit := rec{A: w}
+	clean := n + 1
+	_, _, _, _, _, _, _, _, _, _ = w, ms, sum, s, sc, cleanScale, a, b, lit, clean
+}
+
+type Src interface{ Get() int64 }
+
+type Impl struct{}
+
+func (Impl) Get() int64 {
+	var c Clock
+	return c.Wall()
+}
+
+// UseIface calls through the interface: the engine must widen to Impl
+// and pick up its source-return summary.
+func UseIface(s Src) {
+	v := s.Get()
+	_ = v
+}
+
+// Rep pins the EncodedField contract: exported+untagged and
+// exported+named are encoded, json:"-" and unexported are not.
+type Rep struct {
+	Probes int     `json:"probes"`
+	Wall   float64 `json:"-"`
+	hidden int
+	Plain  int
+}

@@ -20,7 +20,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-BenchmarkHuntCampaign|BenchmarkMatrix|BenchmarkE1Falsifier|BenchmarkEngineRound|BenchmarkShrink|BenchmarkE9Protocols|BenchmarkFuzz|BenchmarkObs}"
+PATTERN="${1:-BenchmarkHuntCampaign|BenchmarkMatrix|BenchmarkE1Falsifier|BenchmarkEngineRound|BenchmarkShrink|BenchmarkE9Protocols|BenchmarkFuzz|BenchmarkObs|BenchmarkBalint}"
 BENCHTIME="${BENCHTIME:-3x}"
 BUDGET="${BUDGET:-2048}"
 OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"

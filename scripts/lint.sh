@@ -11,6 +11,9 @@
 # Usage:
 #   scripts/lint.sh          # lint the module
 #   scripts/lint.sh -v       # also print suppressed findings with reasons
+#   scripts/lint.sh -json    # findings (suppressed included) as one JSON
+#                            # array on stdout — the CI artifact; balint's
+#                            # human output and go vet's stay on stderr
 set -eu
 
 cd "$(dirname "$0")/.."
